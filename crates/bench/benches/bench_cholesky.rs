@@ -1,0 +1,34 @@
+//! Tile Cholesky benches: sequential vs task-parallel, across matrix sizes.
+
+use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use exaclim_linalg::cholesky::tile_cholesky;
+use exaclim_linalg::precision::PrecisionPolicy;
+use exaclim_linalg::tiled::{TiledMatrix, exp_covariance};
+use exaclim_runtime::{SchedulerKind, parallel_tile_cholesky};
+use std::hint::black_box;
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky");
+    group.sample_size(10);
+    for n in [256usize, 512] {
+        let a = exp_covariance(n, n as f64 / 16.0, 1e-3);
+        group.bench_with_input(BenchmarkId::new("sequential_dp", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut tm = TiledMatrix::from_dense(&a, n, 64, &PrecisionPolicy::dp());
+                black_box(tile_cholesky(&mut tm).unwrap());
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("parallel_dp", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut tm = TiledMatrix::from_dense(&a, n, 64, &PrecisionPolicy::dp());
+                black_box(
+                    parallel_tile_cholesky(&mut tm, 4, SchedulerKind::PriorityHeap).unwrap(),
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cholesky);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 5 counterpart: message-ledger and timing-model costs of sender-
+//! vs receiver-side precision conversion.
+
+use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use exaclim_cluster::machines::{Machine, MachineSpec};
+use exaclim_cluster::sim::{SimConfig, Variant, simulate_cholesky};
+use exaclim_linalg::precision::PrecisionPolicy;
+use exaclim_runtime::distsim::{ConversionSide, DistConfig, simulate_distribution};
+use std::hint::black_box;
+
+fn bench_conversion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conversion_ledger");
+    for side in [ConversionSide::Sender, ConversionSide::Receiver] {
+        let cfg = DistConfig { p: 8, q: 16, conversion: side };
+        let label = format!("{side:?}");
+        group.bench_with_input(BenchmarkId::new("ledger", &label), &cfg, |bch, cfg| {
+            bch.iter(|| {
+                black_box(simulate_distribution(64, 512, &PrecisionPolicy::dp_hp(), cfg))
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("timing_model");
+    let spec = MachineSpec::of(Machine::Summit);
+    for n in [1_060_000usize, 8_390_000] {
+        group.bench_with_input(BenchmarkId::new("simulate", n), &n, |bch, &n| {
+            bch.iter(|| {
+                black_box(simulate_cholesky(
+                    &spec,
+                    &SimConfig::new(n, 128, Variant::DpHp),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conversion);
+criterion_main!(benches);

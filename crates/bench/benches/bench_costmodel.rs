@@ -1,0 +1,39 @@
+//! Figure 1 counterpart: measured training cost of the real emulator across
+//! band-limits, confirming the cost model's growth exponents.
+
+use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use exaclim::{ClimateEmulator, EmulatorConfig};
+use exaclim_climate::{SyntheticEra5, SyntheticEra5Config};
+use std::hint::black_box;
+
+fn bench_costmodel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emulator_training_cost");
+    group.sample_size(10);
+    for lmax in [6usize, 8, 10] {
+        let generator = SyntheticEra5::new(SyntheticEra5Config::small_daily(lmax + 4));
+        let training = generator.generate_member(0, 365);
+        group.bench_with_input(BenchmarkId::new("train_L", lmax), &lmax, |bch, &lmax| {
+            bch.iter(|| {
+                black_box(
+                    ClimateEmulator::train(&training, EmulatorConfig::small(lmax)).unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("emulation_cost");
+    group.sample_size(10);
+    let generator = SyntheticEra5::new(SyntheticEra5Config::small_daily(12));
+    let training = generator.generate_member(0, 365);
+    let em = ClimateEmulator::train(&training, EmulatorConfig::small(8)).unwrap();
+    for t in [30usize, 365] {
+        group.bench_with_input(BenchmarkId::new("emulate_days", t), &t, |bch, &t| {
+            bch.iter(|| black_box(em.emulate(t, 1).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_costmodel);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 6 counterpart on real CPU kernels: the four precision variants of
+//! the tile Cholesky. On CPUs the f32 path is ~2× the f64 path and the
+//! software-f16 path pays conversion costs, so the *memory* savings (not
+//! tensor-core speedups) are the observable; the GPU-rate speedups live in
+//! the cluster model (`--bin fig6`).
+
+use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use exaclim_linalg::precision::PrecisionPolicy;
+use exaclim_linalg::tiled::{TiledMatrix, exp_covariance};
+use exaclim_runtime::{SchedulerKind, parallel_tile_cholesky};
+use std::hint::black_box;
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("precision_variants");
+    group.sample_size(10);
+    let n = 512;
+    let b = 64;
+    let nt = n / b;
+    let a = exp_covariance(n, 24.0, 1e-3);
+    let policies = [
+        ("dp", PrecisionPolicy::dp()),
+        ("dp_sp", PrecisionPolicy::dp_sp()),
+        ("dp_sp_hp", PrecisionPolicy::dp_sp_hp(nt)),
+        ("dp_hp", PrecisionPolicy::dp_hp()),
+    ];
+    for (label, policy) in policies {
+        group.bench_with_input(BenchmarkId::new("variant", label), &policy, |bch, policy| {
+            bch.iter(|| {
+                let mut tm = TiledMatrix::from_dense(&a, n, b, policy);
+                black_box(
+                    parallel_tile_cholesky(&mut tm, 4, SchedulerKind::PriorityHeap).unwrap(),
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 7 counterpart on real CPU hardware: strong scaling of the
+//! task-parallel tile Cholesky over worker counts.
+
+use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use exaclim_linalg::precision::PrecisionPolicy;
+use exaclim_linalg::tiled::{TiledMatrix, exp_covariance};
+use exaclim_runtime::{SchedulerKind, parallel_tile_cholesky};
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strong_scaling_cpu");
+    group.sample_size(10);
+    let n = 512;
+    let a = exp_covariance(n, 24.0, 1e-3);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |bch, &w| {
+            bch.iter(|| {
+                let mut tm = TiledMatrix::from_dense(&a, n, 64, &PrecisionPolicy::dp());
+                black_box(
+                    parallel_tile_cholesky(&mut tm, w, SchedulerKind::WorkStealing).unwrap(),
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! SHT scaling benches: forward (both engines) and inverse transforms
+//! across band-limits, verifying the O(L³)-per-slice behaviour of
+//! §III.A.2, plus the batched (rayon) path.
+
+use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use exaclim_mathkit::Complex64;
+use exaclim_sht::{HarmonicCoeffs, ShtPlan, analysis_batch};
+use std::hint::black_box;
+
+fn random_coeffs(lmax: usize) -> HarmonicCoeffs {
+    let mut c = HarmonicCoeffs::zeros(lmax);
+    let mut v = 0.37f64;
+    for l in 0..lmax {
+        for m in 0..=l {
+            v = (v * 997.0).fract() - 0.5;
+            c.set(l, m, Complex64::new(v, if m == 0 { 0.0 } else { v * 0.5 }));
+        }
+    }
+    c
+}
+
+fn bench_sht(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sht");
+    group.sample_size(10);
+    for lmax in [16usize, 24, 32, 48] {
+        let plan_eq = ShtPlan::equiangular(lmax, lmax + 2, 2 * lmax + 1);
+        let plan_gl = ShtPlan::gauss_legendre(lmax);
+        let coeffs = random_coeffs(lmax);
+        let field_eq = plan_eq.synthesis(&coeffs);
+        let field_gl = plan_gl.synthesis(&coeffs);
+
+        group.bench_with_input(BenchmarkId::new("analysis_wigner", lmax), &lmax, |b, _| {
+            b.iter(|| black_box(plan_eq.analysis(black_box(&field_eq))));
+        });
+        group.bench_with_input(BenchmarkId::new("analysis_gl", lmax), &lmax, |b, _| {
+            b.iter(|| black_box(plan_gl.analysis(black_box(&field_gl))));
+        });
+        group.bench_with_input(BenchmarkId::new("synthesis", lmax), &lmax, |b, _| {
+            b.iter(|| black_box(plan_eq.synthesis(black_box(&coeffs))));
+        });
+    }
+    group.finish();
+
+    // Batched transforms over time slices (the paper's parallel dimension).
+    let mut group = c.benchmark_group("sht_batch");
+    group.sample_size(10);
+    let lmax = 24;
+    let plan = ShtPlan::equiangular(lmax, lmax + 2, 2 * lmax + 1);
+    let coeffs = random_coeffs(lmax);
+    let one = plan.synthesis(&coeffs);
+    for t in [8usize, 32, 128] {
+        let mut data = Vec::with_capacity(one.len() * t);
+        for _ in 0..t {
+            data.extend_from_slice(&one);
+        }
+        group.bench_with_input(BenchmarkId::new("analysis_slices", t), &t, |b, &t| {
+            b.iter(|| black_box(analysis_batch(&plan, black_box(&data), t)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sht);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Figure 1: emulator-design cost vs spatial resolution for the two model
+//! classes, the literature emulators, and this work's configurations.
+//!
+//! ```text
+//! cargo run --release -p exaclim-bench --bin fig1
+//! ```
+
+use exaclim_cluster::costmodel::{
+    CostModel, EmulatorClass, headline_resolution_factor, literature_catalog,
+    this_work_bandlimits,
+};
+
+fn main() {
+    println!("== Figure 1: design cost vs resolution ==");
+    println!(
+        "{:<10} {:>12} {:>10} {:>16} {:>16}",
+        "L", "res (km)", "res (deg)", "axisym flops", "aniso flops"
+    );
+    // Cost curves over the resolution axis (hourly temporal scale, T for 35 years).
+    let t_hourly = 306_600.0;
+    for &l in &[64usize, 128, 256, 512, 720, 1440, 2880, 5219] {
+        let lf = l as f64;
+        println!(
+            "{:<10} {:>12.1} {:>10.3} {:>16.3e} {:>16.3e}",
+            l,
+            CostModel::resolution_km(lf),
+            CostModel::resolution_degrees(lf),
+            CostModel::design_flops(EmulatorClass::AxiallySymmetric, lf, t_hourly),
+            CostModel::design_flops(EmulatorClass::Anisotropic, lf, t_hourly),
+        );
+    }
+    println!();
+    println!("== Literature emulators (review points of Figure 1) ==");
+    println!(
+        "{:<36} {:>14} {:>10} {:>10} {:>14}",
+        "reference", "class", "res (km)", "T/year", "design flops"
+    );
+    for e in literature_catalog() {
+        let l = CostModel::bandlimit_for_km(e.resolution_km);
+        let t = e.temporal_per_year * 30.0; // ~30-year training records
+        let label = match e.class {
+            EmulatorClass::AxiallySymmetric => "axisymmetric",
+            EmulatorClass::Anisotropic => "anisotropic",
+        };
+        println!(
+            "{:<36} {:>14} {:>10.0} {:>10.0} {:>14.3e}",
+            e.reference,
+            label,
+            e.resolution_km,
+            e.temporal_per_year,
+            CostModel::design_flops(e.class, l, t),
+        );
+    }
+    println!();
+    println!("== This work (green stars) ==");
+    for &l in &this_work_bandlimits() {
+        let lf = l as f64;
+        println!(
+            "L = {:>5}: {:>6.1} km, hourly, anisotropic, {:.3e} flops",
+            l,
+            CostModel::resolution_km(lf),
+            CostModel::design_flops(EmulatorClass::Anisotropic, lf, t_hourly),
+        );
+    }
+    let (s, t, total) = headline_resolution_factor();
+    println!();
+    println!(
+        "resolution advance over prior emulators: {s}× spatial × {t}× temporal = {total}×"
+    );
+    assert_eq!(total, 245_280.0, "the paper's headline factor");
+}

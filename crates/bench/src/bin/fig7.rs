@@ -1,0 +1,69 @@
+//! Figure 7: weak (left) and strong (right) scaling of the mixed-precision
+//! Cholesky on Summit, up to 12,288 V100 GPUs.
+//!
+//! Paper anchors: weak-scaling efficiency 92–111% from 384 GPUs; strong
+//! scaling at 4× the GPUs retains 55% (DP), 72% (DP/SP), 60% (DP/SP/HP),
+//! 56% (DP/HP).
+//!
+//! ```text
+//! cargo run --release -p exaclim-bench --bin fig7
+//! ```
+
+use exaclim_cluster::machines::{Machine, MachineSpec};
+use exaclim_cluster::scaling::{strong_scaling, weak_scaling};
+use exaclim_cluster::sim::Variant;
+
+fn main() {
+    let spec = MachineSpec::of(Machine::Summit);
+    let weak_gpus = [384usize, 1536, 3072, 6144, 12288];
+    println!("== Figure 7 (left): weak scaling, TFlop/s per GPU ==");
+    print!("{:<10}", "variant");
+    for g in weak_gpus {
+        print!(" {:>9}", g);
+    }
+    println!("   (paper band: 92–111%)");
+    for v in Variant::all() {
+        let pts = weak_scaling(&spec, v, &weak_gpus, 1_500_000);
+        print!("{:<10}", v.label());
+        for p in &pts {
+            print!(" {:>8.1} ", p.tflops_per_gpu);
+        }
+        let effs: Vec<String> =
+            pts.iter().map(|p| format!("{:.0}%", p.efficiency_pct)).collect();
+        println!("  eff: {}", effs.join("/"));
+        for p in &pts {
+            assert!(
+                p.efficiency_pct > 80.0 && p.efficiency_pct < 125.0,
+                "weak scaling must stay near flat"
+            );
+        }
+    }
+
+    println!();
+    println!("== Figure 7 (right): strong scaling, fixed workload of 512 nodes ==");
+    let strong_gpus = [3072usize, 6144, 12288];
+    // The largest DP/HP matrix fitting 512 Summit nodes (Table I scaling).
+    let n = spec.max_matrix_n(512, 2.5);
+    println!("fixed matrix: {:.2}M ({} GPUs baseline)", n as f64 / 1e6, strong_gpus[0]);
+    print!("{:<10}", "variant");
+    for g in strong_gpus {
+        print!(" {:>9}", g);
+    }
+    println!("   (paper @4×: DP 55%, DP/SP 72%, DP/SP/HP 60%, DP/HP 56%)");
+    for v in Variant::all() {
+        let pts = strong_scaling(&spec, v, &strong_gpus, n);
+        print!("{:<10}", v.label());
+        for p in &pts {
+            print!(" {:>8.0}% ", p.efficiency_pct);
+        }
+        println!();
+        assert!(pts[2].efficiency_pct < pts[1].efficiency_pct, "monotone decay");
+    }
+    println!();
+    println!(
+        "Shape reproduced: weak scaling flat; strong scaling decays with\n\
+         mixed precision retaining more efficiency than would naive DP at\n\
+         the same wire volume. The model decays more gently than Summit's\n\
+         measured 55–72% — see EXPERIMENTS.md for the deviation discussion."
+    );
+}

@@ -1,0 +1,82 @@
+//! Storage-savings ledger (the title's "Saving PetaBytes" and §I/§VI):
+//! archive-vs-emulator volumes across configurations, with dollar costs.
+//!
+//! ```text
+//! cargo run --release -p exaclim-bench --bin storage
+//! ```
+
+use exaclim_climate::storage::{
+    CMIP3_BYTES, CMIP5_BYTES, CMIP6_BYTES, DOLLARS_PER_TB_YEAR, PB,
+    SCREAM_BYTES_PER_DAY, StorageModel, TB, paper_headline_model,
+};
+
+fn main() {
+    println!("== §I reference volumes ==");
+    for (name, b) in [
+        ("CMIP3", CMIP3_BYTES),
+        ("CMIP5", CMIP5_BYTES),
+        ("CMIP6", CMIP6_BYTES),
+    ] {
+        println!(
+            "{name}: {:>8.2} TB = {:>6.3} PB, carrying cost ${:.2}M/yr",
+            b / TB,
+            b / PB,
+            b / TB * DOLLARS_PER_TB_YEAR / 1e6
+        );
+    }
+    println!(
+        "SCREAM@DYAMOND: {:.1} TB per simulated day → {:.0} TB per 40-day campaign",
+        SCREAM_BYTES_PER_DAY / TB,
+        SCREAM_BYTES_PER_DAY * 40.0 / TB
+    );
+    println!();
+
+    println!("== Archive vs emulator across scales ==");
+    println!(
+        "{:<46} {:>11} {:>11} {:>8}",
+        "configuration", "archive TB", "emulator TB", "ratio"
+    );
+    let rows = [
+        (
+            "L=64 daily 30yr R=5 (laptop scale)",
+            StorageModel {
+                ensemble_size: 5,
+                t_max: 30 * 365,
+                npoints: 66 * 129,
+                lmax: 64,
+                k_harmonics: 5,
+                var_order: 3,
+            },
+        ),
+        (
+            "L=720 ERA5 hourly 35yr R=10 (paper training)",
+            StorageModel {
+                ensemble_size: 10,
+                t_max: 306_600,
+                npoints: 721 * 1440,
+                lmax: 720,
+                k_harmonics: 5,
+                var_order: 3,
+            },
+        ),
+        ("L=5219 hourly 83yr R=100 (headline)", paper_headline_model(100, 83)),
+    ];
+    let mut last_saved = 0.0;
+    for (name, m) in rows {
+        println!(
+            "{:<46} {:>11.2} {:>11.2} {:>7.1}×",
+            name,
+            m.ensemble_bytes() / TB,
+            m.emulator_bytes() / TB,
+            m.savings_ratio()
+        );
+        last_saved = m.bytes_saved();
+    }
+    println!();
+    println!(
+        "headline configuration saves {:.2} PB (${:.2}M/yr at NCAR's $45/TB/yr)",
+        last_saved / PB,
+        last_saved / TB * DOLLARS_PER_TB_YEAR / 1e6
+    );
+    assert!(last_saved > 10.0 * PB, "the title's petabyte claim");
+}

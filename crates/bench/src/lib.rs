@@ -1,0 +1,1 @@
+//! Benchmark harness for the exaclim workspace (see `src/bin` and `benches`).

@@ -1,0 +1,158 @@
+//! Compact binary serialization of [`Dataset`]s.
+//!
+//! Simulation archives are stored as f32 (the ERA5/CMIP convention the
+//! storage model assumes); this module writes a small self-describing
+//! container — magic, version, geometry header, then the field payload in
+//! little-endian f32 — and reads it back. Used by the examples to stage
+//! training data on disk and by the storage accounting to measure real
+//! archive bytes.
+
+use crate::generator::Dataset;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// File magic: "XCLM".
+const MAGIC: u32 = 0x584C_434Du32.swap_bytes(); // stored LE as b"MCLX"-safe tag
+/// Container version.
+const VERSION: u16 = 1;
+
+/// Errors from decoding a dataset container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Unsupported container version.
+    BadVersion(u16),
+    /// Payload shorter than the header promises.
+    Truncated,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not an exaclim dataset (bad magic)"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported container version {v}"),
+            DecodeError::Truncated => write!(f, "truncated payload"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encode a dataset into the archive container (f32 payload).
+pub fn encode_dataset(d: &Dataset) -> Bytes {
+    let mut buf = BytesMut::with_capacity(40 + d.data.len() * 4);
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u16_le(0); // flags, reserved
+    buf.put_u64_le(d.t_max as u64);
+    buf.put_u32_le(d.ntheta as u32);
+    buf.put_u32_le(d.nphi as u32);
+    buf.put_i64_le(d.start_year);
+    buf.put_u32_le(d.tau as u32);
+    for &v in &d.data {
+        buf.put_f32_le(v as f32);
+    }
+    buf.freeze()
+}
+
+/// Decode a container back into a [`Dataset`] (values widened to f64).
+pub fn decode_dataset(mut raw: Bytes) -> Result<Dataset, DecodeError> {
+    if raw.remaining() < 36 {
+        return Err(DecodeError::Truncated);
+    }
+    if raw.get_u32_le() != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = raw.get_u16_le();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let _flags = raw.get_u16_le();
+    let t_max = raw.get_u64_le() as usize;
+    let ntheta = raw.get_u32_le() as usize;
+    let nphi = raw.get_u32_le() as usize;
+    let start_year = raw.get_i64_le();
+    let tau = raw.get_u32_le() as usize;
+    let npoints = ntheta * nphi;
+    let need = t_max * npoints * 4;
+    if raw.remaining() < need {
+        return Err(DecodeError::Truncated);
+    }
+    let mut data = Vec::with_capacity(t_max * npoints);
+    for _ in 0..t_max * npoints {
+        data.push(raw.get_f32_le() as f64);
+    }
+    Ok(Dataset { data, t_max, npoints, ntheta, nphi, start_year, tau })
+}
+
+/// Archive size in bytes of a dataset in this container.
+pub fn encoded_len(d: &Dataset) -> usize {
+    36 + d.data.len() * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{SyntheticEra5, SyntheticEra5Config};
+
+    fn sample() -> Dataset {
+        let generator = SyntheticEra5::new(SyntheticEra5Config::small_daily(8));
+        generator.generate_member(0, 20)
+    }
+
+    #[test]
+    fn roundtrip_preserves_geometry_and_values_to_f32() {
+        let d = sample();
+        let raw = encode_dataset(&d);
+        assert_eq!(raw.len(), encoded_len(&d));
+        let back = decode_dataset(raw).unwrap();
+        assert_eq!(back.t_max, d.t_max);
+        assert_eq!((back.ntheta, back.nphi), (d.ntheta, d.nphi));
+        assert_eq!(back.start_year, d.start_year);
+        assert_eq!(back.tau, d.tau);
+        for (a, b) in d.data.iter().zip(&back.data) {
+            // f32 storage: relative error ≤ 2^-24.
+            assert!(((a - b) / a).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(
+            decode_dataset(Bytes::from_static(b"not a dataset at all....123456789abcdef0"))
+                .unwrap_err(),
+            DecodeError::BadMagic
+        );
+        assert_eq!(
+            decode_dataset(Bytes::from_static(b"xx")).unwrap_err(),
+            DecodeError::Truncated
+        );
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let d = sample();
+        let raw = encode_dataset(&d);
+        let cut = raw.slice(0..raw.len() - 10);
+        assert_eq!(decode_dataset(cut).unwrap_err(), DecodeError::Truncated);
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let d = sample();
+        let mut raw = BytesMut::from(&encode_dataset(&d)[..]);
+        raw[4] = 99; // version byte (LE)
+        assert_eq!(decode_dataset(raw.freeze()).unwrap_err(), DecodeError::BadVersion(99));
+    }
+
+    #[test]
+    fn disk_roundtrip() {
+        let d = sample();
+        let path = std::env::temp_dir().join("exaclim_io_test.xclm");
+        std::fs::write(&path, encode_dataset(&d)).unwrap();
+        let raw = Bytes::from(std::fs::read(&path).unwrap());
+        std::fs::remove_file(&path).ok();
+        let back = decode_dataset(raw).unwrap();
+        assert_eq!(back.t_max, d.t_max);
+    }
+}

@@ -1,0 +1,124 @@
+//! Grid up-sampling by separable cubic splines (paper §IV.A).
+//!
+//! The paper up-scales 0.25° ERA5 to the grids of band-limits 1,440 / 2,880
+//! / 5,219 with spline interpolation. Here: a natural cubic spline along
+//! co-latitude (non-periodic, poles at the ends) and a periodic cubic spline
+//! along longitude, applied separably.
+
+use exaclim_mathkit::spline::{CubicSpline, upsample_periodic};
+
+/// Up-sample a `ntheta × nphi` equiangular field (poles included) by integer
+/// `factor` in both directions. The output grid has
+/// `(ntheta−1)·factor + 1` rings and `nphi·factor` longitudes, and contains
+/// the input samples exactly at the coarse positions.
+pub fn upsample_field(
+    field: &[f64],
+    ntheta: usize,
+    nphi: usize,
+    factor: usize,
+) -> (Vec<f64>, usize, usize) {
+    assert_eq!(field.len(), ntheta * nphi);
+    assert!(factor >= 1);
+    assert!(ntheta >= 4 && nphi >= 4, "spline upsampling needs ≥ 4 samples per axis");
+    if factor == 1 {
+        return (field.to_vec(), ntheta, nphi);
+    }
+    let fine_nphi = nphi * factor;
+    let fine_ntheta = (ntheta - 1) * factor + 1;
+    // Pass 1: periodic spline along longitude, per ring.
+    let mut stage = vec![0.0f64; ntheta * fine_nphi];
+    for i in 0..ntheta {
+        let row = &field[i * nphi..(i + 1) * nphi];
+        let up = upsample_periodic(row, factor);
+        stage[i * fine_nphi..(i + 1) * fine_nphi].copy_from_slice(&up);
+    }
+    // Pass 2: natural spline along co-latitude, per fine longitude.
+    let mut out = vec![0.0f64; fine_ntheta * fine_nphi];
+    let mut col = vec![0.0f64; ntheta];
+    for j in 0..fine_nphi {
+        for i in 0..ntheta {
+            col[i] = stage[i * fine_nphi + j];
+        }
+        let sp = CubicSpline::uniform(0.0, 1.0, &col);
+        for fi in 0..fine_ntheta {
+            out[fi * fine_nphi + j] = sp.eval(fi as f64 / factor as f64);
+        }
+    }
+    (out, fine_ntheta, fine_nphi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_field(ntheta: usize, nphi: usize) -> Vec<f64> {
+        let mut f = Vec::with_capacity(ntheta * nphi);
+        for i in 0..ntheta {
+            let t = std::f64::consts::PI * i as f64 / (ntheta - 1) as f64;
+            for j in 0..nphi {
+                let p = 2.0 * std::f64::consts::PI * j as f64 / nphi as f64;
+                f.push(280.0 + 20.0 * t.sin() * (2.0 * p).cos() + 5.0 * (3.0 * t).cos());
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn output_dimensions() {
+        let f = smooth_field(9, 16);
+        let (up, nt, np) = upsample_field(&f, 9, 16, 4);
+        assert_eq!(nt, 33);
+        assert_eq!(np, 64);
+        assert_eq!(up.len(), 33 * 64);
+    }
+
+    #[test]
+    fn coarse_samples_preserved() {
+        let f = smooth_field(9, 16);
+        let (up, _nt, np) = upsample_field(&f, 9, 16, 3);
+        for i in 0..9 {
+            for j in 0..16 {
+                let fine = up[(i * 3) * np + j * 3];
+                let coarse = f[i * 16 + j];
+                assert!((fine - coarse).abs() < 1e-9, "({i},{j}): {fine} vs {coarse}");
+            }
+        }
+    }
+
+    #[test]
+    fn interpolant_tracks_smooth_truth() {
+        let (ntheta, nphi) = (17, 32);
+        let f = smooth_field(ntheta, nphi);
+        let (up, fnt, fnp) = upsample_field(&f, ntheta, nphi, 4);
+        let mut max_err = 0.0f64;
+        for fi in 0..fnt {
+            let t = std::f64::consts::PI * fi as f64 / (fnt - 1) as f64;
+            for fj in 0..fnp {
+                let p = 2.0 * std::f64::consts::PI * fj as f64 / fnp as f64;
+                let truth = 280.0 + 20.0 * t.sin() * (2.0 * p).cos() + 5.0 * (3.0 * t).cos();
+                max_err = max_err.max((up[fi * fnp + fj] - truth).abs());
+            }
+        }
+        assert!(max_err < 0.25, "spline error too large: {max_err}");
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let f = smooth_field(6, 8);
+        let (up, nt, np) = upsample_field(&f, 6, 8, 1);
+        assert_eq!((nt, np), (6, 8));
+        assert_eq!(up, f);
+    }
+
+    #[test]
+    fn era5_upsampling_ratios_match_paper_bandlimits() {
+        // 721×1440 (L=720) doubled → 1441×2880 (L=1440), doubled again →
+        // 2881×5760 (L=2880): the paper's upsampling chain.
+        let (nt, np, factor) = (721usize, 1440usize, 2usize);
+        let fine_nt = (nt - 1) * factor + 1;
+        let fine_np = np * factor;
+        assert_eq!(fine_nt, 1441);
+        assert_eq!(fine_np, 2880);
+        assert_eq!(fine_nt - 1, 1440, "supports band-limit 1440");
+    }
+}

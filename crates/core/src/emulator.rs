@@ -1,0 +1,521 @@
+//! Training and emulation: the end-to-end pipeline of Figure 3.
+
+use crate::config::EmulatorConfig;
+use exaclim_climate::generator::Dataset;
+use exaclim_runtime::{SchedulerKind, parallel_tile_cholesky};
+use exaclim_sht::{HarmonicCoeffs, ShtPlan, analysis_batch, synthesis_batch};
+use exaclim_stats::covariance::{empirical_covariance, ensure_spd};
+use exaclim_stats::emulate::CoefficientSampler;
+use exaclim_stats::forcing::ForcingSeries;
+use exaclim_stats::trend::{TrendConfig, TrendModel, fit_grid};
+use exaclim_stats::var::{DiagonalVar, fit_diagonal_var};
+use exaclim_linalg::tiled::TiledMatrix;
+use exaclim_mathkit::rng::StandardNormal;
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Errors surfaced by training or emulation.
+#[derive(Debug, Clone)]
+pub enum EmulationError {
+    /// Invalid configuration.
+    Config(String),
+    /// The training data does not match the configuration.
+    Data(String),
+    /// The covariance factorization failed.
+    Factorization(String),
+}
+
+impl std::fmt::Display for EmulationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmulationError::Config(m) => write!(f, "configuration error: {m}"),
+            EmulationError::Data(m) => write!(f, "data error: {m}"),
+            EmulationError::Factorization(m) => write!(f, "factorization error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EmulationError {}
+
+/// Entry point for training.
+pub struct ClimateEmulator;
+
+/// Grid-vs-config compatibility checks shared by the training entry points.
+fn check_geometry(data: &Dataset, config: &EmulatorConfig) -> Result<(), EmulationError> {
+    if data.ntheta <= config.lmax {
+        return Err(EmulationError::Data(format!(
+            "grid has {} rings; Wigner SHT needs Nθ > L = {}",
+            data.ntheta, config.lmax
+        )));
+    }
+    if data.nphi < 2 * config.lmax - 1 {
+        return Err(EmulationError::Data(format!(
+            "grid has {} longitudes; need ≥ 2L−1 = {}",
+            data.nphi,
+            2 * config.lmax - 1
+        )));
+    }
+    if data.t_max <= config.var_order + 2 {
+        return Err(EmulationError::Data("too few time steps".into()));
+    }
+    Ok(())
+}
+
+/// A trained emulator: everything needed to generate emulations, and
+/// everything that gets *stored* instead of the raw simulation archive.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainedEmulator {
+    /// Hyper-parameters used at training time.
+    pub config: EmulatorConfig,
+    /// Grid rows of the training data.
+    pub ntheta: usize,
+    /// Grid columns.
+    pub nphi: usize,
+    /// Calendar year of step 0.
+    pub start_year: i64,
+    /// Per-location trend models (β, ρ, harmonics, σ) — eq. (2).
+    pub trend: Vec<TrendModel>,
+    /// Diagonal VAR(P) on coefficient channels.
+    pub var: DiagonalVar,
+    /// Dense lower Cholesky factor `V` of the innovation covariance `Û`.
+    pub factor: Vec<f64>,
+    /// Per-location truncation-residual variance `v²` (the `ε` nugget).
+    pub v2: Vec<f64>,
+    /// Radiative forcing used by the trend (stored for emulation).
+    pub forcing: ForcingSeries,
+    /// Diagonal jitter added to make `Û` positive definite (paper §III.A.3).
+    pub jitter: f64,
+}
+
+impl ClimateEmulator {
+    /// Fit the emulator on an ensemble of simulations (`R ≥ 1` members
+    /// sharing geometry and period). `m_t`, `σ`, and `Φ_p` are shared
+    /// across members; the innovation covariance averages over all
+    /// `R(T−P)` innovation vectors — exactly eq. (9).
+    pub fn train_ensemble(
+        members: &[&Dataset],
+        config: EmulatorConfig,
+    ) -> Result<TrainedEmulator, EmulationError> {
+        config.check().map_err(EmulationError::Config)?;
+        let first = *members
+            .first()
+            .ok_or_else(|| EmulationError::Data("need at least one member".into()))?;
+        for m in members {
+            if (m.ntheta, m.nphi, m.t_max, m.tau, m.start_year)
+                != (first.ntheta, first.nphi, first.t_max, first.tau, first.start_year)
+            {
+                return Err(EmulationError::Data(
+                    "ensemble members must share geometry and period".into(),
+                ));
+            }
+        }
+        check_geometry(first, &config)?;
+        let npoints = first.npoints;
+        let t_max = first.t_max;
+        let r_members = members.len();
+
+        // Stage 1: trend. With an identical design matrix across members,
+        // stacked OLS equals OLS on the ensemble-mean series; σ is then
+        // re-estimated from the pooled residuals of all members.
+        let mean_data: Vec<f64> = if r_members == 1 {
+            first.data.clone()
+        } else {
+            let mut acc = vec![0.0f64; t_max * npoints];
+            for m in members {
+                for (a, v) in acc.iter_mut().zip(&m.data) {
+                    *a += v;
+                }
+            }
+            let inv = 1.0 / r_members as f64;
+            acc.iter_mut().for_each(|a| *a *= inv);
+            acc
+        };
+        let years = (t_max / first.tau + 2) as i64;
+        let forcing =
+            ForcingSeries::historical_like(first.start_year, first.start_year + years, 30);
+        let trend_cfg = TrendConfig {
+            k_harmonics: config.k_harmonics,
+            tau: first.tau,
+            rho_grid: config.rho_grid.clone(),
+            start_year: first.start_year,
+        };
+        let fit = fit_grid(&mean_data, t_max, npoints, &trend_cfg, &forcing);
+        let mut models = fit.models;
+        let means: Vec<Vec<f64>> = models
+            .par_iter()
+            .map(|m| m.mean_series(&trend_cfg, &forcing, t_max))
+            .collect();
+        // Pooled σ per location.
+        let mut sig2 = vec![0.0f64; npoints];
+        for m in members {
+            for t in 0..t_max {
+                let row = &m.data[t * npoints..(t + 1) * npoints];
+                for (p, (v, s)) in row.iter().zip(sig2.iter_mut()).enumerate() {
+                    let d = v - means[p][t];
+                    *s += d * d;
+                }
+            }
+        }
+        let denom = (r_members * t_max) as f64;
+        for (model, s) in models.iter_mut().zip(&sig2) {
+            model.sigma = (s / denom).sqrt().max(1e-12);
+        }
+
+        // Stage 2: SHT of each member's standardized residuals.
+        let plan = ShtPlan::equiangular(config.lmax, first.ntheta, first.nphi);
+        let mut all_series: Vec<Vec<Vec<f64>>> = Vec::with_capacity(r_members);
+        let mut v2 = vec![0.0f64; npoints];
+        for m in members {
+            let mut residuals = vec![0.0f64; t_max * npoints];
+            residuals
+                .par_chunks_mut(npoints)
+                .enumerate()
+                .for_each(|(t, row)| {
+                    for (p, r) in row.iter_mut().enumerate() {
+                        *r = (m.data[t * npoints + p] - means[p][t]) / models[p].sigma;
+                    }
+                });
+            let coeff_sets = analysis_batch(&plan, &residuals, t_max);
+            let recon = synthesis_batch(&plan, &coeff_sets);
+            for t in 0..t_max {
+                for p in 0..npoints {
+                    let d = residuals[t * npoints + p] - recon[t * npoints + p];
+                    v2[p] += d * d;
+                }
+            }
+            all_series.push(
+                coeff_sets.par_iter().map(HarmonicCoeffs::to_real_vector).collect(),
+            );
+        }
+        for v in v2.iter_mut() {
+            *v /= denom;
+        }
+
+        // Stage 3: shared VAR(P) over all members.
+        let refs: Vec<&[Vec<f64>]> = all_series.iter().map(|s| s.as_slice()).collect();
+        let var = exaclim_stats::var::fit_diagonal_var_multi(&refs, config.var_order);
+
+        // Stage 4: eq. (9) — pool every member's innovations.
+        let mut xi_all = Vec::new();
+        for s in &all_series {
+            xi_all.extend(var.innovations(s));
+        }
+        let mut u = empirical_covariance(&xi_all);
+        let jitter = ensure_spd(&mut u);
+        let dim = config.coeff_dim();
+        let mut tiled =
+            TiledMatrix::from_dense(u.as_slice(), dim, config.tile, &config.precision);
+        parallel_tile_cholesky(&mut tiled, config.workers, SchedulerKind::PriorityHeap)
+            .map_err(|e| EmulationError::Factorization(e.to_string()))?;
+        let factor = tiled.to_dense_lower();
+
+        Ok(TrainedEmulator {
+            config,
+            ntheta: first.ntheta,
+            nphi: first.nphi,
+            start_year: first.start_year,
+            trend: models,
+            var,
+            factor,
+            v2,
+            forcing,
+            jitter,
+        })
+    }
+
+    /// Fit the full emulator on a training dataset.
+    pub fn train(
+        data: &Dataset,
+        config: EmulatorConfig,
+    ) -> Result<TrainedEmulator, EmulationError> {
+        config.check().map_err(EmulationError::Config)?;
+        let npoints = data.npoints;
+        check_geometry(data, &config)?;
+
+        // Stage 1: mean trend + scale, standardized residuals.
+        let years = (data.t_max / data.tau + 2) as i64;
+        let forcing =
+            ForcingSeries::historical_like(data.start_year, data.start_year + years, 30);
+        let trend_cfg = TrendConfig {
+            k_harmonics: config.k_harmonics,
+            tau: data.tau,
+            rho_grid: config.rho_grid.clone(),
+            start_year: data.start_year,
+        };
+        let fit = fit_grid(&data.data, data.t_max, npoints, &trend_cfg, &forcing);
+
+        // Stage 2: forward SHT of every residual slice.
+        let plan = ShtPlan::equiangular(config.lmax, data.ntheta, data.nphi);
+        let coeff_sets = analysis_batch(&plan, &fit.residuals, data.t_max);
+        let series: Vec<Vec<f64>> =
+            coeff_sets.par_iter().map(HarmonicCoeffs::to_real_vector).collect();
+
+        // Truncation residual variance v² per location.
+        let recon = synthesis_batch(&plan, &coeff_sets);
+        let mut v2 = vec![0.0f64; npoints];
+        for t in 0..data.t_max {
+            let z = &fit.residuals[t * npoints..(t + 1) * npoints];
+            let r = &recon[t * npoints..(t + 1) * npoints];
+            for p in 0..npoints {
+                let d = z[p] - r[p];
+                v2[p] += d * d;
+            }
+        }
+        for v in v2.iter_mut() {
+            *v /= data.t_max as f64;
+        }
+
+        // Stage 3: temporal model.
+        let var = fit_diagonal_var(&series, config.var_order);
+        let xi = var.innovations(&series);
+
+        // Stage 4: innovation covariance + mixed-precision Cholesky.
+        let mut u = empirical_covariance(&xi);
+        let jitter = ensure_spd(&mut u);
+        let dim = config.coeff_dim();
+        let mut tiled = TiledMatrix::from_dense(u.as_slice(), dim, config.tile, &config.precision);
+        parallel_tile_cholesky(&mut tiled, config.workers, SchedulerKind::PriorityHeap)
+            .map_err(|e| EmulationError::Factorization(e.to_string()))?;
+        let factor = tiled.to_dense_lower();
+
+        Ok(TrainedEmulator {
+            config,
+            ntheta: data.ntheta,
+            nphi: data.nphi,
+            start_year: data.start_year,
+            trend: fit.models,
+            var,
+            factor,
+            v2,
+            forcing,
+            jitter,
+        })
+    }
+}
+
+impl TrainedEmulator {
+    /// Grid points per field.
+    pub fn npoints(&self) -> usize {
+        self.ntheta * self.nphi
+    }
+
+    /// Generate one emulation of `t_max` steps (paper §III.B).
+    pub fn emulate(&self, t_max: usize, seed: u64) -> Result<Dataset, EmulationError> {
+        if t_max == 0 {
+            return Err(EmulationError::Data("t_max must be positive".into()));
+        }
+        let cfg = &self.config;
+        let dim = cfg.coeff_dim();
+        let plan = ShtPlan::equiangular(cfg.lmax, self.ntheta, self.nphi);
+        let npoints = self.npoints();
+
+        // Coefficient paths: ξ = Vη through the VAR recursion.
+        let sampler = CoefficientSampler::new(self.var.clone(), self.factor.clone(), dim);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let path = sampler.sample_path(t_max, &mut rng);
+
+        // Inverse SHT of every slice.
+        let coeff_sets: Vec<HarmonicCoeffs> = path
+            .par_iter()
+            .map(|f| HarmonicCoeffs::from_real_vector(cfg.lmax, f))
+            .collect();
+        let z = synthesis_batch(&plan, &coeff_sets);
+
+        // Mean series per location.
+        let trend_cfg = TrendConfig {
+            k_harmonics: cfg.k_harmonics,
+            tau: cfg.tau,
+            rho_grid: cfg.rho_grid.clone(),
+            start_year: self.start_year,
+        };
+        let means: Vec<Vec<f64>> = self
+            .trend
+            .par_iter()
+            .map(|m| m.mean_series(&trend_cfg, &self.forcing, t_max))
+            .collect();
+
+        // Assemble y = m + σ (Z̃ + ε).
+        let mut sn = StandardNormal::new();
+        let mut data = vec![0.0f64; t_max * npoints];
+        for t in 0..t_max {
+            let zrow = &z[t * npoints..(t + 1) * npoints];
+            let row = &mut data[t * npoints..(t + 1) * npoints];
+            for p in 0..npoints {
+                let eps = sn.sample(&mut rng) * self.v2[p].sqrt();
+                row[p] = means[p][t] + self.trend[p].sigma * (zrow[p] + eps);
+            }
+        }
+        Ok(Dataset {
+            data,
+            t_max,
+            npoints,
+            ntheta: self.ntheta,
+            nphi: self.nphi,
+            start_year: self.start_year,
+            tau: cfg.tau,
+        })
+    }
+
+    /// Bytes this trained model occupies when serialized as raw f64
+    /// parameters (the "emulator side" of the storage-savings ledger).
+    pub fn parameter_bytes(&self) -> usize {
+        let trend = self.npoints() * (6 + 2 * self.config.k_harmonics);
+        let var = self.var.dim() * self.config.var_order;
+        let factor = self.factor.len();
+        let v2 = self.v2.len();
+        (trend + var + factor + v2) * 8
+    }
+
+    /// Storage model comparing an `ensemble_size × t_max` archive at this
+    /// grid against this emulator.
+    pub fn storage_model(&self, ensemble_size: u64, t_max: u64) -> exaclim_climate::StorageModel {
+        exaclim_climate::StorageModel {
+            ensemble_size,
+            t_max,
+            npoints: self.npoints() as u64,
+            lmax: self.config.lmax as u64,
+            k_harmonics: self.config.k_harmonics as u64,
+            var_order: self.config.var_order as u64,
+        }
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trained emulator serializes")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> Result<Self, EmulationError> {
+        serde_json::from_str(s).map_err(|e| EmulationError::Data(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exaclim_climate::{SyntheticEra5, SyntheticEra5Config};
+
+    fn train_small() -> (TrainedEmulator, Dataset) {
+        let gen = SyntheticEra5::new(SyntheticEra5Config::small_daily(12));
+        let training = gen.generate_member(0, 3 * 365);
+        let em = ClimateEmulator::train(&training, EmulatorConfig::small(8)).unwrap();
+        (em, training)
+    }
+
+    #[test]
+    fn train_and_emulate_shapes() {
+        let (em, training) = train_small();
+        assert_eq!(em.npoints(), training.npoints);
+        assert_eq!(em.trend.len(), training.npoints);
+        assert_eq!(em.var.dim(), 64);
+        assert_eq!(em.factor.len(), 64 * 64);
+        let out = em.emulate(200, 7).unwrap();
+        assert_eq!(out.t_max, 200);
+        assert_eq!(out.npoints, training.npoints);
+        assert!(out.data.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn emulation_temperatures_are_plausible() {
+        let (em, _) = train_small();
+        let out = em.emulate(365, 3).unwrap();
+        for &v in &out.data {
+            assert!((170.0..350.0).contains(&v), "temperature {v} K");
+        }
+    }
+
+    #[test]
+    fn emulations_differ_across_seeds_but_not_within() {
+        let (em, _) = train_small();
+        let a = em.emulate(50, 1).unwrap();
+        let b = em.emulate(50, 2).unwrap();
+        let c = em.emulate(50, 1).unwrap();
+        assert_eq!(a.data, c.data, "same seed, same emulation");
+        assert!(a.data.iter().zip(&b.data).any(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_behaviour() {
+        let (em, _) = train_small();
+        let json = em.to_json();
+        let back = TrainedEmulator::from_json(&json).unwrap();
+        let a = em.emulate(30, 9).unwrap();
+        let b = back.emulate(30, 9).unwrap();
+        assert_eq!(a.data, b.data);
+    }
+
+    #[test]
+    fn emulator_is_smaller_than_training_data() {
+        let (em, training) = train_small();
+        let training_bytes = training.data.len() * 4; // archive at f32
+        assert!(
+            em.parameter_bytes() < training_bytes,
+            "{} vs {}",
+            em.parameter_bytes(),
+            training_bytes
+        );
+        let model = em.storage_model(10, training.t_max as u64);
+        assert!(model.savings_ratio() > 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_configs_and_grids() {
+        let gen = SyntheticEra5::new(SyntheticEra5Config::small_daily(12));
+        let training = gen.generate_member(0, 400);
+        // Band-limit too high for the grid.
+        let err = ClimateEmulator::train(&training, EmulatorConfig::small(14)).unwrap_err();
+        assert!(matches!(err, EmulationError::Data(_)), "{err}");
+        // Invalid tile.
+        let mut cfg = EmulatorConfig::small(8);
+        cfg.tile = 7;
+        let err = ClimateEmulator::train(&training, cfg).unwrap_err();
+        assert!(matches!(err, EmulationError::Config(_)));
+    }
+
+    #[test]
+    fn ensemble_training_pools_members() {
+        let gen = SyntheticEra5::new(SyntheticEra5Config::small_daily(12));
+        let members: Vec<_> = (0..3).map(|r| gen.generate_member(r, 2 * 365)).collect();
+        let refs: Vec<&exaclim_climate::Dataset> = members.iter().collect();
+        let em = ClimateEmulator::train_ensemble(&refs, EmulatorConfig::small(8)).unwrap();
+        let out = em.emulate(365, 3).unwrap();
+        let report = crate::validate::validate_consistency(&members[0], &out);
+        assert!(report.passes(), "{report:?}");
+        // Single-member path must agree with the R=1 ensemble path.
+        let single = ClimateEmulator::train(&members[0], EmulatorConfig::small(8)).unwrap();
+        let ens1 =
+            ClimateEmulator::train_ensemble(&refs[..1], EmulatorConfig::small(8)).unwrap();
+        // Same estimator up to floating-point summation order.
+        for (a, b) in single.factor.iter().zip(&ens1.factor) {
+            assert!((a - b).abs() < 1e-6, "R=1 ensemble ≡ single-member: {a} vs {b}");
+        }
+        for (a, b) in single.trend.iter().zip(&ens1.trend) {
+            assert!((a.sigma - b.sigma).abs() < 1e-9);
+            assert!((a.beta1 - b.beta1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ensemble_rejects_mismatched_members() {
+        let gen = SyntheticEra5::new(SyntheticEra5Config::small_daily(12));
+        let a = gen.generate_member(0, 400);
+        let b = gen.generate_member(1, 500); // different length
+        let err = ClimateEmulator::train_ensemble(&[&a, &b], EmulatorConfig::small(8))
+            .unwrap_err();
+        assert!(matches!(err, EmulationError::Data(_)));
+    }
+
+    #[test]
+    fn mixed_precision_training_also_works() {
+        let gen = SyntheticEra5::new(SyntheticEra5Config::small_daily(12));
+        let training = gen.generate_member(0, 2 * 365);
+        let mut cfg = EmulatorConfig::small(8);
+        cfg.precision = exaclim_linalg::precision::PrecisionPolicy::dp_hp();
+        cfg.tile = 16;
+        let em = ClimateEmulator::train(&training, cfg).unwrap();
+        let out = em.emulate(100, 5).unwrap();
+        assert!(out.data.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,198 @@
+//! Statistical consistency between emulations and training simulations.
+//!
+//! The paper (Figures 2 and 4, and ref. [23]) claims emulations are
+//! *statistically consistent* with the simulations: same per-location
+//! climatology, variability, and temporal persistence — without matching
+//! weather realizations point for point. This module quantifies that.
+
+use exaclim_climate::generator::Dataset;
+use exaclim_mathkit::stats::{acf, correlation, mean, variance};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Summary of simulation-vs-emulation statistical agreement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConsistencyReport {
+    /// RMSE of per-location time means, normalized by the simulation's
+    /// spatial standard deviation of means.
+    pub mean_nrmse: f64,
+    /// Median over locations of emulated/simulated standard-deviation ratio.
+    pub std_ratio_median: f64,
+    /// Correlation across locations of the per-location time means.
+    pub mean_field_correlation: f64,
+    /// Correlation across locations of per-location standard deviations.
+    pub std_field_correlation: f64,
+    /// |lag-1 autocorrelation difference| of the global-mean series.
+    pub acf1_abs_diff: f64,
+    /// Largest quantile mismatch of the pooled anomaly distributions over
+    /// q ∈ {1%, 5%, 25%, 50%, 75%, 95%, 99%}, in simulation-anomaly
+    /// standard deviations — an extremes/Q-Q diagnostic (heatwaves and cold
+    /// snaps live in these tails).
+    pub max_quantile_gap: f64,
+}
+
+impl ConsistencyReport {
+    /// The default acceptance thresholds used by the test suite and the
+    /// figure harnesses.
+    pub fn passes(&self) -> bool {
+        self.mean_nrmse < 0.15
+            && (self.std_ratio_median - 1.0).abs() < 0.3
+            && self.mean_field_correlation > 0.98
+            && self.std_field_correlation > 0.6
+            && self.acf1_abs_diff < 0.25
+            && self.max_quantile_gap < 0.5
+    }
+}
+
+fn location_series(d: &Dataset, p: usize) -> Vec<f64> {
+    (0..d.t_max).map(|t| d.data[t * d.npoints + p]).collect()
+}
+
+fn global_mean_series(d: &Dataset) -> Vec<f64> {
+    (0..d.t_max).map(|t| d.field_mean(t)).collect()
+}
+
+/// Compare an emulation against its training simulation.
+pub fn validate_consistency(simulation: &Dataset, emulation: &Dataset) -> ConsistencyReport {
+    assert_eq!(simulation.npoints, emulation.npoints, "grids must match");
+    let np = simulation.npoints;
+    let stats: Vec<(f64, f64, f64, f64)> = (0..np)
+        .into_par_iter()
+        .map(|p| {
+            let s = location_series(simulation, p);
+            let e = location_series(emulation, p);
+            (mean(&s), mean(&e), variance(&s).sqrt(), variance(&e).sqrt())
+        })
+        .collect();
+    let sim_means: Vec<f64> = stats.iter().map(|s| s.0).collect();
+    let emu_means: Vec<f64> = stats.iter().map(|s| s.1).collect();
+    let sim_stds: Vec<f64> = stats.iter().map(|s| s.2).collect();
+    let emu_stds: Vec<f64> = stats.iter().map(|s| s.3).collect();
+
+    let spatial_scale = variance(&sim_means).sqrt().max(1e-12);
+    let mean_rmse = exaclim_mathkit::stats::rmse(&sim_means, &emu_means);
+
+    let mut ratios: Vec<f64> = sim_stds
+        .iter()
+        .zip(&emu_stds)
+        .filter(|(s, _)| **s > 1e-9)
+        .map(|(s, e)| e / s)
+        .collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let std_ratio_median = if ratios.is_empty() { 1.0 } else { ratios[ratios.len() / 2] };
+
+    let gs = global_mean_series(simulation);
+    let ge = global_mean_series(emulation);
+    let lag = 1usize;
+    let a_s = acf(&gs, lag)[1];
+    let a_e = acf(&ge, lag)[1];
+
+    // Pooled anomaly Q-Q check: subtract each location's own time mean so
+    // quantiles measure variability shape, not geography.
+    let anomalies = |d: &Dataset, means: &[f64]| -> Vec<f64> {
+        let mut a = Vec::with_capacity(d.data.len());
+        for t in 0..d.t_max {
+            for p in 0..d.npoints {
+                a.push(d.data[t * d.npoints + p] - means[p]);
+            }
+        }
+        a
+    };
+    let sim_anom = anomalies(simulation, &sim_means);
+    let emu_anom = anomalies(emulation, &emu_means);
+    let anom_scale = variance(&sim_anom).sqrt().max(1e-12);
+    let mut max_gap = 0.0f64;
+    for q in [0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99] {
+        let gap = (exaclim_mathkit::stats::quantile(&sim_anom, q)
+            - exaclim_mathkit::stats::quantile(&emu_anom, q))
+            .abs()
+            / anom_scale;
+        max_gap = max_gap.max(gap);
+    }
+
+    ConsistencyReport {
+        mean_nrmse: mean_rmse / spatial_scale,
+        std_ratio_median,
+        mean_field_correlation: correlation(&sim_means, &emu_means),
+        std_field_correlation: correlation(&sim_stds, &emu_stds),
+        acf1_abs_diff: (a_s - a_e).abs(),
+        max_quantile_gap: max_gap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EmulatorConfig;
+    use crate::emulator::ClimateEmulator;
+    use exaclim_climate::{SyntheticEra5, SyntheticEra5Config};
+
+    #[test]
+    fn emulation_is_statistically_consistent_with_simulation() {
+        // The headline scientific claim at test scale: train on 3 years,
+        // emulate 3 years, compare statistics (Figure 2's "statistically
+        // consistent" caption).
+        let gen = SyntheticEra5::new(SyntheticEra5Config::small_daily(12));
+        let training = gen.generate_member(0, 3 * 365);
+        let em = ClimateEmulator::train(&training, EmulatorConfig::small(8)).unwrap();
+        let emulation = em.emulate(3 * 365, 99).unwrap();
+        let report = validate_consistency(&training, &emulation);
+        assert!(
+            report.passes(),
+            "consistency failed: {report:?}"
+        );
+    }
+
+    #[test]
+    fn self_comparison_is_perfect() {
+        let gen = SyntheticEra5::new(SyntheticEra5Config::small_daily(12));
+        let d = gen.generate_member(0, 120);
+        let r = validate_consistency(&d, &d);
+        assert!(r.mean_nrmse < 1e-12);
+        assert!((r.std_ratio_median - 1.0).abs() < 1e-12);
+        assert!(r.mean_field_correlation > 0.999999);
+        assert!(r.acf1_abs_diff < 1e-12);
+        assert!(r.max_quantile_gap < 1e-12);
+        assert!(r.passes());
+    }
+
+    #[test]
+    fn shuffled_emulation_fails_consistency() {
+        // A "wrong" emulation (fields from a different climate: +20 K)
+        // must fail the mean check.
+        let gen = SyntheticEra5::new(SyntheticEra5Config::small_daily(12));
+        let d = gen.generate_member(0, 120);
+        let mut bad = d.clone();
+        for v in bad.data.iter_mut() {
+            *v += 20.0;
+        }
+        let r = validate_consistency(&d, &bad);
+        assert!(!r.passes(), "shifted climate must fail: {r:?}");
+    }
+
+    #[test]
+    fn inflated_variability_fails_the_quantile_gap() {
+        // Same means, 3× the anomaly amplitude: means/correlations stay
+        // fine but the Q-Q diagnostic must reject.
+        let gen = SyntheticEra5::new(SyntheticEra5Config::small_daily(12));
+        let d = gen.generate_member(0, 200);
+        let np = d.npoints;
+        let mut means = vec![0.0f64; np];
+        for t in 0..d.t_max {
+            for p in 0..np {
+                means[p] += d.data[t * np + p];
+            }
+        }
+        means.iter_mut().for_each(|m| *m /= d.t_max as f64);
+        let mut bad = d.clone();
+        for t in 0..d.t_max {
+            for p in 0..np {
+                let v = d.data[t * np + p];
+                bad.data[t * np + p] = means[p] + 3.0 * (v - means[p]);
+            }
+        }
+        let r = validate_consistency(&d, &bad);
+        assert!(r.max_quantile_gap > 0.5, "gap {}", r.max_quantile_gap);
+        assert!(!r.passes());
+    }
+}

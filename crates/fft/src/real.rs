@@ -1,0 +1,82 @@
+//! Real-input transform helpers.
+//!
+//! Climate fields are real, so along longitude only the `m >= 0` Fourier
+//! coefficients are independent (`X_{n-m} = conj(X_m)`). These helpers keep
+//! that half-spectrum representation.
+
+use crate::Fft;
+use exaclim_mathkit::Complex64;
+
+/// Forward FFT of a real signal; returns the `n/2 + 1` non-redundant bins.
+pub fn rfft(plan: &Fft, input: &[f64]) -> Vec<Complex64> {
+    assert_eq!(input.len(), plan.len());
+    let mut buf: Vec<Complex64> = input.iter().map(|&x| Complex64::real(x)).collect();
+    plan.forward(&mut buf);
+    buf.truncate(plan.len() / 2 + 1);
+    buf
+}
+
+/// Inverse of [`rfft`]: reconstruct the length-`n` real signal from its
+/// `n/2 + 1` non-redundant bins.
+pub fn irfft(plan: &Fft, half_spectrum: &[Complex64]) -> Vec<f64> {
+    let n = plan.len();
+    assert_eq!(half_spectrum.len(), n / 2 + 1, "need n/2+1 bins for length {n}");
+    let mut buf = vec![Complex64::ZERO; n];
+    buf[..half_spectrum.len()].copy_from_slice(half_spectrum);
+    for k in 1..n.div_ceil(2) {
+        buf[n - k] = half_spectrum[k].conj();
+    }
+    plan.inverse(&mut buf);
+    buf.into_iter().map(|z| z.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng, rngs::StdRng};
+
+    #[test]
+    fn rfft_roundtrip_even_and_odd() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &n in &[8usize, 9, 64, 99, 144] {
+            let plan = Fft::new(n);
+            let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let spec = rfft(&plan, &x);
+            assert_eq!(spec.len(), n / 2 + 1);
+            let back = irfft(&plan, &spec);
+            for (a, b) in x.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-10, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn rfft_of_cosine_is_real_spike() {
+        let n = 64;
+        let plan = Fft::new(n);
+        let k0 = 5;
+        let x: Vec<f64> = (0..n)
+            .map(|j| (2.0 * std::f64::consts::PI * (k0 * j) as f64 / n as f64).cos())
+            .collect();
+        let spec = rfft(&plan, &x);
+        for (k, z) in spec.iter().enumerate() {
+            if k == k0 {
+                assert!((z.re - n as f64 / 2.0).abs() < 1e-9);
+                assert!(z.im.abs() < 1e-9);
+            } else {
+                assert!(z.abs() < 1e-9, "bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn dc_bin_is_sum() {
+        let n = 31;
+        let plan = Fft::new(n);
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let spec = rfft(&plan, &x);
+        let sum: f64 = x.iter().sum();
+        assert!((spec[0].re - sum).abs() < 1e-9);
+        assert!(spec[0].im.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,229 @@
+//! Software IEEE 754 binary16 ("half precision").
+//!
+//! The offline crate list has no `half`, so the conversion pair is
+//! implemented here: `f32 → f16` with round-to-nearest-even (the rounding
+//! GPUs use when writing HP tiles) and the exact `f16 → f32` widening.
+//! Arithmetic is *not* implemented on `Half` itself: kernels widen to `f32`,
+//! accumulate there, and round once on store — exactly the tensor-core MMA
+//! contract the paper's DP/HP variant relies on.
+
+/// An IEEE binary16 value stored as its bit pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(transparent)]
+pub struct Half(pub u16);
+
+impl Half {
+    /// Positive zero.
+    pub const ZERO: Half = Half(0);
+    /// One.
+    pub const ONE: Half = Half(0x3C00);
+    /// Largest finite value, 65504.
+    pub const MAX: Half = Half(0x7BFF);
+    /// Smallest positive subnormal, 2⁻²⁴.
+    pub const MIN_POSITIVE_SUBNORMAL: Half = Half(0x0001);
+    /// Positive infinity.
+    pub const INFINITY: Half = Half(0x7C00);
+
+    /// Convert from `f32` with round-to-nearest-even.
+    #[inline]
+    pub fn from_f32(x: f32) -> Half {
+        Half(f32_to_f16_bits(x))
+    }
+
+    /// Convert from `f64` (via `f64 → f32 → f16`; double rounding is
+    /// harmless here because f32 keeps 13 extra mantissa bits).
+    #[inline]
+    pub fn from_f64(x: f64) -> Half {
+        Half(f32_to_f16_bits(x as f32))
+    }
+
+    /// Widen exactly to `f32`.
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        f16_bits_to_f32(self.0)
+    }
+
+    /// Widen exactly to `f64`.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+
+    /// True for ±∞.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7C00
+    }
+
+    /// True for NaN payloads.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x03FF) != 0
+    }
+
+    /// Unit roundoff of binary16 (2⁻¹¹ for round-to-nearest).
+    pub const UNIT_ROUNDOFF: f64 = 1.0 / 2048.0;
+}
+
+/// `f32 → f16` bit conversion with round-to-nearest-even, handling
+/// overflow (→ ±∞), subnormals, and NaN propagation.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x007F_FFFF;
+    if exp == 0xFF {
+        // Inf or NaN; keep a nonzero mantissa bit for NaN.
+        return sign | 0x7C00 | if mant != 0 { 0x0200 } else { 0 };
+    }
+    let he = exp - 127 + 15; // half exponent field value before clamping
+    if he >= 0x1F {
+        return sign | 0x7C00; // overflow → inf
+    }
+    if he <= 0 {
+        // Subnormal half (or underflow to zero).
+        if he < -10 {
+            return sign; // underflows past the smallest subnormal
+        }
+        let m = mant | 0x0080_0000; // restore implicit bit
+        let shift = (14 - he) as u32; // 24-bit significand → 10-bit subnormal
+        let half = (m >> shift) as u16;
+        let rem = m & ((1u32 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let mut h = half;
+        if rem > halfway || (rem == halfway && (h & 1) == 1) {
+            h += 1;
+        }
+        return sign | h;
+    }
+    // Normal half.
+    let mut h = ((he as u32) << 10) | (mant >> 13);
+    let rem = mant & 0x1FFF;
+    if rem > 0x1000 || (rem == 0x1000 && (h & 1) == 1) {
+        h += 1; // carry may roll into the exponent — that is correct RNE
+    }
+    sign | (h as u16)
+}
+
+/// Exact `f16 → f32` widening.
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = (h >> 10) & 0x1F;
+    let mant = (h & 0x03FF) as u32;
+    if exp == 0 {
+        if mant == 0 {
+            return f32::from_bits(sign);
+        }
+        // Subnormal: mant × 2⁻²⁴.
+        let v = mant as f32 * (-24f32).exp2();
+        return if sign != 0 { -v } else { v };
+    }
+    if exp == 0x1F {
+        return f32::from_bits(sign | 0x7F80_0000 | (mant << 13));
+    }
+    f32::from_bits(sign | ((exp as u32 + 112) << 23) | (mant << 13))
+}
+
+/// Quantize a whole slice to binary16 and back — the "stored at HP" view of
+/// data used when a tile is demoted.
+pub fn quantize_slice(xs: &[f64]) -> Vec<f64> {
+    xs.iter().map(|&x| Half::from_f64(x).to_f64()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_constants() {
+        assert_eq!(Half::from_f32(0.0).0, 0x0000);
+        assert_eq!(Half::from_f32(-0.0).0, 0x8000);
+        assert_eq!(Half::from_f32(1.0).0, 0x3C00);
+        assert_eq!(Half::from_f32(-2.0).0, 0xC000);
+        assert_eq!(Half::from_f32(0.5).0, 0x3800);
+        assert_eq!(Half::from_f32(65504.0).0, 0x7BFF);
+        assert_eq!(Half::from_f32(f32::INFINITY).0, 0x7C00);
+        assert_eq!(Half::from_f32(-f32::INFINITY).0, 0xFC00);
+        assert!(Half::from_f32(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn widening_known_values() {
+        assert_eq!(Half(0x3C00).to_f32(), 1.0);
+        assert_eq!(Half(0xC000).to_f32(), -2.0);
+        assert_eq!(Half(0x7BFF).to_f32(), 65504.0);
+        assert_eq!(Half(0x0001).to_f32(), (-24f32).exp2());
+        assert_eq!(Half(0x0400).to_f32(), (-14f32).exp2()); // smallest normal
+        assert!(Half(0x7C00).to_f32().is_infinite());
+        assert!(Half(0x7E00).to_f32().is_nan());
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(Half::from_f32(65520.0).0, 0x7C00); // rounds up past MAX
+        assert_eq!(Half::from_f32(1e9).0, 0x7C00);
+        assert_eq!(Half::from_f32(-1e9).0, 0xFC00);
+        // 65519.996… rounds to 65504 (largest finite).
+        assert_eq!(Half::from_f32(65519.0).0, 0x7BFF);
+    }
+
+    #[test]
+    fn underflow_to_zero_and_subnormals() {
+        assert_eq!(Half::from_f32(1e-10).0, 0x0000);
+        let tiny = (-24f32).exp2();
+        assert_eq!(Half::from_f32(tiny).0, 0x0001);
+        // Halfway between 0 and the smallest subnormal → even (zero).
+        assert_eq!(Half::from_f32(tiny / 2.0).0, 0x0000);
+        // Just above halfway rounds up.
+        assert_eq!(Half::from_f32(tiny * 0.51).0, 0x0001);
+    }
+
+    #[test]
+    fn round_to_nearest_even_at_ties() {
+        // 1 + 2^-11 is exactly between 1.0 (even) and 1 + 2^-10 → 1.0.
+        let tie = 1.0f32 + (-11f32).exp2();
+        assert_eq!(Half::from_f32(tie).0, 0x3C00);
+        // 1 + 3·2^-11 is between 1+2^-10 (odd) and 1+2^-9 (even) → round up.
+        let tie2 = 1.0f32 + 3.0 * (-11f32).exp2();
+        assert_eq!(Half::from_f32(tie2).0, 0x3C02);
+    }
+
+    #[test]
+    fn relative_error_bounded_by_unit_roundoff() {
+        for k in 0..2000 {
+            let x = -8.0 + k as f64 * 0.008;
+            if x == 0.0 {
+                continue;
+            }
+            let h = Half::from_f64(x).to_f64();
+            let rel = ((h - x) / x).abs();
+            assert!(rel <= Half::UNIT_ROUNDOFF * 1.0001, "x={x}: rel={rel}");
+        }
+    }
+
+    #[test]
+    fn quantize_slice_idempotent() {
+        let xs = [0.1, -3.7, 1024.5, 1e-6];
+        let q1 = quantize_slice(&xs);
+        let q2 = quantize_slice(&q1);
+        assert_eq!(q1, q2);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_f16_f32_f16_is_identity(bits in 0u16..=0xFFFF) {
+            let h = Half(bits);
+            if !h.is_nan() {
+                let back = Half::from_f32(h.to_f32());
+                prop_assert_eq!(back.0, bits);
+            }
+        }
+
+        #[test]
+        fn conversion_is_monotone(a in -60000.0f32..60000.0, b in -60000.0f32..60000.0) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let hl = Half::from_f32(lo).to_f32();
+            let hh = Half::from_f32(hi).to_f32();
+            prop_assert!(hl <= hh, "monotonicity: {lo}->{hl}, {hi}->{hh}");
+        }
+    }
+}

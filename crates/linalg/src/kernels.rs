@@ -1,0 +1,500 @@
+//! The four tile kernels of the Cholesky DAG: POTRF, TRSM, SYRK, GEMM.
+//!
+//! Each kernel computes in the precision of the tile it **updates** (the
+//! paper's convention: incoming tiles are reshaped/converted to the
+//! successor's precision). Half-precision updates follow tensor-core MMA
+//! semantics: operands quantized to binary16, products and sums accumulated
+//! in f32, one rounding on store.
+
+use crate::precision::Precision;
+use crate::tile::Tile;
+
+/// Error raised when a diagonal tile is not positive definite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NotPositiveDefinite {
+    /// Index (within the tile) of the failing pivot.
+    pub pivot: usize,
+    /// The non-positive pivot value encountered.
+    pub value: f64,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix not positive definite at pivot {} ({})", self.pivot, self.value)
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+/// Internal scalar abstraction so the f64 and f32 kernel bodies are written
+/// once. Half tiles run the f32 body on quantized operands.
+trait Real: Copy + PartialOrd {
+    const ZERO: Self;
+    fn from_f64(x: f64) -> Self;
+    fn to_f64(self) -> f64;
+    fn sqrt(self) -> Self;
+    fn mul_add_acc(self, a: Self, b: Self) -> Self;
+    fn sub(self, o: Self) -> Self;
+    fn div(self, o: Self) -> Self;
+}
+
+impl Real for f64 {
+    const ZERO: f64 = 0.0;
+    #[inline(always)]
+    fn from_f64(x: f64) -> f64 {
+        x
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn sqrt(self) -> f64 {
+        f64::sqrt(self)
+    }
+    #[inline(always)]
+    fn mul_add_acc(self, a: f64, b: f64) -> f64 {
+        self + a * b
+    }
+    #[inline(always)]
+    fn sub(self, o: f64) -> f64 {
+        self - o
+    }
+    #[inline(always)]
+    fn div(self, o: f64) -> f64 {
+        self / o
+    }
+}
+
+impl Real for f32 {
+    const ZERO: f32 = 0.0;
+    #[inline(always)]
+    fn from_f64(x: f64) -> f32 {
+        x as f32
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline(always)]
+    fn sqrt(self) -> f32 {
+        f32::sqrt(self)
+    }
+    #[inline(always)]
+    fn mul_add_acc(self, a: f32, b: f32) -> f32 {
+        self + a * b
+    }
+    #[inline(always)]
+    fn sub(self, o: f32) -> f32 {
+        self - o
+    }
+    #[inline(always)]
+    fn div(self, o: f32) -> f32 {
+        self / o
+    }
+}
+
+/// In-place lower Cholesky of a `b × b` buffer; the strict upper triangle is
+/// zeroed so the result is exactly `L`.
+fn potrf_buf<T: Real>(a: &mut [f64], b: usize) -> Result<(), NotPositiveDefinite> {
+    // Work in T's arithmetic but keep the staging buffer in f64 for I/O.
+    let mut w: Vec<T> = a.iter().map(|&x| T::from_f64(x)).collect();
+    for k in 0..b {
+        let mut d = w[k * b + k];
+        for p in 0..k {
+            let l = w[k * b + p];
+            d = d.sub(T::ZERO.mul_add_acc(l, l));
+        }
+        if d.to_f64() <= 0.0 || !d.to_f64().is_finite() {
+            return Err(NotPositiveDefinite { pivot: k, value: d.to_f64() });
+        }
+        let dk = d.sqrt();
+        w[k * b + k] = dk;
+        for i in k + 1..b {
+            let mut s = w[i * b + k];
+            for p in 0..k {
+                s = s.sub(T::ZERO.mul_add_acc(w[i * b + p], w[k * b + p]));
+            }
+            w[i * b + k] = s.div(dk);
+        }
+        for j in k + 1..b {
+            w[k * b + j] = T::ZERO;
+        }
+    }
+    for (d, s) in a.iter_mut().zip(&w) {
+        *d = s.to_f64();
+    }
+    Ok(())
+}
+
+/// POTRF: factor a diagonal tile in place, `A = L Lᵀ`, storing `L`.
+/// Computation runs in the tile's own precision (half tiles use f32
+/// arithmetic on quantized values, rounded on store).
+pub fn potrf(a: &mut Tile) -> Result<(), NotPositiveDefinite> {
+    let b = a.b();
+    let mut buf = a.to_f64();
+    match a.precision() {
+        Precision::Double => potrf_buf::<f64>(&mut buf, b)?,
+        Precision::Single | Precision::Half => potrf_buf::<f32>(&mut buf, b)?,
+    }
+    a.store_f64(&buf);
+    Ok(())
+}
+
+fn trsm_body<T: Real>(l: &[T], x: &mut [T], b: usize) {
+    // Solve X Lᵀ = B row by row (forward substitution over columns).
+    for r in 0..b {
+        let row = &mut x[r * b..(r + 1) * b];
+        for j in 0..b {
+            let mut s = row[j];
+            for k in 0..j {
+                s = s.sub(T::ZERO.mul_add_acc(row[k], l[j * b + k]));
+            }
+            row[j] = s.div(l[j * b + j]);
+        }
+    }
+}
+
+/// TRSM: `B := B · L^{-T}` with `L` the lower factor of the panel's
+/// diagonal tile. Updates `bt` in its own precision; `l` is converted in.
+pub fn trsm(l: &Tile, bt: &mut Tile) {
+    let b = bt.b();
+    assert_eq!(l.b(), b, "tile sizes must match");
+    match bt.precision() {
+        Precision::Double => {
+            let lw = l.to_f64();
+            let mut x = bt.to_f64();
+            trsm_body::<f64>(&lw, &mut x, b);
+            bt.store_f64(&x);
+        }
+        Precision::Single => {
+            let lw = l.to_f32();
+            let mut x = bt.to_f32();
+            trsm_body::<f32>(&lw, &mut x, b);
+            bt.store_f32(&x);
+        }
+        Precision::Half => {
+            // Quantize operands to binary16 first (what arrives on an HP
+            // tile's input edge), then solve in f32.
+            let lw = l.convert(Precision::Half).to_f32();
+            let mut x = bt.to_f32();
+            trsm_body::<f32>(&lw, &mut x, b);
+            bt.store_f32(&x);
+        }
+    }
+}
+
+fn gemm_body<T: Real>(a: &[T], bt: &[T], c: &mut [T], b: usize) {
+    // C := C − A · Bᵀ ; both inner vectors are contiguous rows.
+    for i in 0..b {
+        let arow = &a[i * b..(i + 1) * b];
+        for j in 0..b {
+            let brow = &bt[j * b..(j + 1) * b];
+            let mut acc = T::ZERO;
+            for k in 0..b {
+                acc = acc.mul_add_acc(arow[k], brow[k]);
+            }
+            c[i * b + j] = c[i * b + j].sub(acc);
+        }
+    }
+}
+
+/// GEMM: `C := C − A · Bᵀ`, computed in `c`'s precision.
+pub fn gemm(a: &Tile, bt: &Tile, c: &mut Tile) {
+    let b = c.b();
+    assert!(a.b() == b && bt.b() == b, "tile sizes must match");
+    match c.precision() {
+        Precision::Double => {
+            let (aw, bw) = (a.to_f64(), bt.to_f64());
+            let mut cw = c.to_f64();
+            gemm_body::<f64>(&aw, &bw, &mut cw, b);
+            c.store_f64(&cw);
+        }
+        Precision::Single => {
+            let (aw, bw) = (a.to_f32(), bt.to_f32());
+            let mut cw = c.to_f32();
+            gemm_body::<f32>(&aw, &bw, &mut cw, b);
+            c.store_f32(&cw);
+        }
+        Precision::Half => {
+            // Tensor-core semantics: binary16 operands, f32 accumulate,
+            // rounded once on store.
+            let aw = a.convert(Precision::Half).to_f32();
+            let bw = bt.convert(Precision::Half).to_f32();
+            let mut cw = c.to_f32();
+            gemm_body::<f32>(&aw, &bw, &mut cw, b);
+            c.store_f32(&cw);
+        }
+    }
+}
+
+fn syrk_body<T: Real>(a: &[T], c: &mut [T], b: usize) {
+    // C := C − A Aᵀ, updating the full square (C stays symmetric).
+    for i in 0..b {
+        let arow_i = &a[i * b..(i + 1) * b];
+        for j in 0..=i {
+            let arow_j = &a[j * b..(j + 1) * b];
+            let mut acc = T::ZERO;
+            for k in 0..b {
+                acc = acc.mul_add_acc(arow_i[k], arow_j[k]);
+            }
+            c[i * b + j] = c[i * b + j].sub(acc);
+            if i != j {
+                c[j * b + i] = c[i * b + j];
+            }
+        }
+    }
+}
+
+/// SYRK: `C := C − A · Aᵀ` on a diagonal tile, in `c`'s precision.
+pub fn syrk(a: &Tile, c: &mut Tile) {
+    let b = c.b();
+    assert_eq!(a.b(), b, "tile sizes must match");
+    match c.precision() {
+        Precision::Double => {
+            let aw = a.to_f64();
+            let mut cw = c.to_f64();
+            syrk_body::<f64>(&aw, &mut cw, b);
+            c.store_f64(&cw);
+        }
+        Precision::Single => {
+            let aw = a.to_f32();
+            let mut cw = c.to_f32();
+            syrk_body::<f32>(&aw, &mut cw, b);
+            c.store_f32(&cw);
+        }
+        Precision::Half => {
+            let aw = a.convert(Precision::Half).to_f32();
+            let mut cw = c.to_f32();
+            syrk_body::<f32>(&aw, &mut cw, b);
+            c.store_f32(&cw);
+        }
+    }
+}
+
+/// Flop counts of the four kernels for a tile side `b` (standard LAPACK
+/// accounting, used by benches and the cluster simulator).
+pub mod flops {
+    /// POTRF on a `b×b` tile.
+    pub fn potrf(b: usize) -> f64 {
+        let b = b as f64;
+        b * b * b / 3.0
+    }
+    /// TRSM on a `b×b` tile.
+    pub fn trsm(b: usize) -> f64 {
+        let b = b as f64;
+        b * b * b
+    }
+    /// SYRK on a `b×b` tile.
+    pub fn syrk(b: usize) -> f64 {
+        let b = b as f64;
+        b * b * b
+    }
+    /// GEMM on a `b×b` tile.
+    pub fn gemm(b: usize) -> f64 {
+        let b = b as f64;
+        2.0 * b * b * b
+    }
+    /// Total Cholesky flops for matrix size `n` (n³/3 to leading order).
+    pub fn cholesky(n: f64) -> f64 {
+        n * n * n / 3.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng, rngs::StdRng};
+
+    fn spd_tile(b: usize, seed: u64, p: Precision) -> (Tile, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g: Vec<f64> = (0..b * b).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        // A = G Gᵀ + b·I is SPD.
+        let mut a = vec![0.0; b * b];
+        for i in 0..b {
+            for j in 0..b {
+                let mut s = 0.0;
+                for k in 0..b {
+                    s += g[i * b + k] * g[j * b + k];
+                }
+                a[i * b + j] = s + if i == j { b as f64 } else { 0.0 };
+            }
+        }
+        (Tile::from_f64(b, &a, p), a)
+    }
+
+    fn reconstruct_llt(l: &Tile) -> Vec<f64> {
+        let b = l.b();
+        let lw = l.to_f64();
+        let mut out = vec![0.0; b * b];
+        for i in 0..b {
+            for j in 0..b {
+                let mut s = 0.0;
+                for k in 0..b {
+                    s += lw[i * b + k] * lw[j * b + k];
+                }
+                out[i * b + j] = s;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn potrf_dp_reconstructs() {
+        let (mut t, a) = spd_tile(8, 1, Precision::Double);
+        potrf(&mut t).unwrap();
+        let r = reconstruct_llt(&t);
+        for (x, y) in r.iter().zip(&a) {
+            assert!((x - y).abs() < 1e-10, "{x} vs {y}");
+        }
+        // Strict upper triangle must be zero.
+        for i in 0..8 {
+            for j in i + 1..8 {
+                assert_eq!(t.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn potrf_sp_error_scales_with_roundoff() {
+        let (mut t, a) = spd_tile(8, 2, Precision::Single);
+        potrf(&mut t).unwrap();
+        let r = reconstruct_llt(&t);
+        let norm: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let err: f64 = r
+            .iter()
+            .zip(&a)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt();
+        let rel = err / norm;
+        assert!(rel < 50.0 * Precision::Single.unit_roundoff(), "rel={rel}");
+        assert!(rel > 0.01 * Precision::Double.unit_roundoff(), "suspiciously exact");
+    }
+
+    #[test]
+    fn potrf_rejects_indefinite() {
+        let mut t = Tile::from_f64(2, &[1.0, 2.0, 2.0, 1.0], Precision::Double);
+        let e = potrf(&mut t).unwrap_err();
+        assert_eq!(e.pivot, 1);
+        assert!(e.value <= 0.0);
+    }
+
+    #[test]
+    fn trsm_solves_against_reference() {
+        let b = 6;
+        let (mut l, _) = spd_tile(b, 3, Precision::Double);
+        potrf(&mut l).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let bv: Vec<f64> = (0..b * b).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut x = Tile::from_f64(b, &bv, Precision::Double);
+        trsm(&l, &mut x);
+        // Check X · Lᵀ == B.
+        let xw = x.to_f64();
+        let lw = l.to_f64();
+        for i in 0..b {
+            for j in 0..b {
+                let mut s = 0.0;
+                for k in 0..b {
+                    s += xw[i * b + k] * lw[j * b + k];
+                }
+                assert!((s - bv[i * b + j]).abs() < 1e-10, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_matches_reference_in_dp() {
+        let b = 5;
+        let mut rng = StdRng::seed_from_u64(5);
+        let av: Vec<f64> = (0..b * b).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let bv: Vec<f64> = (0..b * b).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let cv: Vec<f64> = (0..b * b).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let a = Tile::from_f64(b, &av, Precision::Double);
+        let bt = Tile::from_f64(b, &bv, Precision::Double);
+        let mut c = Tile::from_f64(b, &cv, Precision::Double);
+        gemm(&a, &bt, &mut c);
+        for i in 0..b {
+            for j in 0..b {
+                let mut s = cv[i * b + j];
+                for k in 0..b {
+                    s -= av[i * b + k] * bv[j * b + k];
+                }
+                assert!((c.get(i, j) - s).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn hp_gemm_quantizes_operands_but_accumulates_in_f32() {
+        let b = 4;
+        // Operand value that is NOT representable in binary16.
+        let v = 1.0 + 1.0 / 4096.0;
+        let av = vec![v; b * b];
+        let bv = vec![1.0; b * b];
+        let a = Tile::from_f64(b, &av, Precision::Double);
+        let bt = Tile::from_f64(b, &bv, Precision::Double);
+        let mut c = Tile::zeros(b, Precision::Half);
+        gemm(&a, &bt, &mut c);
+        // Quantized operand is exactly 1.0 in f16, so C = −b·1·1 = −4 exactly:
+        // f32 accumulation of 4 identical products has no extra error here.
+        for i in 0..b {
+            for j in 0..b {
+                assert_eq!(c.get(i, j), -(b as f64));
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_keeps_symmetry() {
+        let b = 6;
+        let mut rng = StdRng::seed_from_u64(7);
+        let av: Vec<f64> = (0..b * b).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let (mut c, _) = spd_tile(b, 8, Precision::Double);
+        let a = Tile::from_f64(b, &av, Precision::Double);
+        syrk(&a, &mut c);
+        for i in 0..b {
+            for j in 0..b {
+                assert_eq!(c.get(i, j), c.get(j, i), "symmetry at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_matches_gemm_with_self() {
+        let b = 5;
+        let mut rng = StdRng::seed_from_u64(9);
+        let av: Vec<f64> = (0..b * b).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let cv: Vec<f64> = {
+            // symmetric start
+            let mut m = vec![0.0; b * b];
+            for i in 0..b {
+                for j in 0..=i {
+                    let x = rng.gen_range(-1.0..1.0);
+                    m[i * b + j] = x;
+                    m[j * b + i] = x;
+                }
+            }
+            m
+        };
+        let a = Tile::from_f64(b, &av, Precision::Double);
+        let mut c1 = Tile::from_f64(b, &cv, Precision::Double);
+        let mut c2 = Tile::from_f64(b, &cv, Precision::Double);
+        syrk(&a, &mut c1);
+        gemm(&a, &a, &mut c2);
+        for i in 0..b {
+            for j in 0..b {
+                assert!((c1.get(i, j) - c2.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn flop_formulas() {
+        assert_eq!(flops::gemm(10), 2000.0);
+        assert_eq!(flops::trsm(10), 1000.0);
+        assert_eq!(flops::syrk(10), 1000.0);
+        assert!((flops::potrf(10) - 1000.0 / 3.0).abs() < 1e-12);
+        assert!((flops::cholesky(30.0) - 9000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,35 @@
+//! # exaclim-linalg
+//!
+//! Tile-based dense linear algebra with mixed precision — the numerical core
+//! the paper accelerates on GPUs (§III.C–D), reproduced here with CPU
+//! kernels whose *rounding semantics* match the hardware ones:
+//!
+//! * [`f16`] — software IEEE binary16 with round-to-nearest-even; half
+//!   precision tiles store `u16` payloads and multiply–accumulate in `f32`,
+//!   mirroring tensor-core MMA behaviour,
+//! * [`precision`] — the DP/SP/HP lattice and the paper's four variant
+//!   policies (DP, DP/SP, DP/SP/HP, DP/HP) via band-distance or
+//!   norm-adaptive tile assignment,
+//! * [`tile`] / [`tiled`] — square tiles in one of three storage precisions
+//!   and the 2D tiled symmetric matrix they compose,
+//! * [`kernels`] — POTRF/TRSM/SYRK/GEMM on tiles, computed in the precision
+//!   of the updated tile,
+//! * [`cholesky`] — sequential right-looking mixed-precision tile Cholesky
+//!   plus dense references and forward-error metrics,
+//! * [`dense`] — small dense helpers (matmul, Cholesky, triangular and OLS
+//!   solves) for the statistics layer.
+
+pub mod cholesky;
+pub mod dense;
+pub mod f16;
+pub mod kernels;
+pub mod precision;
+pub mod tile;
+pub mod tiled;
+
+pub use cholesky::{CholeskyStats, tile_cholesky};
+pub use dense::Matrix;
+pub use f16::Half;
+pub use precision::{Precision, PrecisionPolicy};
+pub use tile::Tile;
+pub use tiled::TiledMatrix;

@@ -1,0 +1,192 @@
+//! Random-variate generation built on the `rand` core traits.
+//!
+//! `rand_distr` is not on the sanctioned crate list, so the Gaussian sampler
+//! (polar Box–Muller with a cached second variate) and the correlated
+//! multivariate-normal sampler (lower-triangular factor times i.i.d. normals)
+//! live here.
+
+use rand::Rng;
+
+/// Standard normal sampler using the polar (Marsaglia) Box–Muller method.
+///
+/// Each acceptance produces two independent N(0,1) variates; the second is
+/// cached so the amortized cost is one log/sqrt per variate.
+#[derive(Debug, Clone, Default)]
+pub struct StandardNormal {
+    cache: Option<f64>,
+}
+
+impl StandardNormal {
+    /// Create a sampler with an empty cache.
+    pub fn new() -> Self {
+        Self { cache: None }
+    }
+
+    /// Draw one standard normal variate.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(v) = self.cache.take() {
+            return v;
+        }
+        loop {
+            let u: f64 = rng.gen_range(-1.0..1.0);
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let f = (-2.0 * s.ln() / s).sqrt();
+                self.cache = Some(v * f);
+                return u * f;
+            }
+        }
+    }
+
+    /// Fill a slice with i.i.d. standard normal variates.
+    pub fn fill<R: Rng + ?Sized>(&mut self, rng: &mut R, out: &mut [f64]) {
+        for x in out.iter_mut() {
+            *x = self.sample(rng);
+        }
+    }
+
+    /// Draw `n` variates into a fresh vector.
+    pub fn sample_vec<R: Rng + ?Sized>(&mut self, rng: &mut R, n: usize) -> Vec<f64> {
+        let mut v = vec![0.0; n];
+        self.fill(rng, &mut v);
+        v
+    }
+}
+
+/// Sampler for `N(mean, Σ)` given a lower-triangular factor `V` with
+/// `Σ = V Vᵀ` (e.g. a Cholesky factor), stored row-major packed.
+#[derive(Debug, Clone)]
+pub struct MultivariateNormal {
+    dim: usize,
+    mean: Vec<f64>,
+    /// Row-major lower-triangular factor, row `i` occupies `i+1` entries.
+    factor_packed: Vec<f64>,
+    normal: StandardNormal,
+}
+
+impl MultivariateNormal {
+    /// Build from a dense row-major `dim × dim` lower-triangular factor;
+    /// entries above the diagonal are ignored.
+    pub fn from_lower_factor(mean: Vec<f64>, factor: &[f64], dim: usize) -> Self {
+        assert_eq!(mean.len(), dim);
+        assert_eq!(factor.len(), dim * dim);
+        let mut packed = Vec::with_capacity(dim * (dim + 1) / 2);
+        for i in 0..dim {
+            packed.extend_from_slice(&factor[i * dim..i * dim + i + 1]);
+        }
+        Self { dim, mean, factor_packed: packed, normal: StandardNormal::new() }
+    }
+
+    /// Dimension of the distribution.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Draw one sample: `mean + V η`, `η ~ N(0, I)`.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<f64> {
+        let eta = self.normal.sample_vec(rng, self.dim);
+        let mut out = self.mean.clone();
+        let mut row_start = 0usize;
+        for i in 0..self.dim {
+            let row = &self.factor_packed[row_start..row_start + i + 1];
+            let mut acc = 0.0;
+            for (l, e) in row.iter().zip(&eta[..=i]) {
+                acc += l * e;
+            }
+            out[i] += acc;
+            row_start += i + 1;
+        }
+        out
+    }
+}
+
+/// Chi-squared-free sample-vs-theory check utility: returns `(mean, var)` of
+/// a slice. Used in tests of the samplers and of emulated fields.
+pub fn sample_moments(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    (mean, var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut sn = StandardNormal::new();
+        let xs = sn.sample_vec(&mut rng, 200_000);
+        let (m, v) = sample_moments(&xs);
+        assert!(m.abs() < 0.01, "mean {m}");
+        assert!((v - 1.0).abs() < 0.02, "var {v}");
+        // Skewness near zero, kurtosis near 3.
+        let skew: f64 = xs.iter().map(|x| x.powi(3)).sum::<f64>() / xs.len() as f64;
+        let kurt: f64 = xs.iter().map(|x| x.powi(4)).sum::<f64>() / xs.len() as f64;
+        assert!(skew.abs() < 0.03, "skew {skew}");
+        assert!((kurt - 3.0).abs() < 0.1, "kurt {kurt}");
+    }
+
+    #[test]
+    fn normal_tail_fraction() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sn = StandardNormal::new();
+        let n = 100_000;
+        let beyond = (0..n).filter(|_| sn.sample(&mut rng).abs() > 1.96).count();
+        let frac = beyond as f64 / n as f64;
+        assert!((frac - 0.05).abs() < 0.005, "two-sided 5% tail: {frac}");
+    }
+
+    #[test]
+    fn mvn_reproduces_covariance() {
+        // Σ = V Vᵀ with V = [[2,0],[1,1]] → Σ = [[4,2],[2,2]].
+        let factor = vec![2.0, 0.0, 1.0, 1.0];
+        let mut mvn = MultivariateNormal::from_lower_factor(vec![10.0, -5.0], &factor, 2);
+        let mut rng = StdRng::seed_from_u64(1234);
+        let n = 100_000;
+        let (mut s0, mut s1, mut s00, mut s11, mut s01) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        for _ in 0..n {
+            let x = mvn.sample(&mut rng);
+            s0 += x[0];
+            s1 += x[1];
+            s00 += x[0] * x[0];
+            s11 += x[1] * x[1];
+            s01 += x[0] * x[1];
+        }
+        let nf = n as f64;
+        let (m0, m1) = (s0 / nf, s1 / nf);
+        assert!((m0 - 10.0).abs() < 0.05, "m0={m0}");
+        assert!((m1 + 5.0).abs() < 0.05, "m1={m1}");
+        let c00 = s00 / nf - m0 * m0;
+        let c11 = s11 / nf - m1 * m1;
+        let c01 = s01 / nf - m0 * m1;
+        assert!((c00 - 4.0).abs() < 0.1, "c00={c00}");
+        assert!((c11 - 2.0).abs() < 0.06, "c11={c11}");
+        assert!((c01 - 2.0).abs() < 0.07, "c01={c01}");
+    }
+
+    #[test]
+    fn mvn_dim_one_degenerates_to_normal() {
+        let mut mvn = MultivariateNormal::from_lower_factor(vec![0.0], &[3.0], 1);
+        let mut rng = StdRng::seed_from_u64(99);
+        let xs: Vec<f64> = (0..50_000).map(|_| mvn.sample(&mut rng)[0]).collect();
+        let (m, v) = sample_moments(&xs);
+        assert!(m.abs() < 0.05);
+        assert!((v - 9.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StandardNormal::new();
+        let mut b = StandardNormal::new();
+        let mut ra = StdRng::seed_from_u64(5);
+        let mut rb = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(a.sample(&mut ra), b.sample(&mut rb));
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! SHT plans: precomputation and the forward/inverse transform kernels.
+
+use crate::coeffs::HarmonicCoeffs;
+use exaclim_fft::Fft;
+use exaclim_mathkit::Complex64;
+use exaclim_sphere::grid::{EquiangularGrid, GaussLegendreGrid, Grid};
+use exaclim_sphere::harmonics::integral_iq;
+use exaclim_sphere::legendre::{LegendreTable, idx, packed_len};
+use exaclim_sphere::wigner::WignerPiHalf;
+
+/// Which forward-transform algorithm a plan uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalysisEngine {
+    /// Quadrature with Gauss–Legendre ring weights (exact on GL grids).
+    GaussLegendre,
+    /// The paper's FFT + Wigner-d(π/2) method (exact on equiangular grids
+    /// with `Nθ > L`, `Nϕ ≥ 2L−1`; eqs. 4–8).
+    WignerFft,
+}
+
+enum GridKind {
+    Equiangular(EquiangularGrid),
+    GaussLegendre(GaussLegendreGrid),
+}
+
+/// Precomputed data for the paper's equiangular forward transform.
+struct WignerData {
+    /// FFT over the extended co-latitude circle, length `2Nθ − 2`.
+    fft_theta: Fft,
+    /// All `d^ℓ(π/2)` matrices for `ℓ < L`.
+    delta: WignerPiHalf,
+    /// `I(q)` for `q ∈ [−(2L−2), 2L−2]`, index `q + 2L − 2`.
+    iq: Vec<Complex64>,
+}
+
+/// A reusable spherical-harmonic transform plan for one grid and band-limit.
+///
+/// Precomputes per-ring normalized Legendre values (`O(Nθ L²)` memory), the
+/// longitude FFT plan, and — for the equiangular engine — the Wigner-d(π/2)
+/// tensor (`O(L³)` memory, as the paper's pre-computation strategy).
+pub struct ShtPlan {
+    lmax: usize,
+    grid: GridKind,
+    engine: AnalysisEngine,
+    /// `legendre[i][idx(l, m)] = λ_ℓ^m(cos θ_i)`.
+    legendre: Vec<Vec<f64>>,
+    fft_phi: Fft,
+    wigner: Option<WignerData>,
+}
+
+impl ShtPlan {
+    /// Gauss–Legendre plan at band-limit `L`: `L` rings, `2L−1` longitudes.
+    pub fn gauss_legendre(lmax: usize) -> Self {
+        assert!(lmax >= 1);
+        let grid = GaussLegendreGrid::for_bandlimit(lmax);
+        let legendre = ring_legendre(&grid, lmax);
+        let fft_phi = Fft::new(grid.nphi());
+        Self {
+            lmax,
+            grid: GridKind::GaussLegendre(grid),
+            engine: AnalysisEngine::GaussLegendre,
+            legendre,
+            fft_phi,
+            wigner: None,
+        }
+    }
+
+    /// Equiangular (ERA5-style) plan at band-limit `L` on an `Nθ × Nϕ`
+    /// grid. Exactness requires `Nθ > L` and `Nϕ ≥ 2L − 1`.
+    pub fn equiangular(lmax: usize, ntheta: usize, nphi: usize) -> Self {
+        assert!(lmax >= 1);
+        assert!(ntheta > lmax, "Wigner engine needs Nθ > L (got Nθ={ntheta}, L={lmax})");
+        assert!(nphi >= 2 * lmax - 1, "need Nϕ ≥ 2L−1 (got Nϕ={nphi}, L={lmax})");
+        let grid = EquiangularGrid::new(ntheta, nphi);
+        let legendre = ring_legendre(&grid, lmax);
+        let fft_phi = Fft::new(nphi);
+        let next = 2 * ntheta - 2;
+        let iq = (-(2 * lmax as i64 - 2)..=(2 * lmax as i64 - 2))
+            .map(integral_iq)
+            .collect();
+        let wigner = Some(WignerData {
+            fft_theta: Fft::new(next),
+            delta: WignerPiHalf::new(lmax - 1),
+            iq,
+        });
+        Self {
+            lmax,
+            grid: GridKind::Equiangular(grid),
+            engine: AnalysisEngine::WignerFft,
+            legendre,
+            fft_phi,
+            wigner,
+        }
+    }
+
+    /// Band-limit `L` (degrees `ℓ < L`).
+    pub fn lmax(&self) -> usize {
+        self.lmax
+    }
+
+    /// The forward engine this plan uses.
+    pub fn engine(&self) -> AnalysisEngine {
+        self.engine
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &dyn Grid {
+        match &self.grid {
+            GridKind::Equiangular(g) => g,
+            GridKind::GaussLegendre(g) => g,
+        }
+    }
+
+    /// Number of real values in one field on this plan's grid.
+    pub fn field_len(&self) -> usize {
+        self.grid().len()
+    }
+
+    /// Forward transform (analysis): field → coefficients.
+    pub fn analysis(&self, field: &[f64]) -> HarmonicCoeffs {
+        assert_eq!(field.len(), self.field_len(), "field size mismatch");
+        match self.engine {
+            AnalysisEngine::GaussLegendre => self.analysis_weights(field),
+            AnalysisEngine::WignerFft => self.analysis_wigner(field),
+        }
+    }
+
+    /// Forward transform by plain ring-weight quadrature regardless of
+    /// engine. On equiangular grids near critical sampling this is
+    /// *inexact* — kept as the baseline the paper's method improves on.
+    pub fn analysis_quadrature(&self, field: &[f64]) -> HarmonicCoeffs {
+        assert_eq!(field.len(), self.field_len(), "field size mismatch");
+        self.analysis_weights(field)
+    }
+
+    /// Inverse transform (synthesis): coefficients → field (row-major
+    /// `Nθ × Nϕ`).
+    pub fn synthesis(&self, coeffs: &HarmonicCoeffs) -> Vec<f64> {
+        assert_eq!(coeffs.lmax(), self.lmax, "band-limit mismatch");
+        let g = self.grid();
+        let (nt, np) = (g.ntheta(), g.nphi());
+        let mut out = vec![0.0f64; nt * np];
+        let nbins = np / 2 + 1;
+        let mut half = vec![Complex64::ZERO; nbins];
+        for i in 0..nt {
+            let lam = &self.legendre[i];
+            for z in half.iter_mut() {
+                *z = Complex64::ZERO;
+            }
+            for m in 0..self.lmax.min(nbins) {
+                let mut acc = Complex64::ZERO;
+                for l in m..self.lmax {
+                    acc += coeffs.as_slice()[idx(l, m)] * lam[idx(l, m)];
+                }
+                half[m] = acc * np as f64;
+            }
+            let row = exaclim_fft::irfft(&self.fft_phi, &half);
+            out[i * np..(i + 1) * np].copy_from_slice(&row);
+        }
+        out
+    }
+
+    /// Ring-weight quadrature analysis shared by the GL engine and the
+    /// inexact equiangular baseline.
+    fn analysis_weights(&self, field: &[f64]) -> HarmonicCoeffs {
+        let g = self.grid();
+        let (nt, np) = (g.ntheta(), g.nphi());
+        let dphi = 2.0 * std::f64::consts::PI / np as f64;
+        let mut coeffs = HarmonicCoeffs::zeros(self.lmax);
+        // F_m(θ_i) = ∫ Z e^{-imφ} dφ via the longitude FFT.
+        let mut fm = vec![Complex64::ZERO; nt * self.lmax];
+        for i in 0..nt {
+            let spec = exaclim_fft::rfft(&self.fft_phi, &field[i * np..(i + 1) * np]);
+            for m in 0..self.lmax.min(spec.len()) {
+                fm[i * self.lmax + m] = spec[m] * dphi;
+            }
+        }
+        // z_{ℓm} = Σ_i w_i λ_ℓ^m(θ_i) F_m(θ_i).
+        let data = coeffs.as_mut_slice();
+        for i in 0..nt {
+            let w = g.ring_weight(i);
+            let lam = &self.legendre[i];
+            for m in 0..self.lmax {
+                let f = fm[i * self.lmax + m] * w;
+                for l in m..self.lmax {
+                    data[idx(l, m)] += f * lam[idx(l, m)];
+                }
+            }
+        }
+        coeffs
+    }
+
+    /// The paper's exact equiangular analysis (eqs. 4–8).
+    fn analysis_wigner(&self, field: &[f64]) -> HarmonicCoeffs {
+        let wd = self.wigner.as_ref().expect("wigner data on equiangular plans");
+        let g = self.grid();
+        let (nt, np) = (g.ntheta(), g.nphi());
+        let next = 2 * nt - 2;
+        let dphi = 2.0 * std::f64::consts::PI / np as f64;
+        let l = self.lmax;
+        let li = l as i64;
+        // Step 1: G_m(θ_i) for m ∈ [0, L).
+        let mut gm = vec![Complex64::ZERO; nt * l];
+        for i in 0..nt {
+            let spec = exaclim_fft::rfft(&self.fft_phi, &field[i * np..(i + 1) * np]);
+            for m in 0..l.min(spec.len()) {
+                gm[i * l + m] = spec[m] * dphi;
+            }
+        }
+        let mut coeffs = HarmonicCoeffs::zeros(l);
+        let iq0 = 2 * li - 2; // iq index offset: iq[q + iq0]
+        let mut ext = vec![Complex64::ZERO; next];
+        let mut jtab = vec![Complex64::ZERO; (2 * l - 1).max(1)];
+        for m in 0..l {
+            // Step 2: parity extension along θ and FFT → K_{m,m'}.
+            for z in ext.iter_mut() {
+                *z = Complex64::ZERO;
+            }
+            let sign = if m % 2 == 0 { 1.0 } else { -1.0 };
+            for i in 0..nt {
+                ext[i] = gm[i * l + m];
+            }
+            for i in 1..nt - 1 {
+                ext[next - i] = gm[i * l + m] * sign;
+            }
+            wd.fft_theta.forward(&mut ext);
+            let kval = |mp: i64| -> Complex64 {
+                ext[(mp.rem_euclid(next as i64)) as usize] / next as f64
+            };
+            // Step 3a: J(m'') = Σ_{m'} K_{m,m'} I(m' + m'').
+            for (jj, jslot) in jtab.iter_mut().enumerate() {
+                let mpp = jj as i64 - (li - 1);
+                let mut acc = Complex64::ZERO;
+                for mp in -(li - 1)..=(li - 1) {
+                    acc += kval(mp) * wd.iq[(mp + mpp + iq0) as usize];
+                }
+                *jslot = acc;
+            }
+            // Step 3b: z_{ℓm} = i^{−m} sqrt((2ℓ+1)/4π) Σ_{m''} Δ_{m'',0} Δ_{m'',m} J(m'').
+            let phase = Complex64::i_pow(-(m as i64));
+            let data = coeffs.as_mut_slice();
+            for deg in m..l {
+                let di = deg as i64;
+                let mut acc = Complex64::ZERO;
+                for mpp in -di..=di {
+                    let wgt = wd.delta.get(deg, mpp, 0) * wd.delta.get(deg, mpp, m as i64);
+                    acc += jtab[(mpp + li - 1) as usize] * wgt;
+                }
+                let norm = ((2.0 * deg as f64 + 1.0) / (4.0 * std::f64::consts::PI)).sqrt();
+                data[idx(deg, m)] = phase * acc * norm;
+            }
+        }
+        coeffs
+    }
+}
+
+/// Evaluate the normalized Legendre table at every ring of a grid.
+fn ring_legendre<G: Grid>(grid: &G, lmax: usize) -> Vec<Vec<f64>> {
+    let table = LegendreTable::new(lmax - 1);
+    (0..grid.ntheta())
+        .map(|i| {
+            let theta = grid.theta(i);
+            let mut v = vec![0.0; packed_len(lmax - 1)];
+            table.eval_into(theta.cos(), theta.sin(), &mut v);
+            v
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_reports_geometry() {
+        let p = ShtPlan::gauss_legendre(8);
+        assert_eq!(p.lmax(), 8);
+        assert_eq!(p.engine(), AnalysisEngine::GaussLegendre);
+        assert_eq!(p.grid().ntheta(), 8);
+        assert_eq!(p.grid().nphi(), 15);
+        assert_eq!(p.field_len(), 120);
+
+        let p = ShtPlan::equiangular(8, 10, 16);
+        assert_eq!(p.engine(), AnalysisEngine::WignerFft);
+        assert_eq!(p.field_len(), 160);
+    }
+
+    #[test]
+    #[should_panic(expected = "Nθ > L")]
+    fn equiangular_rejects_undersampled_theta() {
+        let _ = ShtPlan::equiangular(8, 8, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "Nϕ ≥ 2L−1")]
+    fn equiangular_rejects_undersampled_phi() {
+        let _ = ShtPlan::equiangular(8, 10, 14);
+    }
+
+    #[test]
+    fn single_harmonic_roundtrips_through_wigner_engine() {
+        // Put power in exactly one (ℓ, m); analysis must isolate it.
+        let l = 10;
+        let plan = ShtPlan::equiangular(l, 12, 20);
+        for &(dl, dm) in &[(0usize, 0usize), (3, 0), (5, 2), (9, 9)] {
+            let mut c = HarmonicCoeffs::zeros(l);
+            c.set(dl, dm, Complex64::new(1.0, if dm == 0 { 0.0 } else { -0.7 }));
+            let field = plan.synthesis(&c);
+            let back = plan.analysis(&field);
+            assert!(
+                c.max_abs_diff(&back) < 1e-10,
+                "({dl},{dm}): {}",
+                c.max_abs_diff(&back)
+            );
+        }
+    }
+
+    #[test]
+    fn oversampled_grids_stay_exact() {
+        // More rings/longitudes than strictly needed must not break exactness.
+        let l = 6;
+        let plan = ShtPlan::equiangular(l, 25, 64);
+        let mut c = HarmonicCoeffs::zeros(l);
+        c.set(4, 3, Complex64::new(0.3, 0.9));
+        c.set(2, 0, Complex64::real(-1.1));
+        let field = plan.synthesis(&c);
+        let back = plan.analysis(&field);
+        assert!(c.max_abs_diff(&back) < 1e-10);
+    }
+}

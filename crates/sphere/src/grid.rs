@@ -1,0 +1,292 @@
+//! Latitude–longitude samplings of the sphere.
+//!
+//! Two grids appear in the paper:
+//!
+//! * the **equiangular** grid of ERA5 — `Nθ` co-latitudes
+//!   `θ_i = iπ/(Nθ−1)` *including both poles* and `Nϕ` equally spaced
+//!   longitudes (0.25° ⇒ 721 × 1440, band-limit `L = 720`),
+//! * the **Gauss–Legendre** grid — co-latitudes at the roots of `P_{Nθ}`,
+//!   giving exact quadrature for fields band-limited at `L ≤ Nθ`.
+//!
+//! Fields on either grid are stored row-major: index `i * nphi + j` for
+//! co-latitude ring `i` and longitude `j`.
+
+use exaclim_mathkit::GaussLegendre;
+use serde::{Deserialize, Serialize};
+
+/// Common interface over the supported spherical grids.
+pub trait Grid {
+    /// Number of co-latitude rings.
+    fn ntheta(&self) -> usize;
+    /// Number of longitude points.
+    fn nphi(&self) -> usize;
+    /// Co-latitude of ring `i`, in `[0, π]`.
+    fn theta(&self, i: usize) -> f64;
+    /// Longitude of column `j`, in `[0, 2π)`.
+    fn phi(&self, j: usize) -> f64 {
+        2.0 * std::f64::consts::PI * j as f64 / self.nphi() as f64
+    }
+    /// Quadrature weight of ring `i` such that
+    /// `Σ_i w_i f(θ_i) ≈ ∫₀^π f(θ) sinθ dθ` for smooth `f`.
+    fn ring_weight(&self, i: usize) -> f64;
+    /// Total number of grid points.
+    fn len(&self) -> usize {
+        self.ntheta() * self.nphi()
+    }
+    /// True iff the grid has no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Maximum band-limit `L` for which the forward transform on this grid
+    /// is exact (quadrature-wise) for band-limited inputs.
+    fn max_bandlimit(&self) -> usize;
+    /// Solid-angle weight of point `(i, j)`: `ring_weight · 2π/Nϕ`.
+    fn point_weight(&self, i: usize) -> f64 {
+        self.ring_weight(i) * 2.0 * std::f64::consts::PI / self.nphi() as f64
+    }
+}
+
+/// ERA5-style equiangular grid including both poles.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EquiangularGrid {
+    ntheta: usize,
+    nphi: usize,
+    #[serde(skip)]
+    weights: Vec<f64>,
+}
+
+impl EquiangularGrid {
+    /// Build a grid with `ntheta >= 2` rings (poles included) and
+    /// `nphi >= 1` longitudes.
+    pub fn new(ntheta: usize, nphi: usize) -> Self {
+        assert!(ntheta >= 2, "equiangular grid needs both poles");
+        assert!(nphi >= 1);
+        let weights = clenshaw_curtis_sin_weights(ntheta);
+        Self { ntheta, nphi, weights }
+    }
+
+    /// The ERA5 0.25° layout: 721 × 1440, `L = 720`.
+    pub fn era5_quarter_degree() -> Self {
+        Self::new(721, 1440)
+    }
+
+    /// Grid resolution in degrees along latitude.
+    pub fn dlat_degrees(&self) -> f64 {
+        180.0 / (self.ntheta - 1) as f64
+    }
+
+    /// Equivalent grid spacing in kilometers at the equator
+    /// (Earth radius 6371 km).
+    pub fn dx_km(&self) -> f64 {
+        2.0 * std::f64::consts::PI * 6371.0 / self.nphi as f64
+    }
+}
+
+impl Grid for EquiangularGrid {
+    fn ntheta(&self) -> usize {
+        self.ntheta
+    }
+    fn nphi(&self) -> usize {
+        self.nphi
+    }
+    fn theta(&self, i: usize) -> f64 {
+        std::f64::consts::PI * i as f64 / (self.ntheta - 1) as f64
+    }
+    fn ring_weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+    fn max_bandlimit(&self) -> usize {
+        // Paper §III.A.1: exact recovery requires Nθ > L and Nϕ ≥ 2L − 1.
+        (self.ntheta - 1).min(self.nphi.div_ceil(2))
+    }
+}
+
+/// Quadrature weights `w_i` for `∫₀^π f(θ) sinθ dθ ≈ Σ w_i f(θ_i)` on the
+/// closed equiangular grid, exact for `f` a trigonometric polynomial of
+/// degree < `ntheta` (Clenshaw–Curtis-type rule derived from the exact
+/// moments `I(q)` of eq. 8 restricted to real even part).
+fn clenshaw_curtis_sin_weights(ntheta: usize) -> Vec<f64> {
+    let n = ntheta - 1; // number of intervals
+    let mut w = vec![0.0f64; ntheta];
+    // Express f by its cosine series on θ ∈ [0, π]:
+    // ∫ cos(kθ) sinθ dθ = 2/(1-k²) for even k, 0 for odd k (k ≠ 1), 0 at k=1.
+    // Discrete cosine quadrature: w_i = (2/n) Σ_k'' c_k cos(kθ_i) m_k, with
+    // trapezoid end-point halving.
+    for (i, wi) in w.iter_mut().enumerate() {
+        let theta = std::f64::consts::PI * i as f64 / n as f64;
+        let mut acc = 0.0;
+        for k in (0..=n).step_by(2) {
+            let mk = 2.0 / (1.0 - (k * k) as f64); // moment of cos(kθ)
+            let ck = if k == 0 || k == n { 0.5 } else { 1.0 };
+            acc += ck * mk * (k as f64 * theta).cos();
+        }
+        let endpoint = if i == 0 || i == n { 0.5 } else { 1.0 };
+        *wi = acc * 2.0 / n as f64 * endpoint;
+    }
+    w
+}
+
+/// Gauss–Legendre grid: `ntheta` rings at the roots of `P_{ntheta}`.
+#[derive(Debug, Clone)]
+pub struct GaussLegendreGrid {
+    nphi: usize,
+    /// Co-latitudes in ascending order (north to south).
+    thetas: Vec<f64>,
+    /// GL weights mapped to θ (already include the sinθ Jacobian).
+    weights: Vec<f64>,
+}
+
+impl GaussLegendreGrid {
+    /// Build with `ntheta` rings and `nphi` longitudes.
+    pub fn new(ntheta: usize, nphi: usize) -> Self {
+        assert!(ntheta >= 1 && nphi >= 1);
+        let rule = GaussLegendre::new(ntheta);
+        // x = cosθ, descending x ⇒ ascending θ.
+        let mut pairs: Vec<(f64, f64)> = rule
+            .nodes
+            .iter()
+            .zip(&rule.weights)
+            .map(|(&x, &w)| (x.acos(), w))
+            .collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let (thetas, weights) = pairs.into_iter().unzip();
+        Self { nphi, thetas, weights }
+    }
+
+    /// Smallest exact grid for band-limit `L`: `L` rings, `2L−1` longitudes.
+    pub fn for_bandlimit(l: usize) -> Self {
+        assert!(l >= 1);
+        Self::new(l, (2 * l - 1).max(4))
+    }
+}
+
+impl Grid for GaussLegendreGrid {
+    fn ntheta(&self) -> usize {
+        self.thetas.len()
+    }
+    fn nphi(&self) -> usize {
+        self.nphi
+    }
+    fn theta(&self, i: usize) -> f64 {
+        self.thetas[i]
+    }
+    fn ring_weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+    fn max_bandlimit(&self) -> usize {
+        self.thetas.len().min(self.nphi.div_ceil(2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equiangular_theta_includes_poles() {
+        let g = EquiangularGrid::new(9, 16);
+        assert_eq!(g.theta(0), 0.0);
+        assert!((g.theta(8) - std::f64::consts::PI).abs() < 1e-15);
+        assert!((g.theta(4) - std::f64::consts::PI / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn equiangular_weights_integrate_sin() {
+        // Σ w_i must equal ∫ sinθ dθ = 2 (take f = 1).
+        for ntheta in [5usize, 9, 33, 721] {
+            let g = EquiangularGrid::new(ntheta, 8);
+            let s: f64 = (0..ntheta).map(|i| g.ring_weight(i)).sum();
+            assert!((s - 2.0).abs() < 1e-10, "ntheta={ntheta}: {s}");
+        }
+    }
+
+    #[test]
+    fn equiangular_weights_exact_for_cosines() {
+        // ∫ cos(kθ) sinθ dθ = 2/(1−k²) (even k), 0 (odd k).
+        let ntheta = 17;
+        let g = EquiangularGrid::new(ntheta, 8);
+        for k in 0..ntheta - 1 {
+            let got: f64 = (0..ntheta)
+                .map(|i| g.ring_weight(i) * (k as f64 * g.theta(i)).cos())
+                .sum();
+            let expect = if k % 2 == 0 { 2.0 / (1.0 - (k * k) as f64) } else { 0.0 };
+            assert!((got - expect).abs() < 1e-10, "k={k}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn equiangular_weights_integrate_legendre() {
+        // ∫ P_ℓ(cosθ) sinθ dθ = 0 for ℓ >= 1.
+        let g = EquiangularGrid::new(33, 8);
+        for l in 1..20usize {
+            let got: f64 = (0..33)
+                .map(|i| {
+                    let x = g.theta(i).cos();
+                    g.ring_weight(i) * legendre_p(l, x)
+                })
+                .sum();
+            assert!(got.abs() < 1e-9, "l={l}: {got}");
+        }
+    }
+
+    fn legendre_p(l: usize, x: f64) -> f64 {
+        let mut p0 = 1.0;
+        if l == 0 {
+            return p0;
+        }
+        let mut p1 = x;
+        for k in 2..=l {
+            let kf = k as f64;
+            let p2 = ((2.0 * kf - 1.0) * x * p1 - (kf - 1.0) * p0) / kf;
+            p0 = p1;
+            p1 = p2;
+        }
+        p1
+    }
+
+    #[test]
+    fn era5_layout() {
+        let g = EquiangularGrid::era5_quarter_degree();
+        assert_eq!(g.ntheta(), 721);
+        assert_eq!(g.nphi(), 1440);
+        assert_eq!(g.max_bandlimit(), 720);
+        assert!((g.dlat_degrees() - 0.25).abs() < 1e-12);
+        assert!((g.dx_km() - 27.8).abs() < 0.5);
+    }
+
+    #[test]
+    fn gl_grid_weights_sum_to_two() {
+        let g = GaussLegendreGrid::new(64, 127);
+        let s: f64 = (0..64).map(|i| g.ring_weight(i)).sum();
+        assert!((s - 2.0).abs() < 1e-12);
+        // θ ascending, strictly inside (0, π).
+        for i in 0..63 {
+            assert!(g.theta(i) < g.theta(i + 1));
+        }
+        assert!(g.theta(0) > 0.0 && g.theta(63) < std::f64::consts::PI);
+    }
+
+    #[test]
+    fn gl_for_bandlimit_sizes() {
+        let g = GaussLegendreGrid::for_bandlimit(32);
+        assert_eq!(g.ntheta(), 32);
+        assert_eq!(g.nphi(), 63);
+        assert!(g.max_bandlimit() >= 32);
+    }
+
+    #[test]
+    fn point_weights_cover_sphere() {
+        // Σ_{ij} point_weight = 4π on both grids.
+        let fourpi = 4.0 * std::f64::consts::PI;
+        let g = EquiangularGrid::new(19, 36);
+        let s: f64 = (0..g.ntheta())
+            .map(|i| g.point_weight(i) * g.nphi() as f64)
+            .sum();
+        assert!((s - fourpi).abs() < 1e-9);
+        let g = GaussLegendreGrid::new(24, 47);
+        let s: f64 = (0..g.ntheta())
+            .map(|i| g.point_weight(i) * g.nphi() as f64)
+            .sum();
+        assert!((s - fourpi).abs() < 1e-9);
+    }
+}

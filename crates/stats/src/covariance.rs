@@ -1,0 +1,112 @@
+//! Empirical innovation covariance (eq. 9) and its SPD repair.
+
+use exaclim_linalg::dense::Matrix;
+
+/// Empirical covariance of innovation samples:
+/// `Û = 1/(R(T−P)) Σ_r Σ_t ξ_t^{(r)} ξ_t^{(r)ᵀ}` — eq. (9). `samples`
+/// holds all `R(T−P)` innovation vectors from every ensemble member.
+pub fn empirical_covariance(samples: &[Vec<f64>]) -> Matrix {
+    assert!(!samples.is_empty(), "need at least one innovation sample");
+    let dim = samples[0].len();
+    assert!(samples.iter().all(|s| s.len() == dim), "ragged samples");
+    let mut u = Matrix::zeros(dim, dim);
+    let data = u.as_mut_slice();
+    for s in samples {
+        for i in 0..dim {
+            let si = s[i];
+            if si == 0.0 {
+                continue;
+            }
+            let row = &mut data[i * dim..(i + 1) * dim];
+            for (j, r) in row.iter_mut().enumerate() {
+                *r += si * s[j];
+            }
+        }
+    }
+    let scale = 1.0 / samples.len() as f64;
+    for v in u.as_mut_slice() {
+        *v *= scale;
+    }
+    u
+}
+
+/// Ensure `u` is positive definite by adding the paper's "minor perturbation
+/// along the diagonal" when a Cholesky probe fails (needed whenever
+/// `R(T−P) < L²` makes `Û` rank-deficient). Returns the jitter used.
+pub fn ensure_spd(u: &mut Matrix) -> f64 {
+    let n = u.rows();
+    let trace: f64 = (0..n).map(|i| u.get(i, i)).sum();
+    let base = (trace / n as f64).max(f64::MIN_POSITIVE);
+    let mut jitter = 0.0f64;
+    let mut step = base * 1e-10;
+    for _ in 0..40 {
+        if u.cholesky_lower().is_ok() {
+            return jitter;
+        }
+        u.add_diagonal(step);
+        jitter += step;
+        step *= 10.0;
+    }
+    panic!("could not repair covariance to SPD after 40 attempts");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exaclim_mathkit::rng::{MultivariateNormal, StandardNormal};
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn recovers_known_covariance() {
+        // Σ = V Vᵀ with V = [[1,0],[0.8,0.6]] → Σ = [[1,0.8],[0.8,1.0]].
+        let factor = vec![1.0, 0.0, 0.8, 0.6];
+        let mut mvn = MultivariateNormal::from_lower_factor(vec![0.0, 0.0], &factor, 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples: Vec<Vec<f64>> = (0..100_000).map(|_| mvn.sample(&mut rng)).collect();
+        let u = empirical_covariance(&samples);
+        assert!((u.get(0, 0) - 1.0).abs() < 0.02);
+        assert!((u.get(1, 1) - 1.0).abs() < 0.02);
+        assert!((u.get(0, 1) - 0.8).abs() < 0.02);
+        assert_eq!(u.get(0, 1), u.get(1, 0));
+    }
+
+    #[test]
+    fn rank_deficient_needs_jitter() {
+        // dim 4 from only 2 samples → rank ≤ 2 → Cholesky must fail, repair
+        // must succeed with a tiny jitter.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sn = StandardNormal::new();
+        let samples: Vec<Vec<f64>> = (0..2).map(|_| sn.sample_vec(&mut rng, 4)).collect();
+        let mut u = empirical_covariance(&samples);
+        assert!(u.cholesky_lower().is_err(), "rank-deficient must not factor");
+        let jitter = ensure_spd(&mut u);
+        assert!(jitter > 0.0);
+        assert!(u.cholesky_lower().is_ok());
+        // Jitter should be small relative to the diagonal scale.
+        let diag_mean: f64 = (0..4).map(|i| u.get(i, i)).sum::<f64>() / 4.0;
+        assert!(jitter < 0.01 * diag_mean, "jitter {jitter} vs diag {diag_mean}");
+    }
+
+    #[test]
+    fn full_rank_needs_no_jitter() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut sn = StandardNormal::new();
+        let samples: Vec<Vec<f64>> = (0..200).map(|_| sn.sample_vec(&mut rng, 4)).collect();
+        let mut u = empirical_covariance(&samples);
+        let jitter = ensure_spd(&mut u);
+        assert_eq!(jitter, 0.0);
+    }
+
+    #[test]
+    fn covariance_is_symmetric_psd_by_construction() {
+        let samples = vec![vec![1.0, 2.0, -1.0], vec![0.5, -0.5, 2.0], vec![3.0, 0.0, 1.0]];
+        let u = empirical_covariance(&samples);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((u.get(i, j) - u.get(j, i)).abs() < 1e-12);
+            }
+            assert!(u.get(i, i) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Figure 2 scenario: side-by-side "simulation" and emulation fields for a
+//! winter day and a summer day, rendered as coarse ASCII maps plus summary
+//! statistics.
+//!
+//! ```text
+//! cargo run --release --example emulate_fields
+//! ```
+
+use exaclim::{ClimateEmulator, EmulatorConfig};
+use exaclim_climate::{SyntheticEra5, SyntheticEra5Config};
+use exaclim_climate::generator::Dataset;
+use exaclim_mathkit::stats::OnlineStats;
+
+/// Render a field as an ASCII map (cold → '.', hot → '#').
+fn ascii_map(d: &Dataset, t: usize, rows: usize, cols: usize) -> String {
+    let f = d.field(t);
+    let mut st = OnlineStats::new();
+    st.extend(f);
+    let (lo, hi) = (st.min(), st.max());
+    let ramp: &[u8] = b" .:-=+*#%@";
+    let mut out = String::new();
+    for r in 0..rows {
+        let i = r * (d.ntheta - 1) / (rows - 1);
+        for c in 0..cols {
+            let j = c * d.nphi / cols;
+            let v = f[i * d.nphi + j];
+            let k = (((v - lo) / (hi - lo).max(1e-9)) * (ramp.len() - 1) as f64) as usize;
+            out.push(ramp[k.min(ramp.len() - 1)] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn field_stats(d: &Dataset, t: usize) -> (f64, f64, f64, f64) {
+    let mut st = OnlineStats::new();
+    st.extend(d.field(t));
+    (st.mean(), st.std_dev(), st.min(), st.max())
+}
+
+fn main() {
+    let generator = SyntheticEra5::new(SyntheticEra5Config::small_daily(12));
+    let simulation = generator.generate_member(0, 2 * 365);
+    let emulator = ClimateEmulator::train(&simulation, EmulatorConfig::small(8))
+        .expect("training succeeds");
+    let emulation = emulator.emulate(2 * 365, 7).expect("emulation succeeds");
+
+    // "Jan 1" (t = 0) and "Jun 1" (t = 151), as in the paper's Figure 2.
+    for (label, t) in [("Jan 01", 0usize), ("Jun 01", 151)] {
+        println!("=== {label} ===");
+        for (name, d) in [("simulation", &simulation), ("emulation ", &emulation)] {
+            let (mean, std, min, max) = field_stats(d, t);
+            println!(
+                "{name}: mean {mean:7.2} K  std {std:6.2} K  range [{min:6.1}, {max:6.1}] K"
+            );
+        }
+        println!("simulation map:");
+        print!("{}", ascii_map(&simulation, t, 12, 48));
+        println!("emulation map:");
+        print!("{}", ascii_map(&emulation, t, 12, 48));
+        // The seasonal contrast must agree between the two.
+        let (sim_mean, ..) = field_stats(&simulation, t);
+        let (emu_mean, ..) = field_stats(&emulation, t);
+        assert!(
+            (sim_mean - emu_mean).abs() < 3.0,
+            "global means must agree within weather noise"
+        );
+    }
+
+    // Seasonal swing (Jan vs Jun) should match in magnitude and sign at a
+    // northern-hemisphere point.
+    let p = simulation.nphi * 2 + simulation.nphi / 3;
+    let sim_swing = simulation.field(151)[p] - simulation.field(0)[p];
+    let emu_swing = emulation.field(151)[p] - emulation.field(0)[p];
+    println!(
+        "northern point seasonal swing: simulation {sim_swing:+.1} K, emulation {emu_swing:+.1} K"
+    );
+    assert_eq!(
+        sim_swing.signum(),
+        emu_swing.signum(),
+        "seasonal phase must match"
+    );
+}

@@ -1,0 +1,70 @@
+//! Mixed-precision tile Cholesky on real CPU kernels: the four variants of
+//! §IV.B, their accuracy, memory footprint, and task-parallel speed on the
+//! in-house PaRSEC-style runtime.
+//!
+//! ```text
+//! cargo run --release --example mixed_precision
+//! ```
+
+use exaclim_linalg::cholesky::factorization_residual;
+use exaclim_linalg::precision::PrecisionPolicy;
+use exaclim_linalg::tiled::{TiledMatrix, exp_covariance};
+use exaclim_runtime::{SchedulerKind, parallel_tile_cholesky};
+
+fn main() {
+    let n = 768;
+    let b = 64;
+    let workers = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(4);
+    let a = exp_covariance(n, 24.0, 1e-3);
+    println!(
+        "matrix: exponential covariance, n = {n}, tile = {b} ({} tiles), {workers} workers",
+        (n / b) * (n / b + 1) / 2
+    );
+    println!(
+        "{:<10} {:>10} {:>14} {:>12} {:>10} {:>12}",
+        "variant", "bytes", "residual", "seconds", "GFlop/s", "census H/S/D"
+    );
+
+    let nt = n / b;
+    let policies = [
+        PrecisionPolicy::dp(),
+        PrecisionPolicy::dp_sp(),
+        PrecisionPolicy::dp_sp_hp(nt),
+        PrecisionPolicy::dp_hp(),
+    ];
+    let mut dp_seconds = None;
+    for policy in policies {
+        let mut tm = TiledMatrix::from_dense(&a, n, b, &policy);
+        let bytes = tm.payload_bytes();
+        let census = tm.precision_census();
+        let (stats, trace) =
+            parallel_tile_cholesky(&mut tm, workers, SchedulerKind::PriorityHeap)
+                .expect("SPD covariance");
+        let res = factorization_residual(&a, &tm);
+        println!(
+            "{:<10} {:>10} {:>14.3e} {:>12.4} {:>10.2} {:>4}/{}/{}",
+            policy.label(),
+            bytes,
+            res,
+            stats.seconds,
+            stats.gflops(),
+            census[0],
+            census[1],
+            census[2],
+        );
+        if policy == PrecisionPolicy::dp() {
+            dp_seconds = Some(stats.seconds);
+        }
+        // Sanity: utilization should be non-trivial under the task runtime.
+        assert!(trace.utilization() > 0.05, "runtime utilization too low");
+        // Accuracy envelope: HP-heavy variants still factor a
+        // well-conditioned covariance to percent-level residual.
+        assert!(res < 0.05, "{}: residual {res}", policy.label());
+    }
+    println!(
+        "(DP reference time: {:.4}s — on CPUs all precisions run at similar\n\
+         rates; the *memory* shrinks by 4×, and the GPU-rate speedups are\n\
+         modeled by exaclim-cluster, see `cargo run -p exaclim-bench --bin fig6`)",
+        dp_seconds.unwrap()
+    );
+}

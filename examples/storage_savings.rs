@@ -1,0 +1,89 @@
+//! The "saving petabytes" arithmetic of the paper's title, §I, and §VI:
+//! archive volumes, emulator parameter volumes, and dollar costs at the
+//! NCAR $45/TB/yr rate.
+//!
+//! ```text
+//! cargo run --release --example storage_savings
+//! ```
+
+use exaclim_climate::storage::{
+    CMIP3_BYTES, CMIP5_BYTES, CMIP6_BYTES, DOLLARS_PER_TB_YEAR, PB,
+    SCREAM_BYTES_PER_DAY, StorageModel, TB, paper_headline_model,
+};
+
+fn fmt_bytes(b: f64) -> String {
+    if b >= PB {
+        format!("{:.2} PB", b / PB)
+    } else if b >= TB {
+        format!("{:.2} TB", b / TB)
+    } else {
+        format!("{:.2} GB", b / 1e9)
+    }
+}
+
+fn main() {
+    println!("== Reference archive volumes (paper §I) ==");
+    println!("CMIP3 ................ {}", fmt_bytes(CMIP3_BYTES));
+    println!("CMIP5 ................ {}", fmt_bytes(CMIP5_BYTES));
+    println!("CMIP6 ................ {}", fmt_bytes(CMIP6_BYTES));
+    println!(
+        "CMIP6 carrying cost .. ${:.1}M per year",
+        CMIP6_BYTES / TB * DOLLARS_PER_TB_YEAR / 1e6
+    );
+    println!(
+        "SCREAM @ DYAMOND ..... {} per simulated day",
+        fmt_bytes(SCREAM_BYTES_PER_DAY)
+    );
+    println!();
+
+    println!("== Emulator-vs-archive ledger ==");
+    println!(
+        "{:<44} {:>12} {:>12} {:>8} {:>14}",
+        "configuration", "archive", "emulator", "ratio", "saved $/yr"
+    );
+    let configs: Vec<(&str, StorageModel)> = vec![
+        (
+            "ERA5 0.25°, daily, 83 yr, R=10, L=720",
+            StorageModel {
+                ensemble_size: 10,
+                t_max: 30_295,
+                npoints: 721 * 1440,
+                lmax: 720,
+                k_harmonics: 5,
+                var_order: 3,
+            },
+        ),
+        (
+            "ERA5 0.25°, hourly, 35 yr, R=10, L=720",
+            StorageModel {
+                ensemble_size: 10,
+                t_max: 306_600,
+                npoints: 721 * 1440,
+                lmax: 720,
+                k_harmonics: 5,
+                var_order: 3,
+            },
+        ),
+        ("0.034° hourly, 1 yr, R=1 (headline grid)", paper_headline_model(1, 1)),
+        ("0.034° hourly, 83 yr, R=100", paper_headline_model(100, 83)),
+    ];
+    for (name, m) in &configs {
+        println!(
+            "{:<44} {:>12} {:>12} {:>7.1}× {:>13.0}",
+            name,
+            fmt_bytes(m.ensemble_bytes()),
+            fmt_bytes(m.emulator_bytes()),
+            m.savings_ratio(),
+            m.dollars_saved_per_year()
+        );
+    }
+    println!();
+
+    let headline = paper_headline_model(100, 83);
+    println!(
+        "Replacing a 100-member, 83-year hourly archive at 3.5 km with the\n\
+         emulator saves {} — petabytes, as the title promises.",
+        fmt_bytes(headline.bytes_saved())
+    );
+    assert!(headline.bytes_saved() > 10.0 * PB);
+}
