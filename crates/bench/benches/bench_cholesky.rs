@@ -1,10 +1,10 @@
 //! Tile Cholesky benches: sequential vs task-parallel, across matrix sizes.
 
-use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use exaclim_linalg::cholesky::tile_cholesky;
 use exaclim_linalg::precision::PrecisionPolicy;
-use exaclim_linalg::tiled::{TiledMatrix, exp_covariance};
-use exaclim_runtime::{SchedulerKind, parallel_tile_cholesky};
+use exaclim_linalg::tiled::{exp_covariance, TiledMatrix};
+use exaclim_runtime::{parallel_tile_cholesky, SchedulerKind};
 use std::hint::black_box;
 
 fn bench_cholesky(c: &mut Criterion) {
@@ -21,9 +21,7 @@ fn bench_cholesky(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("parallel_dp", n), &n, |bch, _| {
             bch.iter(|| {
                 let mut tm = TiledMatrix::from_dense(&a, n, 64, &PrecisionPolicy::dp());
-                black_box(
-                    parallel_tile_cholesky(&mut tm, 4, SchedulerKind::PriorityHeap).unwrap(),
-                );
+                black_box(parallel_tile_cholesky(&mut tm, 4, SchedulerKind::PriorityHeap).unwrap());
             });
         });
     }

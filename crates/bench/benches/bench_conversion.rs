@@ -1,21 +1,30 @@
 //! Figure 5 counterpart: message-ledger and timing-model costs of sender-
 //! vs receiver-side precision conversion.
 
-use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use exaclim_cluster::machines::{Machine, MachineSpec};
-use exaclim_cluster::sim::{SimConfig, Variant, simulate_cholesky};
+use exaclim_cluster::sim::{simulate_cholesky, SimConfig, Variant};
 use exaclim_linalg::precision::PrecisionPolicy;
-use exaclim_runtime::distsim::{ConversionSide, DistConfig, simulate_distribution};
+use exaclim_runtime::distsim::{simulate_distribution, ConversionSide, DistConfig};
 use std::hint::black_box;
 
 fn bench_conversion(c: &mut Criterion) {
     let mut group = c.benchmark_group("conversion_ledger");
     for side in [ConversionSide::Sender, ConversionSide::Receiver] {
-        let cfg = DistConfig { p: 8, q: 16, conversion: side };
+        let cfg = DistConfig {
+            p: 8,
+            q: 16,
+            conversion: side,
+        };
         let label = format!("{side:?}");
         group.bench_with_input(BenchmarkId::new("ledger", &label), &cfg, |bch, cfg| {
             bch.iter(|| {
-                black_box(simulate_distribution(64, 512, &PrecisionPolicy::dp_hp(), cfg))
+                black_box(simulate_distribution(
+                    64,
+                    512,
+                    &PrecisionPolicy::dp_hp(),
+                    cfg,
+                ))
             });
         });
     }

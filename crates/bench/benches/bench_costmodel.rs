@@ -1,7 +1,7 @@
 //! Figure 1 counterpart: measured training cost of the real emulator across
 //! band-limits, confirming the cost model's growth exponents.
 
-use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use exaclim::{ClimateEmulator, EmulatorConfig};
 use exaclim_climate::{SyntheticEra5, SyntheticEra5Config};
 use std::hint::black_box;
@@ -14,9 +14,7 @@ fn bench_costmodel(c: &mut Criterion) {
         let training = generator.generate_member(0, 365);
         group.bench_with_input(BenchmarkId::new("train_L", lmax), &lmax, |bch, &lmax| {
             bch.iter(|| {
-                black_box(
-                    ClimateEmulator::train(&training, EmulatorConfig::small(lmax)).unwrap(),
-                )
+                black_box(ClimateEmulator::train(&training, EmulatorConfig::small(lmax)).unwrap())
             });
         });
     }

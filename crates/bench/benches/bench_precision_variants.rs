@@ -4,10 +4,10 @@
 //! tensor-core speedups) are the observable; the GPU-rate speedups live in
 //! the cluster model (`--bin fig6`).
 
-use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use exaclim_linalg::precision::PrecisionPolicy;
-use exaclim_linalg::tiled::{TiledMatrix, exp_covariance};
-use exaclim_runtime::{SchedulerKind, parallel_tile_cholesky};
+use exaclim_linalg::tiled::{exp_covariance, TiledMatrix};
+use exaclim_runtime::{parallel_tile_cholesky, SchedulerKind};
 use std::hint::black_box;
 
 fn bench_variants(c: &mut Criterion) {
@@ -24,14 +24,18 @@ fn bench_variants(c: &mut Criterion) {
         ("dp_hp", PrecisionPolicy::dp_hp()),
     ];
     for (label, policy) in policies {
-        group.bench_with_input(BenchmarkId::new("variant", label), &policy, |bch, policy| {
-            bch.iter(|| {
-                let mut tm = TiledMatrix::from_dense(&a, n, b, policy);
-                black_box(
-                    parallel_tile_cholesky(&mut tm, 4, SchedulerKind::PriorityHeap).unwrap(),
-                );
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("variant", label),
+            &policy,
+            |bch, policy| {
+                bch.iter(|| {
+                    let mut tm = TiledMatrix::from_dense(&a, n, b, policy);
+                    black_box(
+                        parallel_tile_cholesky(&mut tm, 4, SchedulerKind::PriorityHeap).unwrap(),
+                    );
+                });
+            },
+        );
     }
     group.finish();
 }

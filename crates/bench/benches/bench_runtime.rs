@@ -1,10 +1,10 @@
 //! Runtime scheduling overhead: per-task cost of the three schedulers on
 //! the Cholesky DAG shape, and the FFT substrate's throughput.
 
-use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use exaclim_fft::Fft;
 use exaclim_mathkit::Complex64;
-use exaclim_runtime::{Executor, SchedulerKind, graph::cholesky_graph};
+use exaclim_runtime::{graph::cholesky_graph, Executor, SchedulerKind};
 use std::hint::black_box;
 
 fn bench_runtime(c: &mut Criterion) {
@@ -17,20 +17,23 @@ fn bench_runtime(c: &mut Criterion) {
         SchedulerKind::Fifo,
     ] {
         let label = format!("{sched:?}");
-        group.bench_with_input(BenchmarkId::new("empty_tasks", &label), &sched, |bch, &s| {
-            let exec = Executor::new(4, s);
-            bch.iter(|| {
-                black_box(exec.run(&g, |_, _| Ok(())).unwrap());
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("empty_tasks", &label),
+            &sched,
+            |bch, &s| {
+                let exec = Executor::new(4, s);
+                bch.iter(|| {
+                    black_box(exec.run(&g, |_, _| Ok(())).unwrap());
+                });
+            },
+        );
     }
     group.finish();
 
     let mut group = c.benchmark_group("fft");
     for n in [256usize, 720, 1440, 1009] {
         let plan = Fft::new(n);
-        let data: Vec<Complex64> =
-            (0..n).map(|k| Complex64::cis(k as f64 * 0.1)).collect();
+        let data: Vec<Complex64> = (0..n).map(|k| Complex64::cis(k as f64 * 0.1)).collect();
         group.bench_with_input(BenchmarkId::new("forward", n), &n, |bch, _| {
             let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
             bch.iter(|| {

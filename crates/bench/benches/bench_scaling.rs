@@ -1,10 +1,10 @@
 //! Figure 7 counterpart on real CPU hardware: strong scaling of the
 //! task-parallel tile Cholesky over worker counts.
 
-use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use exaclim_linalg::precision::PrecisionPolicy;
-use exaclim_linalg::tiled::{TiledMatrix, exp_covariance};
-use exaclim_runtime::{SchedulerKind, parallel_tile_cholesky};
+use exaclim_linalg::tiled::{exp_covariance, TiledMatrix};
+use exaclim_runtime::{parallel_tile_cholesky, SchedulerKind};
 use std::hint::black_box;
 
 fn bench_scaling(c: &mut Criterion) {
@@ -16,9 +16,7 @@ fn bench_scaling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |bch, &w| {
             bch.iter(|| {
                 let mut tm = TiledMatrix::from_dense(&a, n, 64, &PrecisionPolicy::dp());
-                black_box(
-                    parallel_tile_cholesky(&mut tm, w, SchedulerKind::WorkStealing).unwrap(),
-                );
+                black_box(parallel_tile_cholesky(&mut tm, w, SchedulerKind::WorkStealing).unwrap());
             });
         });
     }

@@ -2,9 +2,9 @@
 //! across band-limits, verifying the O(L³)-per-slice behaviour of
 //! §III.A.2, plus the batched (rayon) path.
 
-use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use exaclim_mathkit::Complex64;
-use exaclim_sht::{HarmonicCoeffs, ShtPlan, analysis_batch};
+use exaclim_sht::{analysis_batch, HarmonicCoeffs, ShtPlan};
 use std::hint::black_box;
 
 fn random_coeffs(lmax: usize) -> HarmonicCoeffs {

@@ -1,0 +1,54 @@
+//! ECA1 archive write/read throughput per codec at small grid sizes.
+//!
+//! Measures the full container path (encode + checksum + directory on
+//! write; directory + checksum + decode on read) over an in-memory sink,
+//! so the numbers isolate codec cost from disk speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use exaclim_climate::{SyntheticEra5, SyntheticEra5Config};
+use exaclim_store::{ArchiveReader, ArchiveWriter, Codec, FieldMeta};
+use std::hint::black_box;
+use std::io::Cursor;
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+    group.sample_size(10);
+    for lmax in [8usize, 16] {
+        let generator = SyntheticEra5::new(SyntheticEra5Config::small_daily(lmax));
+        let data = generator.generate_member(0, 64);
+        let meta = FieldMeta {
+            ntheta: data.ntheta,
+            nphi: data.nphi,
+            start_year: data.start_year,
+            tau: data.tau,
+        };
+        let raw_bytes = (data.data.len() * 8) as u64;
+        for codec in Codec::ALL {
+            let label = format!("L{lmax}/{}", codec.label());
+            group.throughput(Throughput::Bytes(raw_bytes));
+            group.bench_with_input(BenchmarkId::new("write", &label), &codec, |bch, &codec| {
+                bch.iter(|| {
+                    let mut w = ArchiveWriter::new(Cursor::new(Vec::new())).unwrap();
+                    w.add_field("t2m", codec, meta, data.npoints, 16, &data.data)
+                        .unwrap();
+                    black_box(w.finish().unwrap().1)
+                });
+            });
+            let mut w = ArchiveWriter::new(Cursor::new(Vec::new())).unwrap();
+            w.add_field("t2m", codec, meta, data.npoints, 16, &data.data)
+                .unwrap();
+            let (cursor, _) = w.finish().unwrap();
+            let archive = cursor.into_inner();
+            group.bench_with_input(BenchmarkId::new("read", &label), &codec, |bch, _| {
+                bch.iter(|| {
+                    let mut r = ArchiveReader::new(Cursor::new(archive.clone())).unwrap();
+                    black_box(r.read_field_all("t2m").unwrap())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -3,17 +3,28 @@
 
 use exaclim_cluster::machines::{Machine, MachineSpec};
 use exaclim_cluster::scaling::strong_scaling;
-use exaclim_cluster::sim::{SimConfig, Variant, simulate_cholesky};
+use exaclim_cluster::sim::{simulate_cholesky, SimConfig, Variant};
 
 fn main() {
     let summit = MachineSpec::of(Machine::Summit);
     // Fig 6: Summit 2048 nodes, 8.39M.
     let dp = simulate_cholesky(&summit, &SimConfig::new(8_390_000, 2048, Variant::Dp));
-    println!("Summit DP frac of peak: {:.3} (paper 0.617)", dp.pflops / summit.dp_peak_pf(2048));
+    println!(
+        "Summit DP frac of peak: {:.3} (paper 0.617)",
+        dp.pflops / summit.dp_peak_pf(2048)
+    );
     for v in [Variant::DpSp, Variant::DpSpHp, Variant::DpHp] {
         let r = simulate_cholesky(&summit, &SimConfig::new(8_390_000, 2048, v));
-        println!("  {} speedup {:.2} (paper {})", v.label(), r.pflops / dp.pflops,
-            match v { Variant::DpSp => "2.0", Variant::DpSpHp => "3.2", _ => "5.2" });
+        println!(
+            "  {} speedup {:.2} (paper {})",
+            v.label(),
+            r.pflops / dp.pflops,
+            match v {
+                Variant::DpSp => "2.0",
+                Variant::DpSpHp => "3.2",
+                _ => "5.2",
+            }
+        );
     }
     let hp = simulate_cholesky(&summit, &SimConfig::new(8_390_000, 2048, Variant::DpHp));
     println!("Summit DP/HP @8.39M: {:.1} PF (paper 304.84)", hp.pflops);
@@ -28,7 +39,10 @@ fn main() {
         let spec = MachineSpec::of(m);
         let r = simulate_cholesky(&spec, &SimConfig::new(n, 1024, Variant::DpHp));
         let per_gpu = r.pflops * 1e3 / (1024 * spec.gpus_per_node) as f64;
-        println!("  {:<9} {:>6.1} TF/GPU (paper {target})", spec.name, per_gpu);
+        println!(
+            "  {:<9} {:>6.1} TF/GPU (paper {target})",
+            spec.name, per_gpu
+        );
     }
     // Fig 8 largest runs.
     println!("--- Fig 8 (PFlop/s) ---");
@@ -45,16 +59,29 @@ fn main() {
     ] {
         let spec = MachineSpec::of(m);
         let r = simulate_cholesky(&spec, &SimConfig::new(n, nodes, Variant::DpHp));
-        println!("  {:<9} {:>5} nodes {:>7.2}M: {:>7.1} PF (paper {target})", spec.name, nodes, n as f64/1e6, r.pflops);
+        println!(
+            "  {:<9} {:>5} nodes {:>7.2}M: {:>7.1} PF (paper {target})",
+            spec.name,
+            nodes,
+            n as f64 / 1e6,
+            r.pflops
+        );
     }
     // Fig 7 strong scaling at 4x.
     println!("--- Fig 7 strong scaling eff @4x (paper DP 55, DP/SP 72, DP/SP/HP 60, DP/HP 56) ---");
     for v in Variant::all() {
         let pts = strong_scaling(&summit, v, &[3072, 6144, 12288], 12_580_000);
-        println!("  {:<9} {:.0}% -> {:.0}%", v.label(), pts[1].efficiency_pct, pts[2].efficiency_pct);
+        println!(
+            "  {:<9} {:.0}% -> {:.0}%",
+            v.label(),
+            pts[1].efficiency_pct,
+            pts[2].efficiency_pct
+        );
     }
     // Fig 5: new vs old at 128 nodes.
-    println!("--- Fig 5 new/old speedup @128 Summit nodes (paper DP 1.15, DP/SP 1.06, DP/HP 1.53) ---");
+    println!(
+        "--- Fig 5 new/old speedup @128 Summit nodes (paper DP 1.15, DP/SP 1.06, DP/HP 1.53) ---"
+    );
     for v in [Variant::Dp, Variant::DpSp, Variant::DpHp] {
         let mut sp = 0.0;
         for n in [660_000usize, 860_000, 1_060_000, 1_270_000] {

@@ -6,7 +6,7 @@
 //! cargo run --release -p exaclim-bench --bin energy
 //! ```
 
-use exaclim_cluster::energy::{EnergyModel, simulate_energy};
+use exaclim_cluster::energy::{simulate_energy, EnergyModel};
 use exaclim_cluster::machines::{Machine, MachineSpec};
 use exaclim_cluster::sim::{SimConfig, Variant};
 
@@ -15,7 +15,10 @@ fn main() {
     let model = EnergyModel::default();
     let n = 8_390_000;
     let nodes = 2_048;
-    println!("== Energy of the Figure 6 runs (Summit {nodes} nodes, {:.2}M) ==", n as f64 / 1e6);
+    println!(
+        "== Energy of the Figure 6 runs (Summit {nodes} nodes, {:.2}M) ==",
+        n as f64 / 1e6
+    );
     println!(
         "{:<10} {:>10} {:>12} {:>12} {:>12} {:>10} {:>12}",
         "variant", "seconds", "compute MJ", "wire MJ", "idle MJ", "avg MW", "GFlops/W"

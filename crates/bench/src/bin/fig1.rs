@@ -6,8 +6,7 @@
 //! ```
 
 use exaclim_cluster::costmodel::{
-    CostModel, EmulatorClass, headline_resolution_factor, literature_catalog,
-    this_work_bandlimits,
+    headline_resolution_factor, literature_catalog, this_work_bandlimits, CostModel, EmulatorClass,
 };
 
 fn main() {
@@ -64,8 +63,6 @@ fn main() {
     }
     let (s, t, total) = headline_resolution_factor();
     println!();
-    println!(
-        "resolution advance over prior emulators: {s}× spatial × {t}× temporal = {total}×"
-    );
+    println!("resolution advance over prior emulators: {s}× spatial × {t}× temporal = {total}×");
     assert_eq!(total, 245_280.0, "the paper's headline factor");
 }

@@ -10,7 +10,7 @@
 //! cargo run --release -p exaclim-bench --bin fig2
 //! ```
 
-use exaclim::{ClimateEmulator, EmulatorConfig, validate_consistency};
+use exaclim::{validate_consistency, ClimateEmulator, EmulatorConfig};
 use exaclim_climate::{SyntheticEra5, SyntheticEra5Config};
 use exaclim_mathkit::stats::OnlineStats;
 
@@ -62,9 +62,18 @@ fn main() {
     println!("consistency scorecard (full year, hourly):");
     println!("  mean nRMSE             {:.4}", report.mean_nrmse);
     println!("  std ratio (median)     {:.4}", report.std_ratio_median);
-    println!("  mean-field correlation {:.4}", report.mean_field_correlation);
-    println!("  std-field correlation  {:.4}", report.std_field_correlation);
+    println!(
+        "  mean-field correlation {:.4}",
+        report.mean_field_correlation
+    );
+    println!(
+        "  std-field correlation  {:.4}",
+        report.std_field_correlation
+    );
     println!("  |Δ acf(1)|             {:.4}", report.acf1_abs_diff);
     println!("  PASSES: {}", report.passes());
-    assert!(report.passes(), "Figure 2 claim: statistically consistent emulation");
+    assert!(
+        report.passes(),
+        "Figure 2 claim: statistically consistent emulation"
+    );
 }

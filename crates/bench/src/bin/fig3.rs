@@ -9,12 +9,12 @@
 use exaclim_climate::{SyntheticEra5, SyntheticEra5Config};
 use exaclim_linalg::precision::PrecisionPolicy;
 use exaclim_linalg::tiled::TiledMatrix;
-use exaclim_runtime::{SchedulerKind, parallel_tile_cholesky};
-use exaclim_sht::{HarmonicCoeffs, ShtPlan, analysis_batch, synthesis_batch};
+use exaclim_runtime::{parallel_tile_cholesky, SchedulerKind};
+use exaclim_sht::{analysis_batch, synthesis_batch, HarmonicCoeffs, ShtPlan};
 use exaclim_stats::covariance::{empirical_covariance, ensure_spd};
 use exaclim_stats::emulate::CoefficientSampler;
 use exaclim_stats::forcing::ForcingSeries;
-use exaclim_stats::trend::{TrendConfig, fit_grid};
+use exaclim_stats::trend::{fit_grid, TrendConfig};
 use exaclim_stats::var::fit_diagonal_var;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -41,27 +41,41 @@ fn main() {
     );
     let trend_cfg = TrendConfig::daily(data.start_year);
     let fit = fit_grid(&data.data, t_max, npoints, &trend_cfg, &forcing);
-    stage("1. trend fit + residual standardization", t0.elapsed().as_secs_f64());
+    stage(
+        "1. trend fit + residual standardization",
+        t0.elapsed().as_secs_f64(),
+    );
 
     // Stage 2: forward SHT of every slice (eqs. 4–8).
     let t0 = Instant::now();
     let plan = ShtPlan::equiangular(lmax, data.ntheta, data.nphi);
     let coeff_sets = analysis_batch(&plan, &fit.residuals, t_max);
-    let series: Vec<Vec<f64>> =
-        coeff_sets.iter().map(HarmonicCoeffs::to_real_vector).collect();
-    stage("2. forward SHT (Wigner/FFT engine, batched)", t0.elapsed().as_secs_f64());
+    let series: Vec<Vec<f64>> = coeff_sets
+        .iter()
+        .map(HarmonicCoeffs::to_real_vector)
+        .collect();
+    stage(
+        "2. forward SHT (Wigner/FFT engine, batched)",
+        t0.elapsed().as_secs_f64(),
+    );
 
     // Stage 3: VAR(P) temporal model.
     let t0 = Instant::now();
     let var = fit_diagonal_var(&series, 3);
     let xi = var.innovations(&series);
-    stage("3. diagonal VAR(3) fit + innovations", t0.elapsed().as_secs_f64());
+    stage(
+        "3. diagonal VAR(3) fit + innovations",
+        t0.elapsed().as_secs_f64(),
+    );
 
     // Stage 4: empirical covariance (eq. 9) + SPD repair.
     let t0 = Instant::now();
     let mut u = empirical_covariance(&xi);
     let jitter = ensure_spd(&mut u);
-    stage("4. empirical covariance U (eq. 9)", t0.elapsed().as_secs_f64());
+    stage(
+        "4. empirical covariance U (eq. 9)",
+        t0.elapsed().as_secs_f64(),
+    );
 
     // Stage 5: mixed-precision tile Cholesky on the task runtime.
     let t0 = Instant::now();
@@ -69,7 +83,10 @@ fn main() {
     let mut tiled = TiledMatrix::from_dense(u.as_slice(), dim, lmax, &PrecisionPolicy::dp_hp());
     let (stats, trace) =
         parallel_tile_cholesky(&mut tiled, 4, SchedulerKind::PriorityHeap).unwrap();
-    stage("5. DP/HP tile Cholesky (task DAG)", t0.elapsed().as_secs_f64());
+    stage(
+        "5. DP/HP tile Cholesky (task DAG)",
+        t0.elapsed().as_secs_f64(),
+    );
     let factor = tiled.to_dense_lower();
 
     // Stage 6: emulation — sample, VAR forward, inverse SHT.
@@ -82,7 +99,10 @@ fn main() {
         .map(|f| HarmonicCoeffs::from_real_vector(lmax, f))
         .collect();
     let fields = synthesis_batch(&plan, &sets);
-    stage("6. emulate: ξ=Vη → VAR → inverse SHT", t0.elapsed().as_secs_f64());
+    stage(
+        "6. emulate: ξ=Vη → VAR → inverse SHT",
+        t0.elapsed().as_secs_f64(),
+    );
 
     println!("{:-<58}", "");
     println!("{:<46} {total:>9.3}s", "total");

@@ -6,7 +6,7 @@
 //! cargo run --release -p exaclim-bench --bin fig4
 //! ```
 
-use exaclim::{ClimateEmulator, EmulatorConfig, validate_consistency};
+use exaclim::{validate_consistency, ClimateEmulator, EmulatorConfig};
 use exaclim_climate::{SyntheticEra5, SyntheticEra5Config};
 use exaclim_linalg::precision::PrecisionPolicy;
 
@@ -49,7 +49,11 @@ fn main() {
     println!(
         "Paper claim (Fig. 4): emulations remain statistically consistent at\n\
          every precision variant of the tile Cholesky — {}",
-        if all_pass { "REPRODUCED" } else { "NOT reproduced" }
+        if all_pass {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     assert!(all_pass);
 }

@@ -11,9 +11,9 @@
 //! ```
 
 use exaclim_cluster::machines::{Machine, MachineSpec};
-use exaclim_cluster::sim::{SimConfig, Variant, simulate_cholesky};
+use exaclim_cluster::sim::{simulate_cholesky, SimConfig, Variant};
 use exaclim_linalg::precision::PrecisionPolicy;
-use exaclim_runtime::distsim::{ConversionSide, DistConfig, simulate_distribution};
+use exaclim_runtime::distsim::{simulate_distribution, ConversionSide, DistConfig};
 
 fn main() {
     let spec = MachineSpec::of(Machine::Summit);
@@ -25,8 +25,9 @@ fn main() {
     );
     let sizes = [660_000usize, 860_000, 1_060_000, 1_270_000];
     let paper = [("DP", 1.15), ("DP/SP", 1.06), ("DP/HP", 1.53)];
-    for (v, (label, paper_speedup)) in
-        [Variant::Dp, Variant::DpSp, Variant::DpHp].into_iter().zip(paper)
+    for (v, (label, paper_speedup)) in [Variant::Dp, Variant::DpSp, Variant::DpHp]
+        .into_iter()
+        .zip(paper)
     {
         for &n in &sizes {
             let new = simulate_cholesky(&spec, &SimConfig::new(n, nodes, v));
@@ -51,7 +52,11 @@ fn main() {
     );
     let nt = 64;
     let b = 512;
-    let grid = |side| DistConfig { p: 8, q: 16, conversion: side };
+    let grid = |side| DistConfig {
+        p: 8,
+        q: 16,
+        conversion: side,
+    };
     for (label, policy) in [
         ("DP", PrecisionPolicy::dp()),
         ("DP/SP", PrecisionPolicy::dp_sp()),

@@ -10,7 +10,7 @@
 //! ```
 
 use exaclim_cluster::machines::{Machine, MachineSpec};
-use exaclim_cluster::sim::{SimConfig, Variant, simulate_cholesky};
+use exaclim_cluster::sim::{simulate_cholesky, SimConfig, Variant};
 
 fn main() {
     let spec = MachineSpec::of(Machine::Summit);

@@ -28,8 +28,10 @@ fn main() {
         for p in &pts {
             print!(" {:>8.1} ", p.tflops_per_gpu);
         }
-        let effs: Vec<String> =
-            pts.iter().map(|p| format!("{:.0}%", p.efficiency_pct)).collect();
+        let effs: Vec<String> = pts
+            .iter()
+            .map(|p| format!("{:.0}%", p.efficiency_pct))
+            .collect();
         println!("  eff: {}", effs.join("/"));
         for p in &pts {
             assert!(
@@ -44,7 +46,11 @@ fn main() {
     let strong_gpus = [3072usize, 6144, 12288];
     // The largest DP/HP matrix fitting 512 Summit nodes (Table I scaling).
     let n = spec.max_matrix_n(512, 2.5);
-    println!("fixed matrix: {:.2}M ({} GPUs baseline)", n as f64 / 1e6, strong_gpus[0]);
+    println!(
+        "fixed matrix: {:.2}M ({} GPUs baseline)",
+        n as f64 / 1e6,
+        strong_gpus[0]
+    );
     print!("{:<10}", "variant");
     for g in strong_gpus {
         print!(" {:>9}", g);
@@ -57,7 +63,10 @@ fn main() {
             print!(" {:>8.0}% ", p.efficiency_pct);
         }
         println!();
-        assert!(pts[2].efficiency_pct < pts[1].efficiency_pct, "monotone decay");
+        assert!(
+            pts[2].efficiency_pct < pts[1].efficiency_pct,
+            "monotone decay"
+        );
     }
     println!();
     println!(

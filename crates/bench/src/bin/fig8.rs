@@ -6,7 +6,7 @@
 //! ```
 
 use exaclim_cluster::machines::{Machine, MachineSpec};
-use exaclim_cluster::sim::{SimConfig, Variant, simulate_cholesky};
+use exaclim_cluster::sim::{simulate_cholesky, SimConfig, Variant};
 
 fn main() {
     println!("== Figure 8: largest runs (DP/HP variant) ==");
@@ -54,7 +54,10 @@ fn main() {
         "modeled Frontier flagship: {:.3} EFlop/s (paper: 0.976 EFlop/s)",
         frontier_max / 1e3
     );
-    assert!(frontier_max > 600.0, "must be within 2× of the paper's EFlop/s scale");
+    assert!(
+        frontier_max > 600.0,
+        "must be within 2× of the paper's EFlop/s scale"
+    );
     assert!(
         frontier_max / 1e3 > 0.5 && frontier_max / 1e3 < 2.0,
         "order-of-magnitude agreement with 0.976 EF"

@@ -5,12 +5,76 @@
 //! cargo run --release -p exaclim-bench --bin storage
 //! ```
 
+use exaclim::{ClimateEmulator, EmulatorConfig, TrainedEmulator};
 use exaclim_climate::storage::{
-    CMIP3_BYTES, CMIP5_BYTES, CMIP6_BYTES, DOLLARS_PER_TB_YEAR, PB,
-    SCREAM_BYTES_PER_DAY, StorageModel, TB, paper_headline_model,
+    paper_headline_model, StorageModel, CMIP3_BYTES, CMIP5_BYTES, CMIP6_BYTES, DOLLARS_PER_TB_YEAR,
+    PB, SCREAM_BYTES_PER_DAY, TB,
 };
+use exaclim_climate::{dataset_to_eca1, encode_dataset, SyntheticEra5, SyntheticEra5Config};
+use exaclim_store::Codec;
+
+/// Measured (not modeled) bytes: write a real synthetic member through
+/// every container/codec and a real trained emulator through the ECA1
+/// snapshot path, and report what actually lands on disk.
+fn measured_ledger() {
+    println!("== Measured bytes (L=8 daily, 1 member × 2 yr, synthetic ERA5) ==");
+    let generator = SyntheticEra5::new(SyntheticEra5Config::small_daily(12));
+    let days = 2 * 365;
+    let member = generator.generate_member(0, days);
+    let raw64 = member.data.len() * 8;
+    let xclm = encode_dataset(&member).len();
+    println!(
+        "{:<28} {:>12} bytes {:>8}",
+        "raw f64 (in memory)", raw64, "1.00×"
+    );
+    println!(
+        "{:<28} {:>12} bytes {:>7.2}×",
+        "XCLM v1 (legacy f32)",
+        xclm,
+        raw64 as f64 / xclm as f64
+    );
+    let mut f32_archive = 0usize;
+    let mut shuffled_archive = 0usize;
+    for codec in Codec::ALL {
+        let eca = dataset_to_eca1(&member, codec).expect("archive writes");
+        println!(
+            "{:<28} {:>12} bytes {:>7.2}×",
+            format!("ECA1 {}", codec.label()),
+            eca.len(),
+            raw64 as f64 / eca.len() as f64
+        );
+        match codec {
+            Codec::F32 => f32_archive = eca.len(),
+            Codec::F32Shuffle => shuffled_archive = eca.len(),
+            _ => {}
+        }
+    }
+    assert!(
+        shuffled_archive < f32_archive,
+        "shuffle+RLE must beat raw f32 on smooth fields: {shuffled_archive} vs {f32_archive}"
+    );
+
+    let emulator = ClimateEmulator::train(&member, EmulatorConfig::small(8))
+        .expect("training succeeds at toy scale");
+    let path = std::env::temp_dir().join("exaclim_storage_bin_snapshot.eca1");
+    let snapshot_bytes = emulator.save(&path).expect("snapshot writes");
+    let _ = TrainedEmulator::load(&path).expect("snapshot reloads");
+    std::fs::remove_file(&path).ok();
+    println!(
+        "{:<28} {:>12} bytes {:>7.2}×  (modeled parameter bytes: {})",
+        "emulator snapshot (ECA1)",
+        snapshot_bytes,
+        raw64 as f64 / snapshot_bytes as f64,
+        emulator.parameter_bytes()
+    );
+    println!(
+        "one member measured; the emulator regenerates unlimited members from \
+         {snapshot_bytes} bytes\n"
+    );
+}
 
 fn main() {
+    measured_ledger();
     println!("== §I reference volumes ==");
     for (name, b) in [
         ("CMIP3", CMIP3_BYTES),
@@ -59,7 +123,10 @@ fn main() {
                 var_order: 3,
             },
         ),
-        ("L=5219 hourly 83yr R=100 (headline)", paper_headline_model(100, 83)),
+        (
+            "L=5219 hourly 83yr R=100 (headline)",
+            paper_headline_model(100, 83),
+        ),
     ];
     let mut last_saved = 0.0;
     for (name, m) in rows {

@@ -6,7 +6,7 @@
 //! ```
 
 use exaclim_cluster::machines::{Machine, MachineSpec};
-use exaclim_cluster::sim::{SimConfig, Variant, avg_bytes_per_element, simulate_cholesky};
+use exaclim_cluster::sim::{avg_bytes_per_element, simulate_cholesky, SimConfig, Variant};
 
 fn main() {
     println!("== Table I: DP/HP on 1,024 nodes ==");

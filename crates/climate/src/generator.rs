@@ -12,8 +12,8 @@
 use crate::landsea::land_fraction;
 use exaclim_mathkit::rng::StandardNormal;
 use exaclim_sht::{HarmonicCoeffs, ShtPlan};
-use rand::SeedableRng;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 // The stats crate is not a dependency (it sits above us); a minimal forcing
 // re-implementation would duplicate logic, so we inline the tiny shim here.
@@ -120,7 +120,10 @@ impl SyntheticEra5 {
     /// Build the generator (precomputes the SHT plan and static fields).
     pub fn new(cfg: SyntheticEra5Config) -> Self {
         assert!(cfg.ntheta > cfg.lmax, "generator grid must satisfy Nθ > L");
-        assert!(cfg.nphi >= 2 * cfg.lmax - 1, "generator grid must satisfy Nϕ ≥ 2L−1");
+        assert!(
+            cfg.nphi >= 2 * cfg.lmax - 1,
+            "generator grid must satisfy Nϕ ≥ 2L−1"
+        );
         assert!((0.0..1.0).contains(&cfg.ar_phi));
         let plan = ShtPlan::equiangular(cfg.lmax, cfg.ntheta, cfg.nphi);
         let spectrum_std = (0..cfg.lmax)
@@ -146,7 +149,14 @@ impl SyntheticEra5 {
                 sensitivity.push(sens);
             }
         }
-        Self { cfg, plan, spectrum_std, climatology, land, sensitivity }
+        Self {
+            cfg,
+            plan,
+            spectrum_std,
+            climatology,
+            land,
+            sensitivity,
+        }
     }
 
     /// Grid points per field.
@@ -213,8 +223,7 @@ impl SyntheticEra5 {
             let mean = self.mean_field(t);
             let row = &mut data[t * np..(t + 1) * np];
             for p in 0..np {
-                let sigma =
-                    cfg.sigma_ocean * (1.0 + (cfg.land_sigma_factor - 1.0) * self.land[p]);
+                let sigma = cfg.sigma_ocean * (1.0 + (cfg.land_sigma_factor - 1.0) * self.land[p]);
                 row[p] = mean[p] + sigma * z[p];
             }
         }
@@ -249,7 +258,11 @@ impl SyntheticEra5 {
                 } else {
                     sn.sample(rng) * std * std::f64::consts::FRAC_1_SQRT_2
                 };
-                let re = if m == 0 { re } else { re * std::f64::consts::FRAC_1_SQRT_2 };
+                let re = if m == 0 {
+                    re
+                } else {
+                    re * std::f64::consts::FRAC_1_SQRT_2
+                };
                 coeffs.set(l, m, Complex64::new(re, im));
             }
         }
@@ -365,7 +378,9 @@ mod tests {
             }
         }
         let var = |p: usize| {
-            let s: Vec<f64> = (0..300).map(|t| d.field(t)[p] - g.mean_field(t)[p]).collect();
+            let s: Vec<f64> = (0..300)
+                .map(|t| d.field(t)[p] - g.mean_field(t)[p])
+                .collect();
             exaclim_mathkit::stats::variance(&s)
         };
         let vl = var(best_land);

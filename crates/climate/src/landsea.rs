@@ -10,12 +10,12 @@
 /// with angular widths, loosely placed like Earth's land masses.
 const BUMPS: [(f64, f64, f64, f64); 6] = [
     // (θ center, φ center, width, weight)
-    (0.85, 4.80, 0.44, 1.0),  // North America
-    (0.75, 0.35, 0.48, 1.0),  // Eurasia (west)
-    (0.95, 1.45, 0.52, 0.9),  // Eurasia (east)
-    (1.55, 0.40, 0.36, 0.8),  // Africa
-    (1.95, 5.00, 0.32, 0.7),  // South America
-    (2.05, 2.30, 0.28, 0.6),  // Australia
+    (0.85, 4.80, 0.44, 1.0), // North America
+    (0.75, 0.35, 0.48, 1.0), // Eurasia (west)
+    (0.95, 1.45, 0.52, 0.9), // Eurasia (east)
+    (1.55, 0.40, 0.36, 0.8), // Africa
+    (1.95, 5.00, 0.32, 0.7), // South America
+    (2.05, 2.30, 0.28, 0.6), // Australia
 ];
 
 /// Smooth land fraction in `[0, 1]` at co-latitude `theta ∈ [0, π]` and
@@ -104,7 +104,10 @@ mod tests {
 
     #[test]
     fn antarctica_is_land_south_pole_ocean_north() {
-        assert!(land_fraction(std::f64::consts::PI - 0.05, 1.0) > 0.5, "Antarctica");
+        assert!(
+            land_fraction(std::f64::consts::PI - 0.05, 1.0) > 0.5,
+            "Antarctica"
+        );
         assert!(land_fraction(0.02, 1.0) < 0.5, "Arctic ocean");
     }
 }

@@ -25,6 +25,8 @@ pub mod storage;
 pub mod upsample;
 
 pub use generator::{Dataset, SyntheticEra5, SyntheticEra5Config};
-pub use io::{decode_dataset, encode_dataset};
+pub use io::{
+    convert_xclm_to_eca1, dataset_from_eca1, dataset_to_eca1, decode_dataset, encode_dataset,
+};
 pub use landsea::land_fraction;
 pub use storage::StorageModel;

@@ -120,7 +120,11 @@ mod tests {
         // ~3 PB emulator (V dominates at L = 5219).
         let m = paper_headline_model(100, 83);
         assert!(m.ensemble_bytes() > 14.0 * PB && m.ensemble_bytes() < 18.0 * PB);
-        assert!(m.bytes_saved() > 10.0 * PB, "saved {}", m.bytes_saved() / PB);
+        assert!(
+            m.bytes_saved() > 10.0 * PB,
+            "saved {}",
+            m.bytes_saved() / PB
+        );
         assert!(m.savings_ratio() > 4.0, "ratio {}", m.savings_ratio());
     }
 
@@ -160,7 +164,10 @@ mod tests {
             k_harmonics: 5,
             var_order: 3,
         };
-        let big = StorageModel { lmax: 64, ..base.clone() };
+        let big = StorageModel {
+            lmax: 64,
+            ..base.clone()
+        };
         // V scales as L⁴/2: doubling L multiplies the factor by ~16.
         assert!(big.emulator_bytes() > 10.0 * base.emulator_bytes());
     }

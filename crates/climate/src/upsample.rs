@@ -5,7 +5,7 @@
 //! co-latitude (non-periodic, poles at the ends) and a periodic cubic spline
 //! along longitude, applied separably.
 
-use exaclim_mathkit::spline::{CubicSpline, upsample_periodic};
+use exaclim_mathkit::spline::{upsample_periodic, CubicSpline};
 
 /// Up-sample a `ntheta × nphi` equiangular field (poles included) by integer
 /// `factor` in both directions. The output grid has
@@ -19,7 +19,10 @@ pub fn upsample_field(
 ) -> (Vec<f64>, usize, usize) {
     assert_eq!(field.len(), ntheta * nphi);
     assert!(factor >= 1);
-    assert!(ntheta >= 4 && nphi >= 4, "spline upsampling needs ≥ 4 samples per axis");
+    assert!(
+        ntheta >= 4 && nphi >= 4,
+        "spline upsampling needs ≥ 4 samples per axis"
+    );
     if factor == 1 {
         return (field.to_vec(), ntheta, nphi);
     }
@@ -80,7 +83,10 @@ mod tests {
             for j in 0..16 {
                 let fine = up[(i * 3) * np + j * 3];
                 let coarse = f[i * 16 + j];
-                assert!((fine - coarse).abs() < 1e-9, "({i},{j}): {fine} vs {coarse}");
+                assert!(
+                    (fine - coarse).abs() < 1e-9,
+                    "({i},{j}): {fine} vs {coarse}"
+                );
             }
         }
     }

@@ -165,14 +165,13 @@ mod tests {
     fn this_work_cost_is_exascale() {
         // At L = 5219 the dominant L⁶ term alone is ~2×10²² flops —
         // minutes at EFlop/s rates, unreachable for desktop emulators.
-        let fl = CostModel::design_flops(
-            EmulatorClass::Anisotropic,
-            5219.0,
-            306_600.0,
-        );
+        let fl = CostModel::design_flops(EmulatorClass::Anisotropic, 5219.0, 306_600.0);
         assert!(fl > 1e22, "{fl:.3e}");
         let seconds_at_exaflop = fl / 1e18;
-        assert!(seconds_at_exaflop < 86_400.0, "feasible within a day at EF/s");
+        assert!(
+            seconds_at_exaflop < 86_400.0,
+            "feasible within a day at EF/s"
+        );
     }
 
     #[test]
@@ -193,12 +192,18 @@ mod tests {
                 }
                 EmulatorClass::Anisotropic => {
                     assert!(e.resolution_km >= 100.0, "{}", e.reference);
-                    assert!(e.temporal_per_year <= 1.0, "{}: anisotropic stayed annual", e.reference);
+                    assert!(
+                        e.temporal_per_year <= 1.0,
+                        "{}: anisotropic stayed annual",
+                        e.reference
+                    );
                 }
             }
         }
         // This work beats every catalog entry in both dimensions.
         let ours_km = CostModel::resolution_km(5219.0);
-        assert!(literature_catalog().iter().all(|e| e.resolution_km > ours_km));
+        assert!(literature_catalog()
+            .iter()
+            .all(|e| e.resolution_km > ours_km));
     }
 }

@@ -8,7 +8,7 @@
 //! ablation at the paper's scales.
 
 use crate::machines::MachineSpec;
-use crate::sim::{SimConfig, SimResult, simulate_cholesky};
+use crate::sim::{simulate_cholesky, SimConfig, SimResult};
 use serde::{Deserialize, Serialize};
 
 /// Energy price book (order-of-magnitude literature constants).
@@ -68,10 +68,8 @@ pub fn energy_of_run(
     result: &SimResult,
 ) -> EnergyReport {
     let [hp, sp, dp] = result.flops_by_bucket;
-    let compute = (hp * model.pj_per_hp_flop
-        + sp * model.pj_per_sp_flop
-        + dp * model.pj_per_dp_flop)
-        * 1e-12;
+    let compute =
+        (hp * model.pj_per_hp_flop + sp * model.pj_per_sp_flop + dp * model.pj_per_dp_flop) * 1e-12;
     let wire = result.wire_bytes * model.pj_per_wire_byte * 1e-12;
     let gpus = (cfg.nodes * spec.gpus_per_node) as f64;
     let idle = model.idle_watts_per_gpu * gpus * result.seconds;

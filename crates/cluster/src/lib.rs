@@ -26,6 +26,6 @@ pub mod scaling;
 pub mod sim;
 
 pub use costmodel::{CostModel, EmulatorClass};
-pub use energy::{EnergyModel, EnergyReport, simulate_energy};
+pub use energy::{simulate_energy, EnergyModel, EnergyReport};
 pub use machines::{Machine, MachineSpec};
-pub use sim::{CollectiveOrder, SimConfig, SimResult, Variant, WireConversion, simulate_cholesky};
+pub use sim::{simulate_cholesky, CollectiveOrder, SimConfig, SimResult, Variant, WireConversion};

@@ -73,7 +73,7 @@ impl MachineSpec {
                 name: "Alps",
                 gpus_per_node: 4,
                 max_nodes: 2688,
-                dp_peak_tf: 67.0, // H100 SXM tensor DP
+                dp_peak_tf: 67.0,  // H100 SXM tensor DP
                 sp_peak_tf: 494.0, // TF32 tensor (dense)
                 hp_peak_tf: 989.0,
                 eff_dp: 0.80,
@@ -87,7 +87,7 @@ impl MachineSpec {
                 name: "Leonardo",
                 gpus_per_node: 4,
                 max_nodes: 3456,
-                dp_peak_tf: 19.5, // A100 tensor DP
+                dp_peak_tf: 19.5,  // A100 tensor DP
                 sp_peak_tf: 156.0, // TF32 tensor
                 hp_peak_tf: 312.0,
                 eff_dp: 0.85,
@@ -171,7 +171,12 @@ mod tests {
 
     #[test]
     fn hp_rates_exceed_dp_rates() {
-        for m in [Machine::Frontier, Machine::Alps, Machine::Leonardo, Machine::Summit] {
+        for m in [
+            Machine::Frontier,
+            Machine::Alps,
+            Machine::Leonardo,
+            Machine::Summit,
+        ] {
             let spec = MachineSpec::of(m);
             assert!(spec.rate_tf(0) > spec.rate_tf(2), "{}", spec.name);
             assert!(spec.rate_tf(1) >= spec.rate_tf(2) * 0.9, "{}", spec.name);

@@ -1,7 +1,7 @@
 //! Weak- and strong-scaling drivers (Figure 7).
 
 use crate::machines::MachineSpec;
-use crate::sim::{SimConfig, Variant, simulate_cholesky};
+use crate::sim::{simulate_cholesky, SimConfig, Variant};
 use serde::{Deserialize, Serialize};
 
 /// One scaling data point.

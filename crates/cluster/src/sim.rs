@@ -230,13 +230,15 @@ pub fn simulate_cholesky(spec: &MachineSpec, cfg: &SimConfig) -> SimResult {
     let pg = g.sqrt();
     let qg = g.sqrt();
     let depth = (g.log2() / 2.0).max(1.0); // broadcast tree depth per dim
-    let lat = spec.latency_us * 1e-6
+    let lat = spec.latency_us
+        * 1e-6
         * match cfg.collectives {
             CollectiveOrder::LatencyFirst => 1.0,
             CollectiveOrder::BandwidthFirst => BW_FIRST_LATENCY_PENALTY,
         };
-    let contention =
-        (cfg.nodes as f64 / CONTENTION_THRESHOLD).powf(CONTENTION_EXPONENT).max(1.0);
+    let contention = (cfg.nodes as f64 / CONTENTION_THRESHOLD)
+        .powf(CONTENTION_EXPONENT)
+        .max(1.0);
     let bw = spec.node_bw_gbs
         * 1e9
         * match cfg.collectives {
@@ -269,7 +271,7 @@ pub fn simulate_cholesky(spec: &MachineSpec, cfg: &SimConfig) -> SimResult {
 
     for k in 0..nt {
         let m = nt - 1 - k; // trailing tiles per dimension
-        // POTRF (DP always).
+                            // POTRF (DP always).
         let t_potrf = (b * b * b / 3.0) / dp_rate;
         flops_by_bucket[2] += b * b * b / 3.0;
         // Panel TRSMs: m tiles spread over pg grid rows.
@@ -311,8 +313,7 @@ pub fn simulate_cholesky(spec: &MachineSpec, cfg: &SimConfig) -> SimResult {
         }
         // POTRF tile down the panel (DP wire unless all consumers narrower).
         panel_bytes += b * b * 8.0;
-        let per_node_bytes =
-            panel_bytes * (pg + qg) / cfg.nodes as f64 * WIRE_OVERHEAD;
+        let per_node_bytes = panel_bytes * (pg + qg) / cfg.nodes as f64 * WIRE_OVERHEAD;
         let t_comm = per_node_bytes / bw;
         let t_lat = 2.0 * depth * lat;
         wire_bytes_total += panel_bytes * (pg + qg);
@@ -378,16 +379,27 @@ mod tests {
         let spec = summit();
         let base = simulate_cholesky(&spec, &SimConfig::new(8_390_000, 2_048, Variant::Dp));
         let sp = simulate_cholesky(&spec, &SimConfig::new(8_390_000, 2_048, Variant::DpSp));
-        let sphp =
-            simulate_cholesky(&spec, &SimConfig::new(8_390_000, 2_048, Variant::DpSpHp));
+        let sphp = simulate_cholesky(&spec, &SimConfig::new(8_390_000, 2_048, Variant::DpSpHp));
         let hp = simulate_cholesky(&spec, &SimConfig::new(8_390_000, 2_048, Variant::DpHp));
         let s_sp = sp.pflops / base.pflops;
         let s_sphp = sphp.pflops / base.pflops;
         let s_hp = hp.pflops / base.pflops;
-        assert!(s_sp > 1.3 && s_sp < 3.0, "DP/SP speedup {s_sp} (paper: 2.0)");
-        assert!(s_sphp > s_sp, "DP/SP/HP ({s_sphp}) must beat DP/SP ({s_sp})");
-        assert!(s_hp > s_sphp, "DP/HP ({s_hp}) must beat DP/SP/HP ({s_sphp})");
-        assert!(s_hp > 3.5 && s_hp < 7.5, "DP/HP speedup {s_hp} (paper: 5.2)");
+        assert!(
+            s_sp > 1.3 && s_sp < 3.0,
+            "DP/SP speedup {s_sp} (paper: 2.0)"
+        );
+        assert!(
+            s_sphp > s_sp,
+            "DP/SP/HP ({s_sphp}) must beat DP/SP ({s_sp})"
+        );
+        assert!(
+            s_hp > s_sphp,
+            "DP/HP ({s_hp}) must beat DP/SP/HP ({s_sphp})"
+        );
+        assert!(
+            s_hp > 3.5 && s_hp < 7.5,
+            "DP/HP speedup {s_hp} (paper: 5.2)"
+        );
     }
 
     #[test]
@@ -406,8 +418,14 @@ mod tests {
         let s_dphp = speedup(Variant::DpHp);
         assert!(s_dphp > s_dp, "DP/HP gains most: {s_dphp} vs {s_dp}");
         assert!(s_dphp > s_dpsp, "DP/HP gains more than DP/SP");
-        assert!(s_dphp > 1.2 && s_dphp < 3.0, "DP/HP new/old {s_dphp} (paper: 1.53)");
-        assert!((1.0..1.6).contains(&s_dp), "DP new/old {s_dp} (paper: 1.15)");
+        assert!(
+            s_dphp > 1.2 && s_dphp < 3.0,
+            "DP/HP new/old {s_dphp} (paper: 1.53)"
+        );
+        assert!(
+            (1.0..1.6).contains(&s_dp),
+            "DP new/old {s_dp} (paper: 1.15)"
+        );
     }
 
     #[test]
@@ -428,11 +446,16 @@ mod tests {
         // matrix in full DP must NOT fit (DP needs ~3.2× the bytes).
         let spec = summit();
         let hp = simulate_cholesky(&spec, &SimConfig::new(6_290_000, 1_024, Variant::DpHp));
-        assert!(hp.fits_memory, "paper ran 6.29M DP/HP on 1,024 Summit nodes");
+        assert!(
+            hp.fits_memory,
+            "paper ran 6.29M DP/HP on 1,024 Summit nodes"
+        );
         let dp = simulate_cholesky(&spec, &SimConfig::new(6_290_000, 1_024, Variant::Dp));
-        assert!(!dp.fits_memory, "full DP at 6.29M exceeds 1,024-node memory");
-        let too_big =
-            simulate_cholesky(&spec, &SimConfig::new(40_000_000, 64, Variant::DpHp));
+        assert!(
+            !dp.fits_memory,
+            "full DP at 6.29M exceeds 1,024-node memory"
+        );
+        let too_big = simulate_cholesky(&spec, &SimConfig::new(40_000_000, 64, Variant::DpHp));
         assert!(!too_big.fits_memory);
     }
 

@@ -50,7 +50,9 @@ impl EmulatorConfig {
             rho_grid: vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
             precision: PrecisionPolicy::dp_hp(),
             tile: lmax,
-            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
         }
     }
 
@@ -66,7 +68,11 @@ impl EmulatorConfig {
             return Err("band-limit must be at least 2".into());
         }
         if !self.coeff_dim().is_multiple_of(self.tile) {
-            return Err(format!("tile {} must divide L² = {}", self.tile, self.coeff_dim()));
+            return Err(format!(
+                "tile {} must divide L² = {}",
+                self.tile,
+                self.coeff_dim()
+            ));
         }
         if self.var_order == 0 {
             return Err("VAR order must be positive".into());

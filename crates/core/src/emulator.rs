@@ -2,17 +2,17 @@
 
 use crate::config::EmulatorConfig;
 use exaclim_climate::generator::Dataset;
-use exaclim_runtime::{SchedulerKind, parallel_tile_cholesky};
-use exaclim_sht::{HarmonicCoeffs, ShtPlan, analysis_batch, synthesis_batch};
+use exaclim_linalg::tiled::TiledMatrix;
+use exaclim_mathkit::rng::StandardNormal;
+use exaclim_runtime::{parallel_tile_cholesky, SchedulerKind};
+use exaclim_sht::{analysis_batch, synthesis_batch, HarmonicCoeffs, ShtPlan};
 use exaclim_stats::covariance::{empirical_covariance, ensure_spd};
 use exaclim_stats::emulate::CoefficientSampler;
 use exaclim_stats::forcing::ForcingSeries;
-use exaclim_stats::trend::{TrendConfig, TrendModel, fit_grid};
-use exaclim_stats::var::{DiagonalVar, fit_diagonal_var};
-use exaclim_linalg::tiled::TiledMatrix;
-use exaclim_mathkit::rng::StandardNormal;
-use rand::SeedableRng;
+use exaclim_stats::trend::{fit_grid, TrendConfig, TrendModel};
+use exaclim_stats::var::{fit_diagonal_var, DiagonalVar};
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -104,7 +104,13 @@ impl ClimateEmulator {
             .ok_or_else(|| EmulationError::Data("need at least one member".into()))?;
         for m in members {
             if (m.ntheta, m.nphi, m.t_max, m.tau, m.start_year)
-                != (first.ntheta, first.nphi, first.t_max, first.tau, first.start_year)
+                != (
+                    first.ntheta,
+                    first.nphi,
+                    first.t_max,
+                    first.tau,
+                    first.start_year,
+                )
             {
                 return Err(EmulationError::Data(
                     "ensemble members must share geometry and period".into(),
@@ -186,7 +192,10 @@ impl ClimateEmulator {
                 }
             }
             all_series.push(
-                coeff_sets.par_iter().map(HarmonicCoeffs::to_real_vector).collect(),
+                coeff_sets
+                    .par_iter()
+                    .map(HarmonicCoeffs::to_real_vector)
+                    .collect(),
             );
         }
         for v in v2.iter_mut() {
@@ -205,8 +214,7 @@ impl ClimateEmulator {
         let mut u = empirical_covariance(&xi_all);
         let jitter = ensure_spd(&mut u);
         let dim = config.coeff_dim();
-        let mut tiled =
-            TiledMatrix::from_dense(u.as_slice(), dim, config.tile, &config.precision);
+        let mut tiled = TiledMatrix::from_dense(u.as_slice(), dim, config.tile, &config.precision);
         parallel_tile_cholesky(&mut tiled, config.workers, SchedulerKind::PriorityHeap)
             .map_err(|e| EmulationError::Factorization(e.to_string()))?;
         let factor = tiled.to_dense_lower();
@@ -236,8 +244,7 @@ impl ClimateEmulator {
 
         // Stage 1: mean trend + scale, standardized residuals.
         let years = (data.t_max / data.tau + 2) as i64;
-        let forcing =
-            ForcingSeries::historical_like(data.start_year, data.start_year + years, 30);
+        let forcing = ForcingSeries::historical_like(data.start_year, data.start_year + years, 30);
         let trend_cfg = TrendConfig {
             k_harmonics: config.k_harmonics,
             tau: data.tau,
@@ -249,8 +256,10 @@ impl ClimateEmulator {
         // Stage 2: forward SHT of every residual slice.
         let plan = ShtPlan::equiangular(config.lmax, data.ntheta, data.nphi);
         let coeff_sets = analysis_batch(&plan, &fit.residuals, data.t_max);
-        let series: Vec<Vec<f64>> =
-            coeff_sets.par_iter().map(HarmonicCoeffs::to_real_vector).collect();
+        let series: Vec<Vec<f64>> = coeff_sets
+            .par_iter()
+            .map(HarmonicCoeffs::to_real_vector)
+            .collect();
 
         // Truncation residual variance v² per location.
         let recon = synthesis_batch(&plan, &coeff_sets);
@@ -390,6 +399,41 @@ impl TrainedEmulator {
     pub fn from_json(s: &str) -> Result<Self, EmulationError> {
         serde_json::from_str(s).map_err(|e| EmulationError::Data(e.to_string()))
     }
+
+    /// Member name of the emulator snapshot inside an ECA1 archive.
+    pub const SNAPSHOT_MEMBER: &'static str = "trained_emulator";
+    /// Schema version written by [`TrainedEmulator::save`]. Bump on any
+    /// incompatible change to the serialized model.
+    pub const SNAPSHOT_VERSION: u32 = 1;
+
+    /// Persist to an ECA1 snapshot archive at `path` (compressed,
+    /// checksummed). Returns the container size in bytes.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<u64, EmulationError> {
+        let snapshot = exaclim_store::Snapshot::new(
+            Self::SNAPSHOT_MEMBER,
+            Self::SNAPSHOT_VERSION,
+            self.to_json().into_bytes(),
+        );
+        exaclim_store::write_snapshot_file(path, &snapshot)
+            .map_err(|e| EmulationError::Data(e.to_string()))
+    }
+
+    /// Reload an emulator persisted with [`TrainedEmulator::save`]. The
+    /// reloaded model emulates bit-identically for the same seed.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, EmulationError> {
+        let snapshot = exaclim_store::read_snapshot_file(path, Self::SNAPSHOT_MEMBER)
+            .map_err(|e| EmulationError::Data(e.to_string()))?;
+        if snapshot.version != Self::SNAPSHOT_VERSION {
+            return Err(EmulationError::Data(format!(
+                "snapshot schema version {} is not supported (expected {})",
+                snapshot.version,
+                Self::SNAPSHOT_VERSION
+            )));
+        }
+        let json = String::from_utf8(snapshot.payload)
+            .map_err(|_| EmulationError::Data("snapshot payload is not UTF-8".to_string()))?;
+        Self::from_json(&json)
+    }
 }
 
 #[cfg(test)]
@@ -434,6 +478,22 @@ mod tests {
         let c = em.emulate(50, 1).unwrap();
         assert_eq!(a.data, c.data, "same seed, same emulation");
         assert!(a.data.iter().zip(&b.data).any(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_bit_identical() {
+        let (em, _) = train_small();
+        let path = std::env::temp_dir().join("exaclim_core_snapshot_test.eca1");
+        let bytes = em.save(&path).unwrap();
+        assert!(bytes > 0);
+        let back = TrainedEmulator::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let a = em.emulate(40, 17).unwrap();
+        let b = back.emulate(40, 17).unwrap();
+        assert_eq!(
+            a.data, b.data,
+            "reloaded emulator must emulate bit-identically"
+        );
     }
 
     #[test]
@@ -485,11 +545,13 @@ mod tests {
         assert!(report.passes(), "{report:?}");
         // Single-member path must agree with the R=1 ensemble path.
         let single = ClimateEmulator::train(&members[0], EmulatorConfig::small(8)).unwrap();
-        let ens1 =
-            ClimateEmulator::train_ensemble(&refs[..1], EmulatorConfig::small(8)).unwrap();
+        let ens1 = ClimateEmulator::train_ensemble(&refs[..1], EmulatorConfig::small(8)).unwrap();
         // Same estimator up to floating-point summation order.
         for (a, b) in single.factor.iter().zip(&ens1.factor) {
-            assert!((a - b).abs() < 1e-6, "R=1 ensemble ≡ single-member: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-6,
+                "R=1 ensemble ≡ single-member: {a} vs {b}"
+            );
         }
         for (a, b) in single.trend.iter().zip(&ens1.trend) {
             assert!((a.sigma - b.sigma).abs() < 1e-9);
@@ -502,8 +564,7 @@ mod tests {
         let gen = SyntheticEra5::new(SyntheticEra5Config::small_daily(12));
         let a = gen.generate_member(0, 400);
         let b = gen.generate_member(1, 500); // different length
-        let err = ClimateEmulator::train_ensemble(&[&a, &b], EmulatorConfig::small(8))
-            .unwrap_err();
+        let err = ClimateEmulator::train_ensemble(&[&a, &b], EmulatorConfig::small(8)).unwrap_err();
         assert!(matches!(err, EmulationError::Data(_)));
     }
 

@@ -34,7 +34,7 @@ pub mod validate;
 
 pub use config::EmulatorConfig;
 pub use emulator::{ClimateEmulator, EmulationError, TrainedEmulator};
-pub use validate::{ConsistencyReport, validate_consistency};
+pub use validate::{validate_consistency, ConsistencyReport};
 
 // Re-export the substrate crates under one roof.
 pub use exaclim_climate as climate;
@@ -46,3 +46,4 @@ pub use exaclim_runtime as runtime;
 pub use exaclim_sht as sht;
 pub use exaclim_sphere as sphere;
 pub use exaclim_stats as stats;
+pub use exaclim_store as store;

@@ -79,7 +79,11 @@ pub fn validate_consistency(simulation: &Dataset, emulation: &Dataset) -> Consis
         .map(|(s, e)| e / s)
         .collect();
     ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let std_ratio_median = if ratios.is_empty() { 1.0 } else { ratios[ratios.len() / 2] };
+    let std_ratio_median = if ratios.is_empty() {
+        1.0
+    } else {
+        ratios[ratios.len() / 2]
+    };
 
     let gs = global_mean_series(simulation);
     let ge = global_mean_series(emulation);
@@ -105,7 +109,7 @@ pub fn validate_consistency(simulation: &Dataset, emulation: &Dataset) -> Consis
     for q in [0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99] {
         let gap = (exaclim_mathkit::stats::quantile(&sim_anom, q)
             - exaclim_mathkit::stats::quantile(&emu_anom, q))
-            .abs()
+        .abs()
             / anom_scale;
         max_gap = max_gap.max(gap);
     }
@@ -137,10 +141,7 @@ mod tests {
         let em = ClimateEmulator::train(&training, EmulatorConfig::small(8)).unwrap();
         let emulation = em.emulate(3 * 365, 99).unwrap();
         let report = validate_consistency(&training, &emulation);
-        assert!(
-            report.passes(),
-            "consistency failed: {report:?}"
-        );
+        assert!(report.passes(), "consistency failed: {report:?}");
     }
 
     #[test]

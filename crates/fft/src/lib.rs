@@ -51,7 +51,7 @@ pub fn dft_naive(input: &[Complex64], inverse: bool) -> Vec<Complex64> {
 mod tests {
     use super::*;
     use exaclim_mathkit::Complex64;
-    use rand::{Rng, SeedableRng, rngs::StdRng};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn random_signal(n: usize, seed: u64) -> Vec<Complex64> {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -61,14 +61,19 @@ mod tests {
     }
 
     fn max_err(a: &[Complex64], b: &[Complex64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
     fn matches_naive_dft_many_sizes() {
         // Powers of two, smooth composites, primes, and SHT-typical sizes.
-        for &n in &[1usize, 2, 3, 4, 5, 6, 7, 8, 9, 12, 16, 25, 27, 30, 32, 45,
-                    64, 97, 100, 101, 120, 128, 144, 180, 240, 251, 360] {
+        for &n in &[
+            1usize, 2, 3, 4, 5, 6, 7, 8, 9, 12, 16, 25, 27, 30, 32, 45, 64, 97, 100, 101, 120, 128,
+            144, 180, 240, 251, 360,
+        ] {
             let x = random_signal(n, n as u64);
             let mut y = x.clone();
             fft_forward(&mut y);
@@ -176,7 +181,10 @@ mod tests {
         let mut y2 = x.clone();
         plan.forward(&mut y1);
         plan.forward(&mut y2);
-        assert!(max_err(&y1, &y2) == 0.0, "same plan, same input, same output");
+        assert!(
+            max_err(&y1, &y2) == 0.0,
+            "same plan, same input, same output"
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl Fft {
     /// Plan an FFT of length `n`.
     pub fn new(n: usize) -> Self {
         if n <= 1 {
-            return Self { n, kind: Kind::Trivial };
+            return Self {
+                n,
+                kind: Kind::Trivial,
+            };
         }
         let factors = factorize(n);
         let max_prime = *factors.last().expect("n > 1 has factors");
@@ -45,7 +48,10 @@ impl Fft {
             let twiddles = (0..n)
                 .map(|k| Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
                 .collect();
-            Self { n, kind: Kind::MixedRadix { twiddles } }
+            Self {
+                n,
+                kind: Kind::MixedRadix { twiddles },
+            }
         } else {
             // Bluestein: inner power-of-two length m >= 2n - 1.
             let m = (2 * n - 1).next_power_of_two();
@@ -64,7 +70,15 @@ impl Fft {
                 b[m - k] = chirp[k].conj();
             }
             inner.forward(&mut b);
-            Self { n, kind: Kind::Bluestein { chirp, chirp_spectrum: b, inner, m } }
+            Self {
+                n,
+                kind: Kind::Bluestein {
+                    chirp,
+                    chirp_spectrum: b,
+                    inner,
+                    m,
+                },
+            }
         }
     }
 
@@ -120,7 +134,12 @@ impl Fft {
                 work.copy_from_slice(data);
                 rec_fft(work, 1, data, self.n, 1, self.n, twiddles, rest);
             }
-            Kind::Bluestein { chirp, chirp_spectrum, inner, m } => {
+            Kind::Bluestein {
+                chirp,
+                chirp_spectrum,
+                inner,
+                m,
+            } => {
                 let (a, rest) = scratch.split_at_mut(*m);
                 let (inner_scratch, _) = rest.split_at_mut(inner.scratch_len().max(*m));
                 for z in a.iter_mut() {
@@ -202,7 +221,16 @@ fn rec_fft(
     // Children: F_i = FFT_m of the i-th decimated subsequence.
     for i in 0..r {
         let (sub_dst, _) = dst[i * m..].split_at_mut(m);
-        rec_fft(&src[i * stride..], stride * r, sub_dst, m, ts * r, master_n, tw, scratch);
+        rec_fft(
+            &src[i * stride..],
+            stride * r,
+            sub_dst,
+            m,
+            ts * r,
+            master_n,
+            tw,
+            scratch,
+        );
     }
     // Combine: X[k1 + m k2] = Σ_i (F_i[k1]·w^{ts·i·k1}) · w^{ts·m·i·k2}.
     let mut t = [Complex64::ZERO; MAX_DIRECT_PRIME + 1];
@@ -270,7 +298,7 @@ mod tests {
 
     #[test]
     fn scratch_reuse_matches_allocating_path() {
-        use rand::{Rng, SeedableRng, rngs::StdRng};
+        use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(3);
         for &n in &[64usize, 120, 1009] {
             let plan = Fft::new(n);

@@ -20,7 +20,11 @@ pub fn rfft(plan: &Fft, input: &[f64]) -> Vec<Complex64> {
 /// `n/2 + 1` non-redundant bins.
 pub fn irfft(plan: &Fft, half_spectrum: &[Complex64]) -> Vec<f64> {
     let n = plan.len();
-    assert_eq!(half_spectrum.len(), n / 2 + 1, "need n/2+1 bins for length {n}");
+    assert_eq!(
+        half_spectrum.len(),
+        n / 2 + 1,
+        "need n/2+1 bins for length {n}"
+    );
     let mut buf = vec![Complex64::ZERO; n];
     buf[..half_spectrum.len()].copy_from_slice(half_spectrum);
     for k in 1..n.div_ceil(2) {
@@ -33,7 +37,7 @@ pub fn irfft(plan: &Fft, half_spectrum: &[Complex64]) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng, rngs::StdRng};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
 
     #[test]
     fn rfft_roundtrip_even_and_odd() {

@@ -16,7 +16,11 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Build from a row-major vector.
@@ -133,10 +137,7 @@ impl Matrix {
                 }
                 if i == j {
                     if s <= 0.0 || !s.is_finite() {
-                        return Err(crate::kernels::NotPositiveDefinite {
-                            pivot: i,
-                            value: s,
-                        });
+                        return Err(crate::kernels::NotPositiveDefinite { pivot: i, value: s });
                     }
                     l.set(i, j, s.sqrt());
                 } else {
@@ -201,7 +202,8 @@ pub fn ols_solve(x: &Matrix, y: &[f64]) -> Vec<f64> {
         Err(_) => {
             let scale = xtx.frobenius_norm().max(1.0);
             xtx.add_diagonal(1e-10 * scale);
-            xtx.solve_spd(&xty).expect("ridge-regularized normal equations are SPD")
+            xtx.solve_spd(&xty)
+                .expect("ridge-regularized normal equations are SPD")
         }
     }
 }
@@ -236,11 +238,7 @@ mod tests {
 
     #[test]
     fn cholesky_reconstructs() {
-        let a = Matrix::from_vec(
-            3,
-            3,
-            vec![4.0, 2.0, 0.4, 2.0, 5.0, 1.0, 0.4, 1.0, 3.0],
-        );
+        let a = Matrix::from_vec(3, 3, vec![4.0, 2.0, 0.4, 2.0, 5.0, 1.0, 0.4, 1.0, 3.0]);
         let l = a.cholesky_lower().unwrap();
         let r = l.matmul(&l.transpose());
         for (x, y) in r.as_slice().iter().zip(a.as_slice()) {

@@ -20,7 +20,11 @@ pub struct NotPositiveDefinite {
 
 impl std::fmt::Display for NotPositiveDefinite {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "matrix not positive definite at pivot {} ({})", self.pivot, self.value)
+        write!(
+            f,
+            "matrix not positive definite at pivot {} ({})",
+            self.pivot, self.value
+        )
     }
 }
 
@@ -106,7 +110,10 @@ fn potrf_buf<T: Real>(a: &mut [f64], b: usize) -> Result<(), NotPositiveDefinite
             d = d.sub(T::ZERO.mul_add_acc(l, l));
         }
         if d.to_f64() <= 0.0 || !d.to_f64().is_finite() {
-            return Err(NotPositiveDefinite { pivot: k, value: d.to_f64() });
+            return Err(NotPositiveDefinite {
+                pivot: k,
+                value: d.to_f64(),
+            });
         }
         let dk = d.sqrt();
         w[k * b + k] = dk;
@@ -304,7 +311,7 @@ pub mod flops {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng, rngs::StdRng};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn spd_tile(b: usize, seed: u64, p: Precision) -> (Tile, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -369,7 +376,10 @@ mod tests {
             .sqrt();
         let rel = err / norm;
         assert!(rel < 50.0 * Precision::Single.unit_roundoff(), "rel={rel}");
-        assert!(rel > 0.01 * Precision::Double.unit_roundoff(), "suspiciously exact");
+        assert!(
+            rel > 0.01 * Precision::Double.unit_roundoff(),
+            "suspiciously exact"
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod precision;
 pub mod tile;
 pub mod tiled;
 
-pub use cholesky::{CholeskyStats, tile_cholesky};
+pub use cholesky::{tile_cholesky, CholeskyStats};
 pub use dense::Matrix;
 pub use f16::Half;
 pub use precision::{Precision, PrecisionPolicy};

@@ -33,9 +33,9 @@ impl Precision {
     /// Unit roundoff (round-to-nearest).
     pub fn unit_roundoff(self) -> f64 {
         match self {
-            Precision::Half => 1.0 / 2048.0,            // 2^-11
+            Precision::Half => 1.0 / 2048.0,                // 2^-11
             Precision::Single => f32::EPSILON as f64 / 2.0, // 2^-24
-            Precision::Double => f64::EPSILON / 2.0,    // 2^-53
+            Precision::Double => f64::EPSILON / 2.0,        // 2^-53
         }
     }
 
@@ -50,7 +50,11 @@ impl Precision {
 
     /// The wider of two precisions.
     pub fn max(self, other: Self) -> Self {
-        if self >= other { self } else { other }
+        if self >= other {
+            self
+        } else {
+            other
+        }
     }
 }
 
@@ -85,19 +89,28 @@ impl PrecisionPolicy {
 
     /// DP diagonal band (width 1), SP elsewhere — the paper's "DP/SP".
     pub fn dp_sp() -> Self {
-        PrecisionPolicy::Band { dp_band: 1, sp_band: usize::MAX }
+        PrecisionPolicy::Band {
+            dp_band: 1,
+            sp_band: usize::MAX,
+        }
     }
 
     /// DP band, ~5% of the off-diagonal as SP, rest HP — "DP/SP/HP".
     /// `nt` is the tile count per dimension; 5% of the band distance
     /// range is given to SP.
     pub fn dp_sp_hp(nt: usize) -> Self {
-        PrecisionPolicy::Band { dp_band: 1, sp_band: (nt / 20).max(1) }
+        PrecisionPolicy::Band {
+            dp_band: 1,
+            sp_band: (nt / 20).max(1),
+        }
     }
 
     /// DP band, HP elsewhere — the paper's fastest "DP/HP".
     pub fn dp_hp() -> Self {
-        PrecisionPolicy::Band { dp_band: 1, sp_band: 0 }
+        PrecisionPolicy::Band {
+            dp_band: 1,
+            sp_band: 0,
+        }
     }
 
     /// Decide the precision of tile `(i, j)` (row ≥ col in the lower
@@ -116,7 +129,10 @@ impl PrecisionPolicy {
                     Precision::Half
                 }
             }
-            PrecisionPolicy::Adaptive { dp_threshold, sp_threshold } => {
+            PrecisionPolicy::Adaptive {
+                dp_threshold,
+                sp_threshold,
+            } => {
                 if i == j || rel_norm >= dp_threshold {
                     Precision::Double
                 } else if rel_norm >= sp_threshold {
@@ -132,7 +148,10 @@ impl PrecisionPolicy {
     pub fn label(&self) -> String {
         match *self {
             PrecisionPolicy::Uniform(p) => p.label().to_string(),
-            PrecisionPolicy::Band { sp_band: usize::MAX, .. } => "DP/SP".to_string(),
+            PrecisionPolicy::Band {
+                sp_band: usize::MAX,
+                ..
+            } => "DP/SP".to_string(),
             PrecisionPolicy::Band { sp_band: 0, .. } => "DP/HP".to_string(),
             PrecisionPolicy::Band { .. } => "DP/SP/HP".to_string(),
             PrecisionPolicy::Adaptive { .. } => "adaptive".to_string(),
@@ -190,7 +209,10 @@ mod tests {
 
     #[test]
     fn adaptive_policy_uses_norms() {
-        let p = PrecisionPolicy::Adaptive { dp_threshold: 0.5, sp_threshold: 0.01 };
+        let p = PrecisionPolicy::Adaptive {
+            dp_threshold: 0.5,
+            sp_threshold: 0.01,
+        };
         assert_eq!(p.assign(2, 2, 0.0), Precision::Double); // diagonal always DP
         assert_eq!(p.assign(9, 1, 0.9), Precision::Double);
         assert_eq!(p.assign(9, 1, 0.1), Precision::Single);

@@ -39,9 +39,7 @@ impl Tile {
         let data = match p {
             Precision::Double => TileData::F64(values.to_vec()),
             Precision::Single => TileData::F32(values.iter().map(|&x| x as f32).collect()),
-            Precision::Half => {
-                TileData::F16(values.iter().map(|&x| Half::from_f64(x).0).collect())
-            }
+            Precision::Half => TileData::F16(values.iter().map(|&x| Half::from_f64(x).0).collect()),
         };
         Self { b, data }
     }

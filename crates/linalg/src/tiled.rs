@@ -26,7 +26,10 @@ impl TiledMatrix {
     /// with precisions assigned by `policy`. `n` must be divisible by `b`.
     pub fn from_dense(dense: &[f64], n: usize, b: usize, policy: &PrecisionPolicy) -> Self {
         assert_eq!(dense.len(), n * n, "dense payload must be n²");
-        assert!(b >= 1 && n.is_multiple_of(b), "tile size must divide n (n={n}, b={b})");
+        assert!(
+            b >= 1 && n.is_multiple_of(b),
+            "tile size must divide n (n={n}, b={b})"
+        );
         let nt = n / b;
         // Pass 1: tile Frobenius norms for the adaptive policy.
         let mut norms = vec![0.0f64; nt * (nt + 1) / 2];
@@ -198,7 +201,11 @@ mod tests {
         let tm = TiledMatrix::from_dense(&a, n, 4, &PrecisionPolicy::dp_hp());
         for i in 0..4 {
             for j in 0..=i {
-                let expect = if i == j { Precision::Double } else { Precision::Half };
+                let expect = if i == j {
+                    Precision::Double
+                } else {
+                    Precision::Half
+                };
                 assert_eq!(tm.tile(i, j).precision(), expect, "({i},{j})");
             }
         }
@@ -211,10 +218,17 @@ mod tests {
         let n = 32;
         // Fast decay: far tiles are numerically tiny.
         let a = exp_covariance(n, 0.5, 0.0);
-        let policy = PrecisionPolicy::Adaptive { dp_threshold: 0.5, sp_threshold: 1e-3 };
+        let policy = PrecisionPolicy::Adaptive {
+            dp_threshold: 0.5,
+            sp_threshold: 1e-3,
+        };
         let tm = TiledMatrix::from_dense(&a, n, 8, &policy);
         assert_eq!(tm.tile(0, 0).precision(), Precision::Double);
-        assert_eq!(tm.tile(3, 0).precision(), Precision::Half, "far corner is weak");
+        assert_eq!(
+            tm.tile(3, 0).precision(),
+            Precision::Half,
+            "far corner is weak"
+        );
     }
 
     #[test]

@@ -60,7 +60,10 @@ impl Complex64 {
     /// Complex conjugate.
     #[inline(always)]
     pub fn conj(self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared modulus `re² + im²`.
@@ -84,7 +87,10 @@ impl Complex64 {
     /// Multiplication by a real scalar.
     #[inline(always)]
     pub fn scale(self, s: f64) -> Self {
-        Self { re: self.re * s, im: self.im * s }
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     /// Fused multiply-add: `self * b + c` (not hardware-fused; a single
@@ -101,7 +107,10 @@ impl Complex64 {
     #[inline]
     pub fn inv(self) -> Self {
         let d = self.norm_sqr();
-        Self { re: self.re / d, im: -self.im / d }
+        Self {
+            re: self.re / d,
+            im: -self.im / d,
+        }
     }
 
     /// Complex exponential.
@@ -109,7 +118,10 @@ impl Complex64 {
     pub fn exp(self) -> Self {
         let r = self.re.exp();
         let (s, c) = self.im.sin_cos();
-        Self { re: r * c, im: r * s }
+        Self {
+            re: r * c,
+            im: r * s,
+        }
     }
 
     /// Square root on the principal branch.
@@ -118,7 +130,10 @@ impl Complex64 {
         let m = self.abs();
         let re = ((m + self.re) * 0.5).max(0.0).sqrt();
         let im_mag = ((m - self.re) * 0.5).max(0.0).sqrt();
-        Self { re, im: if self.im < 0.0 { -im_mag } else { im_mag } }
+        Self {
+            re,
+            im: if self.im < 0.0 { -im_mag } else { im_mag },
+        }
     }
 
     /// True if either component is NaN.
@@ -281,8 +296,10 @@ mod tests {
             let t = k as f64 * std::f64::consts::PI / 8.0;
             let z = Complex64::cis(t);
             assert!((z.abs() - 1.0).abs() < EPS);
-            assert!((z.arg() - t).rem_euclid(2.0 * std::f64::consts::PI) < 1e-9
-                || (t - z.arg()).rem_euclid(2.0 * std::f64::consts::PI) < 1e-9);
+            assert!(
+                (z.arg() - t).rem_euclid(2.0 * std::f64::consts::PI) < 1e-9
+                    || (t - z.arg()).rem_euclid(2.0 * std::f64::consts::PI) < 1e-9
+            );
         }
     }
 
@@ -309,7 +326,13 @@ mod tests {
 
     #[test]
     fn sqrt_squares_back() {
-        for &(re, im) in &[(4.0, 0.0), (-4.0, 0.0), (3.0, 4.0), (-3.0, -4.0), (0.0, 2.0)] {
+        for &(re, im) in &[
+            (4.0, 0.0),
+            (-4.0, 0.0),
+            (3.0, 4.0),
+            (-3.0, -4.0),
+            (0.0, 2.0),
+        ] {
             let z = Complex64::new(re, im);
             let s = z.sqrt();
             let back = s * s;

@@ -19,7 +19,7 @@ pub use complex::Complex64;
 pub use quadrature::GaussLegendre;
 pub use rng::{MultivariateNormal, StandardNormal};
 pub use spline::CubicSpline;
-pub use stats::{OnlineStats, acf, mean, variance};
+pub use stats::{acf, mean, variance, OnlineStats};
 
 /// Machine-independent comparison of floats with both absolute and relative
 /// tolerance: `|a - b| <= atol + rtol * max(|a|, |b|)`.

@@ -94,7 +94,11 @@ fn legendre_pn_and_deriv(n: usize, x: f64) -> (f64, f64) {
     }
     let d = if (1.0 - x * x).abs() < 1e-300 {
         // Endpoint derivative of P_n: n(n+1)/2 * (±1)^{n+1}
-        let s = if x > 0.0 { 1.0 } else { (-1.0f64).powi(n as i32 + 1) };
+        let s = if x > 0.0 {
+            1.0
+        } else {
+            (-1.0f64).powi(n as i32 + 1)
+        };
         s * n as f64 * (n as f64 + 1.0) / 2.0
     } else {
         n as f64 * (x * p1 - p0) / (x * x - 1.0)
@@ -134,7 +138,11 @@ mod tests {
         let gl = GaussLegendre::new(5);
         for deg in 0..=9usize {
             let got = gl.integrate(|x| x.powi(deg as i32));
-            let expect = if deg % 2 == 0 { 2.0 / (deg as f64 + 1.0) } else { 0.0 };
+            let expect = if deg % 2 == 0 {
+                2.0 / (deg as f64 + 1.0)
+            } else {
+                0.0
+            };
             assert!((got - expect).abs() < 1e-13, "deg {deg}: {got} vs {expect}");
         }
     }

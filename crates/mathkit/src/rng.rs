@@ -75,7 +75,12 @@ impl MultivariateNormal {
         for i in 0..dim {
             packed.extend_from_slice(&factor[i * dim..i * dim + i + 1]);
         }
-        Self { dim, mean, factor_packed: packed, normal: StandardNormal::new() }
+        Self {
+            dim,
+            mean,
+            factor_packed: packed,
+            normal: StandardNormal::new(),
+        }
     }
 
     /// Dimension of the distribution.
@@ -113,8 +118,8 @@ pub fn sample_moments(xs: &[f64]) -> (f64, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn standard_normal_moments() {

@@ -43,12 +43,26 @@ pub fn ln_gamma(x: f64) -> f64 {
 pub fn ln_factorial(n: u64) -> f64 {
     #[allow(clippy::approx_constant)] // ln(2!) happens to be ln 2
     const TABLE: [f64; 21] = [
-        0.0, 0.0, 0.6931471805599453, 1.791759469228055, 3.1780538303479458,
-        4.787491742782046, 6.579251212010101, 8.525161361065415,
-        10.60460290274525, 12.801827480081469, 15.104412573075516,
-        17.502307845873887, 19.987214495661885, 22.552163853123425,
-        25.19122118273868, 27.89927138384089, 30.671860106080672,
-        33.50507345013689, 36.39544520803305, 39.339884187199495,
+        0.0,
+        0.0,
+        0.6931471805599453,
+        1.791759469228055,
+        3.1780538303479458,
+        4.787491742782046,
+        6.579251212010101,
+        8.525161361065415,
+        10.60460290274525,
+        12.801827480081469,
+        15.104412573075516,
+        17.502307845873887,
+        19.987214495661885,
+        22.552163853123425,
+        25.19122118273868,
+        27.89927138384089,
+        30.671860106080672,
+        33.50507345013689,
+        36.39544520803305,
+        39.339884187199495,
         42.335616460753485,
     ];
     if n <= 20 {
@@ -87,7 +101,11 @@ pub fn binomial(n: u64, k: u64) -> f64 {
 /// `(-1)^k` without a branch on float parity.
 #[inline(always)]
 pub fn neg_one_pow(k: i64) -> f64 {
-    if k & 1 == 0 { 1.0 } else { -1.0 }
+    if k & 1 == 0 {
+        1.0
+    } else {
+        -1.0
+    }
 }
 
 /// Standard normal probability density.
@@ -115,10 +133,13 @@ pub fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
             .exp();
-    if x >= 0.0 { ans } else { 2.0 - ans }
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
 }
 
 #[cfg(test)]

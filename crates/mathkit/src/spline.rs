@@ -39,7 +39,11 @@ impl CubicSpline {
         for i in (0..n - 1).rev() {
             y2[i] = y2[i] * y2[i + 1] + u[i];
         }
-        Self { xs: xs.to_vec(), ys: ys.to_vec(), y2 }
+        Self {
+            xs: xs.to_vec(),
+            ys: ys.to_vec(),
+            y2,
+        }
     }
 
     /// Fit over uniformly spaced abscissae `x_i = x0 + i*dx`.
@@ -108,9 +112,7 @@ pub fn upsample_periodic(ys: &[f64], factor: usize) -> Vec<f64> {
     }
     let sp = CubicSpline::uniform(-(GUARD as f64), 1.0, &ext);
     let m = n * factor;
-    (0..m)
-        .map(|j| sp.eval(j as f64 / factor as f64))
-        .collect()
+    (0..m).map(|j| sp.eval(j as f64 / factor as f64)).collect()
 }
 
 #[cfg(test)]

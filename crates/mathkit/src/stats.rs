@@ -14,7 +14,13 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// Empty accumulator.
     pub fn new() -> Self {
-        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Feed one observation.
@@ -67,7 +73,11 @@ impl OnlineStats {
 
     /// Sample variance (n-1 denominator); 0 when fewer than two samples.
     pub fn variance(&self) -> f64 {
-        if self.n < 2 { 0.0 } else { self.m2 / (self.n - 1) as f64 }
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
     }
 
     /// Sample standard deviation.
@@ -116,9 +126,7 @@ pub fn acf(xs: &[f64], max_lag: usize) -> Vec<f64> {
     }
     (0..=max_lag)
         .map(|lag| {
-            let num: f64 = (0..n - lag)
-                .map(|t| (xs[t] - m) * (xs[t + lag] - m))
-                .sum();
+            let num: f64 = (0..n - lag).map(|t| (xs[t] - m) * (xs[t + lag] - m)).sum();
             num / denom
         })
         .collect()

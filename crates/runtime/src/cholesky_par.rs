@@ -6,7 +6,7 @@
 //! the sequential loop — results match bitwise in every precision variant.
 
 use crate::executor::{ExecError, Executor, SchedulerKind};
-use crate::graph::{TaskKind, cholesky_graph};
+use crate::graph::{cholesky_graph, TaskKind};
 use crate::trace::TraceReport;
 use exaclim_linalg::cholesky::CholeskyStats;
 use exaclim_linalg::kernels;
@@ -118,7 +118,11 @@ mod tests {
     use exaclim_linalg::tiled::exp_covariance;
 
     fn schedulers() -> [SchedulerKind; 3] {
-        [SchedulerKind::WorkStealing, SchedulerKind::PriorityHeap, SchedulerKind::Fifo]
+        [
+            SchedulerKind::WorkStealing,
+            SchedulerKind::PriorityHeap,
+            SchedulerKind::Fifo,
+        ]
     }
 
     #[test]
@@ -139,7 +143,11 @@ mod tests {
     fn matches_sequential_bitwise_mixed_precision() {
         let n = 64;
         let a = exp_covariance(n, 6.0, 1e-2);
-        for policy in [PrecisionPolicy::dp_sp(), PrecisionPolicy::dp_hp(), PrecisionPolicy::dp_sp_hp(8)] {
+        for policy in [
+            PrecisionPolicy::dp_sp(),
+            PrecisionPolicy::dp_hp(),
+            PrecisionPolicy::dp_sp_hp(8),
+        ] {
             let mut seq = TiledMatrix::from_dense(&a, n, 8, &policy);
             tile_cholesky(&mut seq).unwrap();
             let mut par = TiledMatrix::from_dense(&a, n, 8, &policy);
@@ -158,7 +166,8 @@ mod tests {
         let n = 64;
         let a = exp_covariance(n, 8.0, 1e-3);
         let mut tm = TiledMatrix::from_dense(&a, n, 16, &PrecisionPolicy::dp());
-        let (stats, trace) = parallel_tile_cholesky(&mut tm, 4, SchedulerKind::WorkStealing).unwrap();
+        let (stats, trace) =
+            parallel_tile_cholesky(&mut tm, 4, SchedulerKind::WorkStealing).unwrap();
         assert!(factorization_residual(&a, &tm) < 1e-13);
         assert_eq!(stats.kernel_counts.0, 4);
         assert_eq!(trace.spans.len(), crate::graph::cholesky_task_count(4));

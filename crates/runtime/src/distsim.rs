@@ -92,9 +92,7 @@ pub fn simulate_distribution(
 
     // One broadcast: `src_tile` of precision `src_p` produced on
     // `src_owner`, consumed by tasks updating `consumers` tiles.
-    let mut broadcast = |src_owner: usize,
-                         src_p: Precision,
-                         consumers: &[(usize, usize)]| {
+    let mut broadcast = |src_owner: usize, src_p: Precision, consumers: &[(usize, usize)]| {
         match cfg.conversion {
             ConversionSide::Receiver => {
                 // Wire precision = producer precision; dedupe by node.
@@ -162,7 +160,11 @@ trait WirePrecision {
 
 impl WirePrecision for Precision {
     fn min_wire(self, src: Precision) -> Precision {
-        if self <= src { self } else { src }
+        if self <= src {
+            self
+        } else {
+            src
+        }
     }
 }
 
@@ -171,7 +173,11 @@ mod tests {
     use super::*;
 
     fn cfg(p: usize, q: usize, side: ConversionSide) -> DistConfig {
-        DistConfig { p, q, conversion: side }
+        DistConfig {
+            p,
+            q,
+            conversion: side,
+        }
     }
 
     #[test]
@@ -204,7 +210,12 @@ mod tests {
         let send = simulate_distribution(16, 32, &policy, &cfg(2, 2, ConversionSide::Sender));
         // DP panels broadcast to HP consumers: wire shrinks 4× on those
         // edges under sender-side conversion.
-        assert!(send.bytes < recv.bytes, "send={} recv={}", send.bytes, recv.bytes);
+        assert!(
+            send.bytes < recv.bytes,
+            "send={} recv={}",
+            send.bytes,
+            recv.bytes
+        );
         assert!(send.conversions < recv.conversions);
         // Message *count* is conversion-placement independent up to the
         // per-precision split.
@@ -225,7 +236,10 @@ mod tests {
         let small = simulate_distribution(8, 8, &policy, &cfg(2, 2, ConversionSide::Receiver));
         let large = simulate_distribution(8, 16, &policy, &cfg(2, 2, ConversionSide::Receiver));
         assert_eq!(small.messages, large.messages);
-        assert!((large.bytes / small.bytes - 4.0).abs() < 1e-12, "b² scaling");
+        assert!(
+            (large.bytes / small.bytes - 4.0).abs() < 1e-12,
+            "b² scaling"
+        );
     }
 
     #[test]

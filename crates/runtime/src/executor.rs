@@ -96,8 +96,11 @@ impl Executor {
         F: Fn(TaskId, &TaskKind) -> Result<(), String> + Sync,
     {
         let n = graph.len();
-        let indegree: Vec<AtomicUsize> =
-            graph.nodes().iter().map(|t| AtomicUsize::new(t.indegree)).collect();
+        let indegree: Vec<AtomicUsize> = graph
+            .nodes()
+            .iter()
+            .map(|t| AtomicUsize::new(t.indegree))
+            .collect();
         let remaining = AtomicUsize::new(n);
         let cancelled = AtomicBool::new(false);
         let error: Mutex<Option<ExecError>> = Mutex::new(None);
@@ -135,14 +138,12 @@ impl Executor {
                                 }
                                 let task = local.pop().or_else(|| {
                                     std::iter::repeat_with(|| {
-                                        injector
-                                            .steal_batch_and_pop(&local)
-                                            .or_else(|| {
-                                                stealers
-                                                    .iter()
-                                                    .map(|s| s.steal())
-                                                    .collect::<Steal<usize>>()
-                                            })
+                                        injector.steal_batch_and_pop(&local).or_else(|| {
+                                            stealers
+                                                .iter()
+                                                .map(|s| s.steal())
+                                                .collect::<Steal<usize>>()
+                                        })
                                     })
                                     .find(|s| !s.is_retry())
                                     .and_then(|s| s.success())
@@ -212,7 +213,11 @@ impl Executor {
         }
         let mut spans = spans.into_inner();
         spans.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
-        Ok(TraceReport::new(spans, epoch.elapsed().as_secs_f64(), self.workers))
+        Ok(TraceReport::new(
+            spans,
+            epoch.elapsed().as_secs_f64(),
+            self.workers,
+        ))
     }
 }
 
@@ -276,11 +281,15 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::{TaskGraph, TaskKind, cholesky_graph};
+    use crate::graph::{cholesky_graph, TaskGraph, TaskKind};
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn all_schedulers() -> [SchedulerKind; 3] {
-        [SchedulerKind::WorkStealing, SchedulerKind::PriorityHeap, SchedulerKind::Fifo]
+        [
+            SchedulerKind::WorkStealing,
+            SchedulerKind::PriorityHeap,
+            SchedulerKind::Fifo,
+        ]
     }
 
     #[test]
@@ -367,6 +376,15 @@ mod tests {
     #[test]
     fn parallel_speedup_on_wide_graph() {
         // 64 independent ~1 ms tasks: 8 workers must be much faster than 1.
+        // Meaningless without real hardware parallelism (CI containers are
+        // sometimes single-core), so gate on available cores.
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if cores < 4 {
+            eprintln!("skipping speedup assertion on {cores}-core host");
+            return;
+        }
         let mut g = TaskGraph::new();
         for i in 0..64u64 {
             g.add(TaskKind::Generic(i), 0, &[]);

@@ -71,7 +71,12 @@ impl TaskGraph {
             assert!(d < id, "dependence on a later task ({d} >= {id})");
             self.nodes[d].successors.push(id);
         }
-        self.nodes.push(TaskNode { kind, priority, successors: Vec::new(), indegree: deps.len() });
+        self.nodes.push(TaskNode {
+            kind,
+            priority,
+            successors: Vec::new(),
+            indegree: deps.len(),
+        });
         id
     }
 
@@ -97,7 +102,9 @@ impl TaskGraph {
 
     /// Ids of tasks with no predecessors.
     pub fn roots(&self) -> Vec<TaskId> {
-        (0..self.nodes.len()).filter(|&i| self.nodes[i].indegree == 0).collect()
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].indegree == 0)
+            .collect()
     }
 
     /// Length (in tasks) of the longest dependence chain — the abstract
@@ -186,7 +193,11 @@ pub fn cholesky_graph(nt: usize) -> TaskGraph {
 /// Expected task count of [`cholesky_graph`]: `nt` POTRF,
 /// `nt(nt−1)/2` TRSM + SYRK each, `nt(nt−1)(nt−2)/6` GEMM.
 pub fn cholesky_task_count(nt: usize) -> usize {
-    let gemms = if nt >= 3 { nt * (nt - 1) * (nt - 2) / 6 } else { 0 };
+    let gemms = if nt >= 3 {
+        nt * (nt - 1) * (nt - 2) / 6
+    } else {
+        0
+    };
     nt + nt * (nt - 1) + gemms
 }
 

@@ -25,7 +25,7 @@ pub mod graph;
 pub mod trace;
 
 pub use cholesky_par::parallel_tile_cholesky;
-pub use distsim::{ConversionSide, DistConfig, MessageLedger, simulate_distribution};
+pub use distsim::{simulate_distribution, ConversionSide, DistConfig, MessageLedger};
 pub use executor::{ExecError, Executor, SchedulerKind};
-pub use graph::{TaskGraph, TaskId, cholesky_graph};
+pub use graph::{cholesky_graph, TaskGraph, TaskId};
 pub use trace::TraceReport;

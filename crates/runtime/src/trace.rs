@@ -31,7 +31,11 @@ pub struct TraceReport {
 impl TraceReport {
     /// Assemble a report (spans assumed sorted by start).
     pub fn new(spans: Vec<TaskSpan>, wall: f64, workers: usize) -> Self {
-        Self { spans, wall, workers }
+        Self {
+            spans,
+            wall,
+            workers,
+        }
     }
 
     /// Total busy time across workers.
@@ -87,7 +91,11 @@ impl TraceReport {
         let per = self.per_worker_busy();
         let max = per.iter().cloned().fold(0.0, f64::max);
         let mean = per.iter().sum::<f64>() / per.len().max(1) as f64;
-        if mean == 0.0 { 1.0 } else { max / mean }
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
     }
 
     /// Observed critical-path seconds through the executed graph: the
@@ -121,7 +129,11 @@ impl TraceReport {
             .into_iter()
             .enumerate()
             .map(|(w, busy)| {
-                let util = if self.wall > 0.0 { 100.0 * busy / self.wall } else { 0.0 };
+                let util = if self.wall > 0.0 {
+                    100.0 * busy / self.wall
+                } else {
+                    0.0
+                };
                 (w, busy, util)
             })
             .collect()
@@ -133,7 +145,13 @@ mod tests {
     use super::*;
 
     fn span(worker: usize, start: f64, end: f64) -> TaskSpan {
-        TaskSpan { task: 0, kind: TaskKind::Generic(0), worker, start, end }
+        TaskSpan {
+            task: 0,
+            kind: TaskKind::Generic(0),
+            worker,
+            start,
+            end,
+        }
     }
 
     #[test]
@@ -156,7 +174,13 @@ mod tests {
     #[test]
     fn histogram_counts_kinds() {
         let spans = vec![
-            TaskSpan { task: 0, kind: TaskKind::Potrf { k: 0 }, worker: 0, start: 0.0, end: 0.1 },
+            TaskSpan {
+                task: 0,
+                kind: TaskKind::Potrf { k: 0 },
+                worker: 0,
+                start: 0.0,
+                end: 0.1,
+            },
             TaskSpan {
                 task: 1,
                 kind: TaskKind::Gemm { i: 2, j: 1, k: 0 },
@@ -195,9 +219,27 @@ mod tests {
         let b = g.add(TaskKind::Generic(1), 0, &[a]);
         let c = g.add(TaskKind::Generic(2), 0, &[b]);
         let spans = vec![
-            TaskSpan { task: a, kind: TaskKind::Generic(0), worker: 0, start: 0.0, end: 0.2 },
-            TaskSpan { task: b, kind: TaskKind::Generic(1), worker: 0, start: 0.2, end: 0.5 },
-            TaskSpan { task: c, kind: TaskKind::Generic(2), worker: 0, start: 0.5, end: 0.6 },
+            TaskSpan {
+                task: a,
+                kind: TaskKind::Generic(0),
+                worker: 0,
+                start: 0.0,
+                end: 0.2,
+            },
+            TaskSpan {
+                task: b,
+                kind: TaskKind::Generic(1),
+                worker: 0,
+                start: 0.2,
+                end: 0.5,
+            },
+            TaskSpan {
+                task: c,
+                kind: TaskKind::Generic(2),
+                worker: 0,
+                start: 0.5,
+                end: 0.6,
+            },
         ];
         let r = TraceReport::new(spans, 0.6, 1);
         assert!((r.critical_path_seconds(&g) - 0.6).abs() < 1e-12);
@@ -212,10 +254,34 @@ mod tests {
         let c = g.add(TaskKind::Generic(2), 0, &[a]); // short branch
         let d = g.add(TaskKind::Generic(3), 0, &[b, c]);
         let spans = vec![
-            TaskSpan { task: a, kind: TaskKind::Generic(0), worker: 0, start: 0.0, end: 0.1 },
-            TaskSpan { task: b, kind: TaskKind::Generic(1), worker: 0, start: 0.1, end: 0.6 },
-            TaskSpan { task: c, kind: TaskKind::Generic(2), worker: 1, start: 0.1, end: 0.2 },
-            TaskSpan { task: d, kind: TaskKind::Generic(3), worker: 1, start: 0.6, end: 0.7 },
+            TaskSpan {
+                task: a,
+                kind: TaskKind::Generic(0),
+                worker: 0,
+                start: 0.0,
+                end: 0.1,
+            },
+            TaskSpan {
+                task: b,
+                kind: TaskKind::Generic(1),
+                worker: 0,
+                start: 0.1,
+                end: 0.6,
+            },
+            TaskSpan {
+                task: c,
+                kind: TaskKind::Generic(2),
+                worker: 1,
+                start: 0.1,
+                end: 0.2,
+            },
+            TaskSpan {
+                task: d,
+                kind: TaskKind::Generic(3),
+                worker: 1,
+                start: 0.6,
+                end: 0.7,
+            },
         ];
         let r = TraceReport::new(spans, 0.7, 2);
         // 0.1 + 0.5 + 0.1 through the long branch.

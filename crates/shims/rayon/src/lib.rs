@@ -1,0 +1,129 @@
+//! Offline shim for `rayon`.
+//!
+//! The entry points (`into_par_iter`, `par_iter`, `par_chunks`, …) return
+//! plain sequential `std` iterators, so every downstream combinator
+//! (`map`, `zip`, `enumerate`, `collect`, `for_each`) compiles and behaves
+//! identically — minus the parallelism. Task parallelism in the workspace
+//! comes from `exaclim-runtime`'s own executor; the rayon call sites are
+//! data-parallel conveniences that degrade gracefully to sequential loops.
+//! Replacing this shim with real chunk-level threading is a ROADMAP item.
+
+/// Everything a `use rayon::prelude::*` site needs.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+/// `into_par_iter()` for any owned iterable (ranges, vectors, …).
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Sequential stand-in for rayon's parallel iterator.
+    fn into_par_iter(self) -> Self::IntoIter {
+        self.into_iter()
+    }
+}
+
+impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+/// `par_iter()` for collections iterable by shared reference.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item yielded by the iterator.
+    type Item: 'a;
+    /// Iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Sequential stand-in for rayon's `par_iter`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, C: ?Sized + 'a> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+{
+    type Item = <&'a C as IntoIterator>::Item;
+    type Iter = <&'a C as IntoIterator>::IntoIter;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `par_iter_mut()` for collections iterable by exclusive reference.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item yielded by the iterator.
+    type Item: 'a;
+    /// Iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Sequential stand-in for rayon's `par_iter_mut`.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, C: ?Sized + 'a> IntoParallelRefMutIterator<'a> for C
+where
+    &'a mut C: IntoIterator,
+{
+    type Item = <&'a mut C as IntoIterator>::Item;
+    type Iter = <&'a mut C as IntoIterator>::IntoIter;
+
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Chunked traversal of shared slices.
+pub trait ParallelSlice<T> {
+    /// Sequential stand-in for rayon's `par_chunks`.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// Chunked traversal of mutable slices.
+pub trait ParallelSliceMut<T> {
+    /// Sequential stand-in for rayon's `par_chunks_mut`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_into_par_iter_collects() {
+        let v: Vec<usize> = (0..5).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(v, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn par_iter_zip_and_enumerate() {
+        let a = vec![1, 2, 3];
+        let b = [10, 20, 30];
+        let s: i32 = a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum();
+        assert_eq!(s, 10 + 40 + 90);
+        let idx: Vec<usize> = a.par_iter().enumerate().map(|(i, _)| i).collect();
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint_regions() {
+        let mut buf = vec![0.0f64; 6];
+        buf.par_chunks_mut(2).enumerate().for_each(|(i, chunk)| {
+            for c in chunk {
+                *c = i as f64;
+            }
+        });
+        assert_eq!(buf, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0]);
+    }
+}

@@ -1,0 +1,361 @@
+//! Offline shim for `serde`.
+//!
+//! Real serde decouples data structures from formats through visitor
+//! traits; this shim collapses that machinery into one concrete
+//! intermediate: [`Value`], a JSON-shaped tree. [`Serialize`] lowers a
+//! value into the tree and [`Deserialize`] lifts it back; the sibling
+//! `serde_json` shim renders/parses the tree as JSON text, and the
+//! `serde_derive` shim generates field-by-field impls for structs and
+//! (externally tagged) enums, honouring `#[serde(skip)]`.
+//!
+//! Numbers are carried as their decimal text so that `u64::MAX` and exact
+//! `f64` round-trips survive without a lossy common representation.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-shaped intermediate value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as decimal text for lossless round-trips.
+    Num(String),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, when this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The array elements, when this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Short description used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Build an error from any message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Lower `self` into the [`Value`] tree.
+pub trait Serialize {
+    /// Produce the intermediate value.
+    fn to_value(&self) -> Value;
+}
+
+/// Lift `Self` out of the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse the intermediate value.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Look up `name` in the entries of an object.
+pub fn get_field<'a>(obj: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// Decode a required named field — the helper the derive macro calls.
+pub fn decode_field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, DeError> {
+    match get_field(obj, name) {
+        Some(v) => T::from_value(v).map_err(|e| DeError::custom(format!("field `{name}`: {e}"))),
+        None => Err(DeError::custom(format!("missing field `{name}`"))),
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(self.to_string())
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(s) => s.parse::<$t>().map_err(|e| {
+                        DeError::custom(format!(
+                            "invalid {}: {s:?} ({e})", stringify!($t)
+                        ))
+                    }),
+                    other => Err(DeError::custom(format!(
+                        "expected {}, found {}", stringify!($t), other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                // `{:?}` prints the shortest text that parses back exactly.
+                Value::Num(format!("{self:?}"))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(s) => s.parse::<$t>().map_err(|e| {
+                        DeError::custom(format!(
+                            "invalid {}: {s:?} ({e})", stringify!($t)
+                        ))
+                    }),
+                    other => Err(DeError::custom(format!(
+                        "expected {}, found {}", stringify!($t), other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Static string fields (machine names, citations) deserialize by
+    /// leaking a small owned copy — acceptable for the shim's use of
+    /// reference tables, never for bulk data.
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(DeError::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::custom(format!("expected array of {N} elements, found {got}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = [$($n),+].len();
+                match v {
+                    Value::Arr(items) if items.len() == LEN => {
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    other => Err(DeError::custom(format!(
+                        "expected array of {}, found {}", LEN, other.kind()
+                    ))),
+                }
+            }
+        }
+    )+};
+}
+
+impl_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&u64::MAX.to_value()).unwrap(), u64::MAX);
+        assert_eq!(
+            usize::from_value(&usize::MAX.to_value()).unwrap(),
+            usize::MAX
+        );
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        let x = 0.1f64 + 0.2;
+        assert_eq!(f64::from_value(&x.to_value()).unwrap(), x);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1.5f64, -2.5f64), (0.0, f64::MIN_POSITIVE)];
+        let back: Vec<(f64, f64)> = Vec::from_value(&v.to_value()).unwrap();
+        assert_eq!(back, v);
+        let o: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&o.to_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        assert!(u32::from_value(&Value::Str("x".into())).is_err());
+        assert!(Vec::<f64>::from_value(&Value::Num("1".into())).is_err());
+        let obj = vec![("a".to_string(), Value::Num("1".into()))];
+        assert_eq!(decode_field::<u32>(&obj, "a").unwrap(), 1);
+        assert!(decode_field::<u32>(&obj, "b")
+            .unwrap_err()
+            .to_string()
+            .contains("missing"));
+    }
+}

@@ -1,0 +1,437 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Generates impls of the value-tree `serde::Serialize`/`serde::Deserialize`
+//! (see the sibling `serde` shim) for the shapes the workspace uses:
+//!
+//! * structs with named fields (honouring `#[serde(skip)]`: skipped on
+//!   write, `Default`-filled on read),
+//! * enums with unit, tuple, and struct variants, externally tagged like
+//!   real serde (`"Unit"`, `{"Newtype": value}`, `{"Struct": {...}}`).
+//!
+//! The parser walks raw `proc_macro` token trees — no `syn`/`quote`, since
+//! the build environment has no registry access. Generics are rejected
+//! with a compile error; no workspace type needs them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the value-tree `Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive the value-tree `Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// One named field (of a struct or a struct variant).
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+/// An enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with this many payload fields.
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Consume leading attributes (`#[...]`), reporting whether any of them is
+/// `#[serde(skip)]`-like.
+fn eat_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut skip = false;
+    while i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[i + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let text = g.stream().to_string();
+        if text.starts_with("serde") && text.contains("skip") {
+            skip = true;
+        }
+        i += 2;
+    }
+    (i, skip)
+}
+
+/// Consume a visibility qualifier (`pub`, `pub(crate)`, …).
+fn eat_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Skip a type, starting at `i`, up to (not including) the next top-level
+/// comma. Tracks `<...>` nesting so `HashMap<K, V>` stays one type.
+fn eat_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle = 0i32;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => break,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parse `name: Type, ...` named fields from a brace group's tokens.
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (j, skip) = eat_attrs(tokens, i);
+        let j = eat_vis(tokens, j);
+        let Some(TokenTree::Ident(name)) = tokens.get(j) else {
+            return Err(format!(
+                "expected field name, got {:?}",
+                tokens.get(j).map(|t| t.to_string())
+            ));
+        };
+        let name = name.to_string();
+        match tokens.get(j + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, got {:?}",
+                    other.map(|t| t.to_string())
+                ))
+            }
+        }
+        i = eat_type(tokens, j + 2);
+        fields.push(Field { name, skip });
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Count the top-level comma-separated types in a paren group's tokens.
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = eat_type(tokens, i);
+        count += 1;
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (j, _) = eat_attrs(tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(j) else {
+            return Err(format!(
+                "expected variant name, got {:?}",
+                tokens.get(j).map(|t| t.to_string())
+            ));
+        };
+        let name = name.to_string();
+        i = j + 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantKind::Tuple(count_tuple_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantKind::Struct(parse_named_fields(&inner)?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Explicit discriminants (`= expr`) are not supported on serde
+        // enums in this workspace; reject rather than silently misparse.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                return Err(format!(
+                    "explicit discriminant on variant `{name}` unsupported"
+                ));
+            }
+        }
+        variants.push(Variant { name, kind });
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = eat_attrs(&tokens, 0);
+    i = eat_vis(&tokens, i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "expected struct/enum, got {:?}",
+                other.map(|t| t.to_string())
+            ))
+        }
+    };
+    let Some(TokenTree::Ident(name)) = tokens.get(i + 1) else {
+        return Err("expected type name".to_string());
+    };
+    let name = name.to_string();
+    i += 2;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive: generics on `{name}` are unsupported"
+            ));
+        }
+    }
+    let Some(TokenTree::Group(body)) = tokens.get(i) else {
+        return Err(format!(
+            "serde shim derive: `{name}` must have a braced body"
+        ));
+    };
+    if body.delimiter() != Delimiter::Brace {
+        return Err(format!(
+            "serde shim derive: tuple/unit `{name}` is unsupported"
+        ));
+    }
+    let inner: Vec<TokenTree> = body.stream().into_iter().collect();
+    let shape = match keyword.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(&inner)?),
+        "enum" => Shape::Enum(parse_variants(&inner)?),
+        other => return Err(format!("cannot derive serde impls for `{other}`")),
+    };
+    Ok(Item { name, shape })
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut s = String::from("let mut obj: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                s += &format!(
+                    "obj.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                );
+            }
+            s += "::serde::Value::Obj(obj)";
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms += &format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        arms += &format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Obj(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(__f0))]),\n"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms += &format!(
+                            "{name}::{vn}({}) => ::serde::Value::Obj(vec![(\"{vn}\".to_string(), ::serde::Value::Arr(vec![{}]))]),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from(
+                            "let mut obj: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                        );
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner += &format!(
+                                "obj.push((\"{0}\".to_string(), ::serde::Serialize::to_value({0})));\n",
+                                f.name
+                            );
+                        }
+                        inner += "::serde::Value::Obj(obj)";
+                        arms += &format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Obj(vec![(\"{vn}\".to_string(), {{ {inner} }})]),\n",
+                            binds.join(", ")
+                        );
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits += &format!("{}: ::std::default::Default::default(),\n", f.name);
+                } else {
+                    inits += &format!("{0}: ::serde::decode_field(obj, \"{0}\")?,\n", f.name);
+                }
+            }
+            format!(
+                "let obj = v.as_obj().ok_or_else(|| ::serde::DeError::custom(\
+                     format!(\"expected object for struct {name}, found {{}}\", v.kind())))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms +=
+                            &format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n");
+                    }
+                    VariantKind::Tuple(1) => {
+                        tagged_arms += &format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__payload)?)),\n"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                            .collect();
+                        tagged_arms += &format!(
+                            "\"{vn}\" => {{\n\
+                                 let __arr = __payload.as_arr().ok_or_else(|| ::serde::DeError::custom(\"expected array payload for {name}::{vn}\"))?;\n\
+                                 if __arr.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::custom(\"wrong payload arity for {name}::{vn}\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\n\
+                             }},\n",
+                            elems.join(", ")
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inits +=
+                                    &format!("{}: ::std::default::Default::default(),\n", f.name);
+                            } else {
+                                inits += &format!(
+                                    "{0}: ::serde::decode_field(obj, \"{0}\")?,\n",
+                                    f.name
+                                );
+                            }
+                        }
+                        tagged_arms += &format!(
+                            "\"{vn}\" => {{\n\
+                                 let obj = __payload.as_obj().ok_or_else(|| ::serde::DeError::custom(\"expected object payload for {name}::{vn}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n\
+                             }},\n"
+                        );
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                             format!(\"unknown unit variant {{__other}} of {name}\"))),\n\
+                     }},\n\
+                     _ => {{\n\
+                         let __entries = v.as_obj().ok_or_else(|| ::serde::DeError::custom(\
+                             format!(\"expected variant of {name}, found {{}}\", v.kind())))?;\n\
+                         if __entries.len() != 1 {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::custom(\
+                                 \"expected single-key variant object for {name}\"));\n\
+                         }}\n\
+                         let (__tag, __payload) = &__entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {tagged_arms}\
+                             __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 format!(\"unknown variant {{__other}} of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}

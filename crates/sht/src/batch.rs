@@ -14,7 +14,9 @@ use rayon::prelude::*;
 pub fn analysis_batch(plan: &ShtPlan, data: &[f64], t: usize) -> Vec<HarmonicCoeffs> {
     let n = plan.field_len();
     assert_eq!(data.len(), n * t, "expected {t} fields of {n} values");
-    data.par_chunks(n).map(|field| plan.analysis(field)).collect()
+    data.par_chunks(n)
+        .map(|field| plan.analysis(field))
+        .collect()
 }
 
 /// Inverse-transform a batch of coefficient sets into back-to-back fields.

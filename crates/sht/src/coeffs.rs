@@ -23,7 +23,10 @@ impl HarmonicCoeffs {
     /// All-zero coefficients with band-limit `L = lmax` (degrees `< lmax`).
     pub fn zeros(lmax: usize) -> Self {
         assert!(lmax >= 1, "band-limit must be at least 1");
-        Self { lmax, data: vec![Complex64::ZERO; packed_len(lmax - 1)] }
+        Self {
+            lmax,
+            data: vec![Complex64::ZERO; packed_len(lmax - 1)],
+        }
     }
 
     /// Band-limit `L`: degrees run over `0 ≤ ℓ < L`.

@@ -31,7 +31,7 @@ pub use regrid::{change_bandlimit, regrid};
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng, rngs::StdRng};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
 
     /// Random band-limited coefficients for a real field.
     fn random_coeffs(lmax: usize, seed: u64) -> HarmonicCoeffs {
@@ -40,7 +40,11 @@ mod tests {
         for l in 0..lmax {
             for m in 0..=l {
                 let re = rng.gen_range(-1.0..1.0);
-                let im = if m == 0 { 0.0 } else { rng.gen_range(-1.0..1.0) };
+                let im = if m == 0 {
+                    0.0
+                } else {
+                    rng.gen_range(-1.0..1.0)
+                };
                 c.set(l, m, exaclim_mathkit::Complex64::new(re, im));
             }
         }
@@ -61,7 +65,12 @@ mod tests {
 
     #[test]
     fn equiangular_roundtrip_synthesis_analysis() {
-        for (l, nt, np) in [(4usize, 6usize, 8usize), (8, 9, 16), (16, 18, 33), (24, 25, 48)] {
+        for (l, nt, np) in [
+            (4usize, 6usize, 8usize),
+            (8, 9, 16),
+            (16, 18, 33),
+            (24, 25, 48),
+        ] {
             let plan = ShtPlan::equiangular(l, nt, np);
             let c = random_coeffs(l, 100 + l as u64);
             let field = plan.synthesis(&c);

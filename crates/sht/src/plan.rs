@@ -5,7 +5,7 @@ use exaclim_fft::Fft;
 use exaclim_mathkit::Complex64;
 use exaclim_sphere::grid::{EquiangularGrid, GaussLegendreGrid, Grid};
 use exaclim_sphere::harmonics::integral_iq;
-use exaclim_sphere::legendre::{LegendreTable, idx, packed_len};
+use exaclim_sphere::legendre::{idx, packed_len, LegendreTable};
 use exaclim_sphere::wigner::WignerPiHalf;
 
 /// Which forward-transform algorithm a plan uses.
@@ -69,8 +69,14 @@ impl ShtPlan {
     /// grid. Exactness requires `Nθ > L` and `Nϕ ≥ 2L − 1`.
     pub fn equiangular(lmax: usize, ntheta: usize, nphi: usize) -> Self {
         assert!(lmax >= 1);
-        assert!(ntheta > lmax, "Wigner engine needs Nθ > L (got Nθ={ntheta}, L={lmax})");
-        assert!(nphi >= 2 * lmax - 1, "need Nϕ ≥ 2L−1 (got Nϕ={nphi}, L={lmax})");
+        assert!(
+            ntheta > lmax,
+            "Wigner engine needs Nθ > L (got Nθ={ntheta}, L={lmax})"
+        );
+        assert!(
+            nphi >= 2 * lmax - 1,
+            "need Nϕ ≥ 2L−1 (got Nϕ={nphi}, L={lmax})"
+        );
         let grid = EquiangularGrid::new(ntheta, nphi);
         let legendre = ring_legendre(&grid, lmax);
         let fft_phi = Fft::new(nphi);
@@ -192,7 +198,10 @@ impl ShtPlan {
 
     /// The paper's exact equiangular analysis (eqs. 4–8).
     fn analysis_wigner(&self, field: &[f64]) -> HarmonicCoeffs {
-        let wd = self.wigner.as_ref().expect("wigner data on equiangular plans");
+        let wd = self
+            .wigner
+            .as_ref()
+            .expect("wigner data on equiangular plans");
         let g = self.grid();
         let (nt, np) = (g.ntheta(), g.nphi());
         let next = 2 * nt - 2;
@@ -224,9 +233,8 @@ impl ShtPlan {
                 ext[next - i] = gm[i * l + m] * sign;
             }
             wd.fft_theta.forward(&mut ext);
-            let kval = |mp: i64| -> Complex64 {
-                ext[(mp.rem_euclid(next as i64)) as usize] / next as f64
-            };
+            let kval =
+                |mp: i64| -> Complex64 { ext[(mp.rem_euclid(next as i64)) as usize] / next as f64 };
             // Step 3a: J(m'') = Σ_{m'} K_{m,m'} I(m' + m'').
             for (jj, jslot) in jtab.iter_mut().enumerate() {
                 let mpp = jj as i64 - (li - 1);
@@ -304,7 +312,11 @@ mod tests {
         let plan = ShtPlan::equiangular(l, 12, 20);
         for &(dl, dm) in &[(0usize, 0usize), (3, 0), (5, 2), (9, 9)] {
             let mut c = HarmonicCoeffs::zeros(l);
-            c.set(dl, dm, Complex64::new(1.0, if dm == 0 { 0.0 } else { -0.7 }));
+            c.set(
+                dl,
+                dm,
+                Complex64::new(1.0, if dm == 0 { 0.0 } else { -0.7 }),
+            );
             let field = plan.synthesis(&c);
             let back = plan.analysis(&field);
             assert!(

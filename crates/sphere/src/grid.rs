@@ -62,7 +62,11 @@ impl EquiangularGrid {
         assert!(ntheta >= 2, "equiangular grid needs both poles");
         assert!(nphi >= 1);
         let weights = clenshaw_curtis_sin_weights(ntheta);
-        Self { ntheta, nphi, weights }
+        Self {
+            ntheta,
+            nphi,
+            weights,
+        }
     }
 
     /// The ERA5 0.25° layout: 721 × 1440, `L = 720`.
@@ -150,7 +154,11 @@ impl GaussLegendreGrid {
             .collect();
         pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         let (thetas, weights) = pairs.into_iter().unzip();
-        Self { nphi, thetas, weights }
+        Self {
+            nphi,
+            thetas,
+            weights,
+        }
     }
 
     /// Smallest exact grid for band-limit `L`: `L` rings, `2L−1` longitudes.
@@ -209,7 +217,11 @@ mod tests {
             let got: f64 = (0..ntheta)
                 .map(|i| g.ring_weight(i) * (k as f64 * g.theta(i)).cos())
                 .sum();
-            let expect = if k % 2 == 0 { 2.0 / (1.0 - (k * k) as f64) } else { 0.0 };
+            let expect = if k % 2 == 0 {
+                2.0 / (1.0 - (k * k) as f64)
+            } else {
+                0.0
+            };
             assert!((got - expect).abs() < 1e-10, "k={k}: {got} vs {expect}");
         }
     }

@@ -1,6 +1,6 @@
 //! Spherical-harmonic evaluation and the analytic sin-weighted integrals.
 
-use crate::legendre::{LegendreTable, idx};
+use crate::legendre::{idx, LegendreTable};
 use exaclim_mathkit::Complex64;
 
 /// Evaluate a single orthonormal spherical harmonic `Y_{ℓm}(θ, φ)` for
@@ -20,7 +20,11 @@ pub fn ylm(l: usize, m: i64, theta: f64, phi: f64) -> Complex64 {
         e * base
     } else {
         let v = (e * base).conj();
-        if ma.is_multiple_of(2) { v } else { -v }
+        if ma.is_multiple_of(2) {
+            v
+        } else {
+            -v
+        }
     }
 }
 
@@ -55,8 +59,16 @@ mod tests {
                 (q as f64 * t).sin() * t.sin()
             });
             let analytic = integral_iq(q);
-            assert!((analytic.re - re).abs() < 1e-12, "q={q} re: {} vs {re}", analytic.re);
-            assert!((analytic.im - im).abs() < 1e-12, "q={q} im: {} vs {im}", analytic.im);
+            assert!(
+                (analytic.re - re).abs() < 1e-12,
+                "q={q} re: {} vs {re}",
+                analytic.re
+            );
+            assert!(
+                (analytic.im - im).abs() < 1e-12,
+                "q={q} im: {} vs {im}",
+                analytic.im
+            );
         }
     }
 

@@ -114,9 +114,7 @@ mod tests {
         // λ_1^1 = −sqrt(3/8π) sinθ
         assert!((v[idx(1, 1)] + (3.0 / (2.0 * FOUR_PI)).sqrt() * s).abs() < 1e-14);
         // λ_2^0 = sqrt(5/4π) (3x²−1)/2
-        assert!(
-            (v[idx(2, 0)] - (5.0 / FOUR_PI).sqrt() * 0.5 * (3.0 * x * x - 1.0)).abs() < 1e-14
-        );
+        assert!((v[idx(2, 0)] - (5.0 / FOUR_PI).sqrt() * 0.5 * (3.0 * x * x - 1.0)).abs() < 1e-14);
         // λ_2^1 = −sqrt(15/8π) x sinθ
         assert!((v[idx(2, 1)] + (15.0 / (2.0 * FOUR_PI)).sqrt() * x * s).abs() < 1e-14);
         // λ_2^2 = sqrt(15/32π) sin²θ
@@ -145,7 +143,11 @@ mod tests {
                     for (k, w) in rule.weights.iter().enumerate() {
                         acc += w * evals[k][idx(l1, m)] * evals[k][idx(l2, m)];
                     }
-                    let expect = if l1 == l2 { 1.0 / (2.0 * std::f64::consts::PI) } else { 0.0 };
+                    let expect = if l1 == l2 {
+                        1.0 / (2.0 * std::f64::consts::PI)
+                    } else {
+                        0.0
+                    };
                     assert!(
                         (acc - expect).abs() < 1e-12,
                         "m={m} l1={l1} l2={l2}: {acc} vs {expect}"
@@ -181,7 +183,10 @@ mod tests {
                     s += 2.0 * v[idx(l, m)] * v[idx(l, m)];
                 }
                 let expect = (2.0 * l as f64 + 1.0) / FOUR_PI;
-                assert!((s - expect).abs() < 1e-11, "l={l} θ={theta}: {s} vs {expect}");
+                assert!(
+                    (s - expect).abs() < 1e-11,
+                    "l={l} θ={theta}: {s} vs {expect}"
+                );
             }
         }
     }

@@ -54,8 +54,8 @@ pub fn ensure_spd(u: &mut Matrix) -> f64 {
 mod tests {
     use super::*;
     use exaclim_mathkit::rng::{MultivariateNormal, StandardNormal};
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn recovers_known_covariance() {
@@ -79,13 +79,19 @@ mod tests {
         let mut sn = StandardNormal::new();
         let samples: Vec<Vec<f64>> = (0..2).map(|_| sn.sample_vec(&mut rng, 4)).collect();
         let mut u = empirical_covariance(&samples);
-        assert!(u.cholesky_lower().is_err(), "rank-deficient must not factor");
+        assert!(
+            u.cholesky_lower().is_err(),
+            "rank-deficient must not factor"
+        );
         let jitter = ensure_spd(&mut u);
         assert!(jitter > 0.0);
         assert!(u.cholesky_lower().is_ok());
         // Jitter should be small relative to the diagonal scale.
         let diag_mean: f64 = (0..4).map(|i| u.get(i, i)).sum::<f64>() / 4.0;
-        assert!(jitter < 0.01 * diag_mean, "jitter {jitter} vs diag {diag_mean}");
+        assert!(
+            jitter < 0.01 * diag_mean,
+            "jitter {jitter} vs diag {diag_mean}"
+        );
     }
 
     #[test]
@@ -100,7 +106,11 @@ mod tests {
 
     #[test]
     fn covariance_is_symmetric_psd_by_construction() {
-        let samples = vec![vec![1.0, 2.0, -1.0], vec![0.5, -0.5, 2.0], vec![3.0, 0.0, 1.0]];
+        let samples = vec![
+            vec![1.0, 2.0, -1.0],
+            vec![0.5, -0.5, 2.0],
+            vec![3.0, 0.0, 1.0],
+        ];
         let u = empirical_covariance(&samples);
         for i in 0..3 {
             for j in 0..3 {

@@ -27,7 +27,12 @@ impl CoefficientSampler {
     pub fn new(var: DiagonalVar, factor: Vec<f64>, dim: usize) -> Self {
         assert_eq!(var.dim(), dim, "VAR dimension mismatch");
         assert_eq!(factor.len(), dim * dim, "factor must be dim²");
-        Self { var, factor, dim, burn_in: 50 }
+        Self {
+            var,
+            factor,
+            dim,
+            burn_in: 50,
+        }
     }
 
     /// Channel count (`L²`).
@@ -77,8 +82,8 @@ mod tests {
     use super::*;
     use crate::covariance::empirical_covariance;
     use crate::var::fit_diagonal_var;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn sampler(phi: Vec<Vec<f64>>, factor: Vec<f64>, dim: usize) -> CoefficientSampler {
         let order = phi[0].len();

@@ -39,7 +39,10 @@ impl ForcingSeries {
                 5.35 * (conc / 278.0_f64).ln()
             })
             .collect();
-        Self { start_year: first, values }
+        Self {
+            start_year: first,
+            values,
+        }
     }
 
     /// First year with data (including spin-up).
@@ -104,7 +107,11 @@ mod tests {
             assert!(f.at(y + 1) > f.at(y), "forcing must grow after 1950");
         }
         // Order of magnitude: ~2.2 W/m² by 2022 for CO₂ alone.
-        assert!(f.at(2022) > 1.5 && f.at(2022) < 3.5, "F(2022)={}", f.at(2022));
+        assert!(
+            f.at(2022) > 1.5 && f.at(2022) < 3.5,
+            "F(2022)={}",
+            f.at(2022)
+        );
     }
 
     #[test]

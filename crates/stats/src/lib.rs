@@ -25,5 +25,5 @@ pub use covariance::{empirical_covariance, ensure_spd};
 pub use emulate::CoefficientSampler;
 pub use forcing::ForcingSeries;
 pub use trend::{TrendFit, TrendModel};
-pub use tukey::{TukeyGH, fit_tukey_gh};
-pub use var::{DiagonalVar, fit_diagonal_var, fit_diagonal_var_multi};
+pub use tukey::{fit_tukey_gh, TukeyGH};
+pub use var::{fit_diagonal_var, fit_diagonal_var_multi, DiagonalVar};

@@ -9,7 +9,7 @@
 //! independent, so the grid fit parallelizes with rayon.
 
 use crate::forcing::ForcingSeries;
-use exaclim_linalg::dense::{Matrix, ols_solve};
+use exaclim_linalg::dense::{ols_solve, Matrix};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -40,7 +40,10 @@ impl TrendConfig {
 
     /// Hourly configuration (`τ = 8760`).
     pub fn hourly(start_year: i64) -> Self {
-        Self { tau: 8760, ..Self::daily(start_year) }
+        Self {
+            tau: 8760,
+            ..Self::daily(start_year)
+        }
     }
 
     /// Calendar year of 1-based step `t` (the `⌈t/τ⌉` mapping).
@@ -74,7 +77,12 @@ pub struct TrendModel {
 
 impl TrendModel {
     /// Evaluate the mean `m_t` for `t = 1..=t_max`.
-    pub fn mean_series(&self, cfg: &TrendConfig, forcing: &ForcingSeries, t_max: usize) -> Vec<f64> {
+    pub fn mean_series(
+        &self,
+        cfg: &TrendConfig,
+        forcing: &ForcingSeries,
+        t_max: usize,
+    ) -> Vec<f64> {
         let years: Vec<i64> = (1..=t_max).map(|t| cfg.year_of(t)).collect();
         let lag = forcing.lagged_series(years[0], years[t_max - 1], self.rho);
         let y0 = years[0];
@@ -85,8 +93,8 @@ impl TrendModel {
                 let xl = (1.0 - self.rho) * lag[(y - y0) as usize];
                 let mut m = self.beta0 + self.beta1 * xc + self.beta2 * xl;
                 for (k, (a, b)) in self.harmonics.iter().enumerate() {
-                    let w = 2.0 * std::f64::consts::PI * (t as f64) * (k as f64 + 1.0)
-                        / cfg.tau as f64;
+                    let w =
+                        2.0 * std::f64::consts::PI * (t as f64) * (k as f64 + 1.0) / cfg.tau as f64;
                     m += a * w.cos() + b * w.sin();
                 }
                 m
@@ -213,7 +221,12 @@ mod tests {
         }
     }
 
-    fn synth(cfg: &TrendConfig, forcing: &ForcingSeries, truth: &TrendModel, t_max: usize) -> Vec<f64> {
+    fn synth(
+        cfg: &TrendConfig,
+        forcing: &ForcingSeries,
+        truth: &TrendModel,
+        t_max: usize,
+    ) -> Vec<f64> {
         truth.mean_series(cfg, forcing, t_max)
     }
 
@@ -272,13 +285,15 @@ mod tests {
         let mut s = 12345u64;
         let noise_std = 0.7;
         for v in y.iter_mut() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u1 = ((s >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u2 = (s >> 11) as f64 / (1u64 << 53) as f64;
-            *v += noise_std
-                * (-2.0 * u1.ln()).sqrt()
-                * (2.0 * std::f64::consts::PI * u2).cos();
+            *v += noise_std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         }
         let fit = fit_location(&y, &cfg, &forcing);
         assert!((fit.sigma - noise_std).abs() < 0.05, "sigma={}", fit.sigma);
@@ -313,9 +328,13 @@ mod tests {
             };
             let m = truth.mean_series(&cfg, &forcing, t_max);
             for t in 0..t_max {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let u1 = ((s >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let u2 = (s >> 11) as f64 / (1u64 << 53) as f64;
                 let noise = (0.3 + 0.1 * p as f64)
                     * (-2.0 * u1.ln()).sqrt()

@@ -26,7 +26,12 @@ pub struct TukeyGH {
 impl TukeyGH {
     /// The identity transform (standard Gaussian marginal).
     pub fn gaussian() -> Self {
-        Self { xi: 0.0, omega: 1.0, g: 0.0, h: 0.0 }
+        Self {
+            xi: 0.0,
+            omega: 1.0,
+            g: 0.0,
+            h: 0.0,
+        }
     }
 
     /// Forward warp: Gaussian core `z` → g-and-h variate.
@@ -90,7 +95,10 @@ impl TukeyGH {
 /// `g` from the median-relative asymmetry of the p/1−p quantile pair,
 /// `h` from the spread growth across two tail depths, then location/scale.
 pub fn fit_tukey_gh(samples: &[f64]) -> TukeyGH {
-    assert!(samples.len() >= 32, "need a reasonable sample for quantile fitting");
+    assert!(
+        samples.len() >= 32,
+        "need a reasonable sample for quantile fitting"
+    );
     let q = |p: f64| exaclim_mathkit::stats::quantile(samples, p);
     let median = q(0.5);
     let zp = |p: f64| inverse_normal_cdf(p);
@@ -111,7 +119,11 @@ pub fn fit_tukey_gh(samples: &[f64]) -> TukeyGH {
     let spread = |p: f64| q(p) - q(1.0 - p);
     let core = |p: f64| {
         let z = zp(p);
-        if g.abs() < 1e-9 { 2.0 * z } else { ((g * z).exp() - (-g * z).exp()) / g }
+        if g.abs() < 1e-9 {
+            2.0 * z
+        } else {
+            ((g * z).exp() - (-g * z).exp()) / g
+        }
     };
     let (s1, s2) = (spread(p1), spread(p2));
     let (c1, c2) = (core(p1), core(p2));
@@ -121,9 +133,18 @@ pub fn fit_tukey_gh(samples: &[f64]) -> TukeyGH {
     } else {
         0.0
     };
-    let omega = if c1 > 0.0 { (s1 / c1) / (h * z1 * z1 / 2.0).exp() } else { 1.0 };
+    let omega = if c1 > 0.0 {
+        (s1 / c1) / (h * z1 * z1 / 2.0).exp()
+    } else {
+        1.0
+    };
     // ξ: forward(0) = ξ.
-    TukeyGH { xi: median, omega: omega.max(1e-12), g, h }
+    TukeyGH {
+        xi: median,
+        omega: omega.max(1e-12),
+        g,
+        h,
+    }
 }
 
 /// Acklam-style rational approximation of the standard normal quantile,
@@ -131,19 +152,32 @@ pub fn fit_tukey_gh(samples: &[f64]) -> TukeyGH {
 pub fn inverse_normal_cdf(p: f64) -> f64 {
     assert!(p > 0.0 && p < 1.0, "quantile needs p in (0,1)");
     const A: [f64; 6] = [
-        -3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
-        1.383_577_518_672_69e2, -3.066479806614716e+01, 2.506628277459239e+00,
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
     ];
     const B: [f64; 5] = [
-        -5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
-        6.680131188771972e+01, -1.328068155288572e+01,
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
     ];
     const C: [f64; 6] = [
-        -7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
-        -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00,
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
     ];
     const D: [f64; 4] = [
-        7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
         3.754408661907416e+00,
     ];
     let p_low = 0.02425;
@@ -165,8 +199,8 @@ pub fn inverse_normal_cdf(p: f64) -> f64 {
 mod tests {
     use super::*;
     use exaclim_mathkit::rng::StandardNormal;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn identity_when_g_h_zero() {
@@ -179,7 +213,12 @@ mod tests {
 
     #[test]
     fn forward_is_strictly_increasing() {
-        let t = TukeyGH { xi: 1.0, omega: 2.0, g: 0.4, h: 0.15 };
+        let t = TukeyGH {
+            xi: 1.0,
+            omega: 2.0,
+            g: 0.4,
+            h: 0.15,
+        };
         let mut prev = f64::NEG_INFINITY;
         for k in 0..100 {
             let z = -4.0 + 0.08 * k as f64;
@@ -191,7 +230,12 @@ mod tests {
 
     #[test]
     fn inverse_inverts_forward() {
-        let t = TukeyGH { xi: -2.0, omega: 0.7, g: -0.3, h: 0.1 };
+        let t = TukeyGH {
+            xi: -2.0,
+            omega: 0.7,
+            g: -0.3,
+            h: 0.1,
+        };
         for k in 0..50 {
             let z = -3.0 + 0.12 * k as f64;
             let back = t.inverse(t.forward(z));
@@ -201,10 +245,17 @@ mod tests {
 
     #[test]
     fn positive_g_skews_right() {
-        let t = TukeyGH { xi: 0.0, omega: 1.0, g: 0.8, h: 0.0 };
+        let t = TukeyGH {
+            xi: 0.0,
+            omega: 1.0,
+            g: 0.8,
+            h: 0.0,
+        };
         let mut rng = StdRng::seed_from_u64(5);
         let mut sn = StandardNormal::new();
-        let ys: Vec<f64> = (0..40_000).map(|_| t.forward(sn.sample(&mut rng))).collect();
+        let ys: Vec<f64> = (0..40_000)
+            .map(|_| t.forward(sn.sample(&mut rng)))
+            .collect();
         let mean = exaclim_mathkit::stats::mean(&ys);
         let med = exaclim_mathkit::stats::quantile(&ys, 0.5);
         assert!(mean > med + 0.05, "right skew: mean {mean} vs median {med}");
@@ -212,7 +263,12 @@ mod tests {
 
     #[test]
     fn positive_h_fattens_tails() {
-        let heavy = TukeyGH { xi: 0.0, omega: 1.0, g: 0.0, h: 0.25 };
+        let heavy = TukeyGH {
+            xi: 0.0,
+            omega: 1.0,
+            g: 0.0,
+            h: 0.25,
+        };
         let mut rng = StdRng::seed_from_u64(6);
         let mut sn = StandardNormal::new();
         let (mut n_heavy, mut n_gauss) = (0usize, 0usize);
@@ -230,13 +286,24 @@ mod tests {
 
     #[test]
     fn fit_recovers_parameters_from_big_sample() {
-        let truth = TukeyGH { xi: 3.0, omega: 1.5, g: 0.35, h: 0.08 };
+        let truth = TukeyGH {
+            xi: 3.0,
+            omega: 1.5,
+            g: 0.35,
+            h: 0.08,
+        };
         let mut rng = StdRng::seed_from_u64(9);
         let mut sn = StandardNormal::new();
-        let ys: Vec<f64> = (0..200_000).map(|_| truth.forward(sn.sample(&mut rng))).collect();
+        let ys: Vec<f64> = (0..200_000)
+            .map(|_| truth.forward(sn.sample(&mut rng)))
+            .collect();
         let fit = fit_tukey_gh(&ys);
         assert!((fit.xi - truth.xi).abs() < 0.05, "xi {}", fit.xi);
-        assert!((fit.omega - truth.omega).abs() < 0.15, "omega {}", fit.omega);
+        assert!(
+            (fit.omega - truth.omega).abs() < 0.15,
+            "omega {}",
+            fit.omega
+        );
         assert!((fit.g - truth.g).abs() < 0.08, "g {}", fit.g);
         assert!((fit.h - truth.h).abs() < 0.06, "h {}", fit.h);
     }
@@ -261,9 +328,7 @@ mod tests {
         assert!((inverse_normal_cdf(0.999) - 3.090232).abs() < 1e-5);
         // Symmetry.
         for p in [0.01, 0.2, 0.4] {
-            assert!(
-                (inverse_normal_cdf(p) + inverse_normal_cdf(1.0 - p)).abs() < 1e-9
-            );
+            assert!((inverse_normal_cdf(p) + inverse_normal_cdf(1.0 - p)).abs() < 1e-9);
         }
     }
 }

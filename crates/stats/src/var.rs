@@ -7,7 +7,7 @@
 //! Diagonality turns the fit into `L²` independent AR(P) least-squares
 //! problems — embarrassingly parallel over channels.
 
-use exaclim_linalg::dense::{Matrix, ols_solve};
+use exaclim_linalg::dense::{ols_solve, Matrix};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -129,7 +129,9 @@ mod tests {
     use super::*;
 
     fn lcg(state: &mut u64) -> f64 {
-        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((*state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
     }
 
@@ -201,7 +203,10 @@ mod tests {
     fn innovations_of_true_model_recover_noise_variance() {
         let truth = vec![vec![0.7]];
         let series = simulate_ar(&truth, 20_000, 11);
-        let model = DiagonalVar { order: 1, phi: truth };
+        let model = DiagonalVar {
+            order: 1,
+            phi: truth,
+        };
         let xi = model.innovations(&series);
         let v: Vec<f64> = xi.iter().map(|x| x[0]).collect();
         let var = exaclim_mathkit::stats::variance(&v);
@@ -211,7 +216,10 @@ mod tests {
 
     #[test]
     fn predict_uses_correct_lag_order() {
-        let model = DiagonalVar { order: 2, phi: vec![vec![1.0, -0.5]] };
+        let model = DiagonalVar {
+            order: 2,
+            phi: vec![vec![1.0, -0.5]],
+        };
         // f_{t-1} = [2], f_{t-2} = [4] → prediction 1·2 − 0.5·4 = 0.
         let h1 = vec![2.0];
         let h2 = vec![4.0];
@@ -238,7 +246,11 @@ mod tests {
             (0..3).map(|r| simulate_ar(&truth, 600, 10 + r)).collect();
         let refs: Vec<&[Vec<f64>]> = members.iter().map(|m| m.as_slice()).collect();
         let pooled = fit_diagonal_var_multi(&refs, 1);
-        assert!((pooled.phi[0][0] - 0.85).abs() < 0.05, "pooled {}", pooled.phi[0][0]);
+        assert!(
+            (pooled.phi[0][0] - 0.85).abs() < 0.05,
+            "pooled {}",
+            pooled.phi[0][0]
+        );
         // Innovations from every member are whitened by the shared model.
         for m in &members {
             let xi = pooled.innovations(m);

@@ -1,0 +1,295 @@
+//! Directory model: members, chunks, and their binary encoding.
+//!
+//! The directory is written after the last payload chunk and located via
+//! the header. All integers are little-endian. Per member:
+//!
+//! ```text
+//! u16 name_len | name utf-8 | u8 kind | u8 codec | u32 snapshot_version
+//! u32 ntheta | u32 nphi | i64 start_year | u32 tau
+//! u64 t_max | u32 chunk_t | u64 values_per_slice | u32 chunk_count
+//! chunk_count × { u64 offset | u64 stored_len | u64 raw_len
+//!                 | u64 t0 | u32 t_len | u32 crc32 }
+//! ```
+//!
+//! For snapshot members the grid fields are zero, `t_max` is the payload
+//! byte length, `chunk_t` the chunk byte size, and `values_per_slice` 0.
+
+use crate::format::{crc32, ArchiveError, MemberKind};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Grid/time metadata of a field member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FieldMeta {
+    /// Co-latitude rings.
+    pub ntheta: usize,
+    /// Longitudes.
+    pub nphi: usize,
+    /// Calendar year of step 0.
+    pub start_year: i64,
+    /// Steps per year.
+    pub tau: usize,
+}
+
+/// One chunk of a member's payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkEntry {
+    /// Absolute byte offset of the stored chunk.
+    pub offset: u64,
+    /// Stored (possibly compressed) byte length.
+    pub stored_len: u64,
+    /// Decoded byte length (values × width for fields, blob bytes for
+    /// snapshots).
+    pub raw_len: u64,
+    /// First time step covered (fields) / first payload byte (snapshots).
+    pub t0: u64,
+    /// Time steps covered (fields) / payload bytes (snapshots).
+    pub t_len: u32,
+    /// CRC32 of the stored bytes.
+    pub crc32: u32,
+}
+
+/// One member of the archive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemberEntry {
+    /// Unique member name.
+    pub name: String,
+    /// Payload interpretation.
+    pub kind: MemberKind,
+    /// Codec id (a [`crate::Codec`] for fields, a [`crate::ByteCodec`]
+    /// for snapshots).
+    pub codec: u8,
+    /// Schema version of a snapshot payload (0 for fields).
+    pub snapshot_version: u32,
+    /// Grid/time metadata (zeros for snapshots).
+    pub meta: FieldMeta,
+    /// Total time steps (fields) or payload bytes (snapshots).
+    pub t_max: u64,
+    /// Time steps per full chunk (fields) or bytes per chunk (snapshots).
+    pub chunk_t: u32,
+    /// Values per time slice (`ntheta × nphi`; 0 for snapshots).
+    pub values_per_slice: u64,
+    /// The chunks, in payload order.
+    pub chunks: Vec<ChunkEntry>,
+}
+
+impl MemberEntry {
+    /// Indices of the chunks overlapping time steps `[t0, t1)`, with the
+    /// member-relative sub-range each contributes.
+    pub fn chunks_for_range(&self, t0: u64, t1: u64) -> Vec<usize> {
+        self.chunks
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.t0 < t1 && c.t0 + u64::from(c.t_len) > t0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Serialize the directory (without its trailing CRC).
+pub fn encode_directory(members: &[MemberEntry]) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(64 + members.len() * 96);
+    buf.put_u32_le(members.len() as u32);
+    for m in members {
+        let name = m.name.as_bytes();
+        buf.put_u16_le(name.len() as u16);
+        buf.put_slice(name);
+        buf.put_u8(m.kind.id());
+        buf.put_u8(m.codec);
+        buf.put_u32_le(m.snapshot_version);
+        buf.put_u32_le(m.meta.ntheta as u32);
+        buf.put_u32_le(m.meta.nphi as u32);
+        buf.put_i64_le(m.meta.start_year);
+        buf.put_u32_le(m.meta.tau as u32);
+        buf.put_u64_le(m.t_max);
+        buf.put_u32_le(m.chunk_t);
+        buf.put_u64_le(m.values_per_slice);
+        buf.put_u32_le(m.chunks.len() as u32);
+        for c in &m.chunks {
+            buf.put_u64_le(c.offset);
+            buf.put_u64_le(c.stored_len);
+            buf.put_u64_le(c.raw_len);
+            buf.put_u64_le(c.t0);
+            buf.put_u32_le(c.t_len);
+            buf.put_u32_le(c.crc32);
+        }
+    }
+    buf
+}
+
+/// Parse a directory blob (without its trailing CRC; the caller has
+/// already verified that).
+pub fn decode_directory(raw: Bytes) -> Result<Vec<MemberEntry>, ArchiveError> {
+    let mut raw = raw;
+    let need = |r: &Bytes, n: usize, what: &str| -> Result<(), ArchiveError> {
+        if r.remaining() < n {
+            Err(ArchiveError::Corrupt(format!(
+                "directory truncated reading {what}"
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    need(&raw, 4, "member count")?;
+    let count = raw.get_u32_le() as usize;
+    let mut members = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        need(&raw, 2, "name length")?;
+        let name_len = raw.get_u16_le() as usize;
+        need(&raw, name_len, "name")?;
+        let mut name_bytes = vec![0u8; name_len];
+        raw.copy_to_slice(&mut name_bytes);
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| ArchiveError::Corrupt("member name is not UTF-8".to_string()))?;
+        need(
+            &raw,
+            1 + 1 + 4 + 4 + 4 + 8 + 4 + 8 + 4 + 8 + 4,
+            "member header",
+        )?;
+        let kind = MemberKind::from_id(raw.get_u8())?;
+        let codec = raw.get_u8();
+        let snapshot_version = raw.get_u32_le();
+        let meta = FieldMeta {
+            ntheta: raw.get_u32_le() as usize,
+            nphi: raw.get_u32_le() as usize,
+            start_year: raw.get_i64_le(),
+            tau: raw.get_u32_le() as usize,
+        };
+        let t_max = raw.get_u64_le();
+        let chunk_t = raw.get_u32_le();
+        let values_per_slice = raw.get_u64_le();
+        let chunk_count = raw.get_u32_le() as usize;
+        let mut chunks = Vec::with_capacity(chunk_count.min(65_536));
+        for _ in 0..chunk_count {
+            need(&raw, 8 + 8 + 8 + 8 + 4 + 4, "chunk entry")?;
+            chunks.push(ChunkEntry {
+                offset: raw.get_u64_le(),
+                stored_len: raw.get_u64_le(),
+                raw_len: raw.get_u64_le(),
+                t0: raw.get_u64_le(),
+                t_len: raw.get_u32_le(),
+                crc32: raw.get_u32_le(),
+            });
+        }
+        members.push(MemberEntry {
+            name,
+            kind,
+            codec,
+            snapshot_version,
+            meta,
+            t_max,
+            chunk_t,
+            values_per_slice,
+            chunks,
+        });
+    }
+    if raw.remaining() != 0 {
+        return Err(ArchiveError::Corrupt(format!(
+            "{} unexpected bytes after last directory entry",
+            raw.remaining()
+        )));
+    }
+    Ok(members)
+}
+
+/// Directory bytes + trailing CRC32, ready to append to the payload.
+pub fn encode_directory_with_crc(members: &[MemberEntry]) -> Bytes {
+    let mut buf = encode_directory(members);
+    let crc = crc32(&buf);
+    buf.put_u32_le(crc);
+    buf.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_members() -> Vec<MemberEntry> {
+        vec![
+            MemberEntry {
+                name: "t2m/member0".to_string(),
+                kind: MemberKind::Field,
+                codec: 3,
+                snapshot_version: 0,
+                meta: FieldMeta {
+                    ntheta: 19,
+                    nphi: 36,
+                    start_year: 1979,
+                    tau: 365,
+                },
+                t_max: 100,
+                chunk_t: 32,
+                values_per_slice: 19 * 36,
+                chunks: vec![
+                    ChunkEntry {
+                        offset: 32,
+                        stored_len: 1000,
+                        raw_len: 32 * 19 * 36 * 4,
+                        t0: 0,
+                        t_len: 32,
+                        crc32: 0xDEAD_BEEF,
+                    },
+                    ChunkEntry {
+                        offset: 1032,
+                        stored_len: 900,
+                        raw_len: 32 * 19 * 36 * 4,
+                        t0: 32,
+                        t_len: 32,
+                        crc32: 1,
+                    },
+                ],
+            },
+            MemberEntry {
+                name: "snapshot/em".to_string(),
+                kind: MemberKind::Snapshot,
+                codec: 1,
+                snapshot_version: 7,
+                meta: FieldMeta::default(),
+                t_max: 12345,
+                chunk_t: 1 << 20,
+                values_per_slice: 0,
+                chunks: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn directory_roundtrips() {
+        let members = sample_members();
+        let enc = encode_directory(&members).freeze();
+        let back = decode_directory(enc).unwrap();
+        assert_eq!(back, members);
+    }
+
+    #[test]
+    fn truncated_directory_is_corrupt() {
+        let enc = encode_directory(&sample_members()).freeze();
+        for cut in [0, 3, 10, enc.len() - 1] {
+            let r = decode_directory(enc.slice(0..cut.min(enc.len())));
+            if cut == 0 {
+                assert!(matches!(r, Err(ArchiveError::Corrupt(_))));
+            } else {
+                assert!(r.is_err(), "cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_directory_bytes_are_corrupt() {
+        let mut enc = encode_directory(&sample_members());
+        enc.put_u8(0);
+        assert!(matches!(
+            decode_directory(enc.freeze()),
+            Err(ArchiveError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn range_query_selects_overlapping_chunks() {
+        let m = &sample_members()[0];
+        assert_eq!(m.chunks_for_range(0, 100), vec![0, 1]);
+        assert_eq!(m.chunks_for_range(0, 32), vec![0]);
+        assert_eq!(m.chunks_for_range(31, 33), vec![0, 1]);
+        assert_eq!(m.chunks_for_range(32, 64), vec![1]);
+        assert!(m.chunks_for_range(64, 100).is_empty());
+    }
+}

@@ -1,0 +1,194 @@
+//! ECA1 constants, member kinds, the error type, and CRC32.
+
+/// File magic: the literal bytes `ECA1` at offset 0.
+pub const MAGIC: [u8; 4] = *b"ECA1";
+
+/// Container version this crate writes and accepts.
+pub const VERSION: u16 = 1;
+
+/// Fixed header size in bytes (magic, version, flags, directory offset,
+/// directory length, reserved).
+pub const HEADER_LEN: u64 = 32;
+
+/// Upper bound on one chunk's decoded size (1 GiB). The writer refuses to
+/// create larger chunks and the reader rejects directories claiming them,
+/// which bounds the memory a corrupt or hostile archive can make the
+/// reader allocate. Real chunks sit far below this (a 0.25° ERA5 slice is
+/// ~8 MB at f64; 32-slice chunks ≈ 256 MB).
+pub const MAX_CHUNK_RAW_LEN: u64 = 1 << 30;
+
+/// What a member's payload means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberKind {
+    /// Gridded time-series field: chunks decode to `f64` values.
+    Field,
+    /// Versioned opaque blob (e.g. a trained emulator): chunks decode to
+    /// raw bytes.
+    Snapshot,
+}
+
+impl MemberKind {
+    /// Wire id.
+    pub fn id(self) -> u8 {
+        match self {
+            MemberKind::Field => 0,
+            MemberKind::Snapshot => 1,
+        }
+    }
+
+    /// Parse a wire id.
+    pub fn from_id(id: u8) -> Result<Self, ArchiveError> {
+        match id {
+            0 => Ok(MemberKind::Field),
+            1 => Ok(MemberKind::Snapshot),
+            other => Err(ArchiveError::Corrupt(format!(
+                "unknown member kind {other}"
+            ))),
+        }
+    }
+}
+
+/// Errors surfaced by the archive subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchiveError {
+    /// Underlying I/O failure (message of the `std::io::Error`).
+    Io(String),
+    /// The stream does not start with the `ECA1` magic.
+    BadMagic,
+    /// The container version is not supported.
+    BadVersion(u16),
+    /// Structural damage outside a chunk payload (directory, header,
+    /// inconsistent sizes).
+    Corrupt(String),
+    /// Bytes found after the end of the container.
+    TrailingBytes {
+        /// Expected container length.
+        expected: u64,
+        /// Observed stream length.
+        actual: u64,
+    },
+    /// A chunk's payload ends before its recorded length.
+    TruncatedChunk {
+        /// Owning member.
+        member: String,
+        /// Chunk index within the member.
+        chunk: usize,
+    },
+    /// A chunk's payload does not match its recorded CRC32.
+    ChecksumMismatch {
+        /// Owning member.
+        member: String,
+        /// Chunk index within the member.
+        chunk: usize,
+    },
+    /// The codec id is not known.
+    UnknownCodec(u8),
+    /// No member with the requested name.
+    MemberNotFound(String),
+    /// A member with this name already exists in the archive being written.
+    DuplicateMember(String),
+    /// The caller asked for something inconsistent (bad slice range,
+    /// wrong payload cardinality, …).
+    BadRequest(String),
+}
+
+impl std::fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArchiveError::Io(m) => write!(f, "archive I/O error: {m}"),
+            ArchiveError::BadMagic => write!(f, "not an ECA1 archive (bad magic)"),
+            ArchiveError::BadVersion(v) => write!(f, "unsupported ECA1 version {v}"),
+            ArchiveError::Corrupt(m) => write!(f, "corrupt archive: {m}"),
+            ArchiveError::TrailingBytes { expected, actual } => write!(
+                f,
+                "trailing bytes after container end (container is {expected} bytes, stream is {actual})"
+            ),
+            ArchiveError::TruncatedChunk { member, chunk } => {
+                write!(f, "truncated chunk {chunk} of member `{member}`")
+            }
+            ArchiveError::ChecksumMismatch { member, chunk } => {
+                write!(f, "checksum mismatch in chunk {chunk} of member `{member}`")
+            }
+            ArchiveError::UnknownCodec(id) => write!(f, "unknown codec id {id}"),
+            ArchiveError::MemberNotFound(name) => write!(f, "no member `{name}` in archive"),
+            ArchiveError::DuplicateMember(name) => {
+                write!(f, "member `{name}` already exists in archive")
+            }
+            ArchiveError::BadRequest(m) => write!(f, "bad request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {}
+
+impl From<std::io::Error> for ArchiveError {
+    fn from(e: std::io::Error) -> Self {
+        ArchiveError::Io(e.to_string())
+    }
+}
+
+/// CRC32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the same
+/// checksum gzip/zip use, computed with a 256-entry table.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, bytes) ^ 0xFFFF_FFFF
+}
+
+/// Streaming form: feed `state` (start from `0xFFFF_FFFF`) through
+/// successive buffers, then XOR with `0xFFFF_FFFF` at the end.
+pub fn crc32_update(mut state: u32, bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        t
+    });
+    for &b in bytes {
+        state = table[((state ^ b as u32) & 0xFF) as usize] ^ (state >> 8);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value of CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"exaclim"), crc32(b"exaclim"));
+        assert_ne!(crc32(b"exaclim"), crc32(b"exaclin"));
+    }
+
+    #[test]
+    fn crc32_streams_like_oneshot() {
+        let data = b"chunked, compressed, checksummed";
+        let mut state = 0xFFFF_FFFFu32;
+        for part in data.chunks(7) {
+            state = crc32_update(state, part);
+        }
+        assert_eq!(state ^ 0xFFFF_FFFF, crc32(data));
+    }
+
+    #[test]
+    fn member_kind_roundtrip() {
+        for k in [MemberKind::Field, MemberKind::Snapshot] {
+            assert_eq!(MemberKind::from_id(k.id()).unwrap(), k);
+        }
+        assert!(matches!(
+            MemberKind::from_id(9),
+            Err(ArchiveError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,48 @@
+//! # exaclim-store
+//!
+//! The durable layer of the storage-savings story. The paper's headline is
+//! replacing petabyte-scale ESM archives with a trained emulator
+//! (conf_sc_AbdulahBBCCGKKL24 §I/§VI); this crate supplies the on-disk
+//! artifact for both sides of that ledger: a self-describing container
+//! ("ECA1") holding
+//!
+//! * **field members** — time-chunked gridded payloads in one of several
+//!   precision codecs (the same f64/f32/f16 discipline the paper applies
+//!   to the tile Cholesky), optionally byte-shuffled and run-length
+//!   compressed, each chunk protected by a CRC32 checksum, and
+//! * **snapshot members** — versioned opaque blobs (trained emulators),
+//!   so a model trained once can be reloaded and re-emulate bit-identically.
+//!
+//! Layout (byte-exact details in the repository README):
+//!
+//! ```text
+//! header (32 B) | chunk payloads … | directory | directory CRC32
+//! ```
+//!
+//! The directory lives at the end so [`writer::ArchiveWriter`] can stream
+//! chunks without knowing member sizes up front; the header is patched
+//! with the directory offset on [`writer::ArchiveWriter::finish`].
+//! [`reader::ArchiveReader`] seeks straight to any `(member, time-range)`
+//! slice and decodes only the chunks that overlap it.
+//!
+//! Modules:
+//!
+//! * [`format`] — magic/version constants, error type, CRC32,
+//! * [`chunk`] — directory model and its binary encoding,
+//! * [`codec`] — payload codecs (`Raw64`, `F32`, `F16`, shuffled+RLE),
+//! * [`writer`] / [`reader`] — streaming append and random-access read,
+//! * [`snapshot`] — versioned save/load of opaque snapshot blobs.
+
+pub mod chunk;
+pub mod codec;
+pub mod format;
+pub mod reader;
+pub mod snapshot;
+pub mod writer;
+
+pub use chunk::{ChunkEntry, FieldMeta, MemberEntry};
+pub use codec::{ByteCodec, Codec};
+pub use format::{ArchiveError, MemberKind};
+pub use reader::ArchiveReader;
+pub use snapshot::{read_snapshot_file, write_snapshot_file, Snapshot};
+pub use writer::ArchiveWriter;

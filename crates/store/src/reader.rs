@@ -1,0 +1,578 @@
+//! Random-access archive reader.
+//!
+//! Opening an archive reads only the 32-byte header and the directory;
+//! payload chunks are fetched (and checksum-verified) on demand, so a
+//! `(member, time-range)` slice touches exactly the chunks that overlap
+//! the range — never the whole file.
+
+use crate::chunk::MemberEntry;
+use crate::codec::{ByteCodec, Codec};
+use crate::format::{
+    crc32, ArchiveError, MemberKind, HEADER_LEN, MAGIC, MAX_CHUNK_RAW_LEN, VERSION,
+};
+use bytes::{Buf, Bytes};
+use std::io::{Read, Seek, SeekFrom};
+use std::ops::Range;
+
+/// Structural validation of an untrusted directory, before anything is
+/// allocated from its fields: every chunk must lie inside the payload
+/// region, decode to a bounded size consistent with its member's
+/// geometry, and the chunks of each member must tile `[0, t_max)`
+/// contiguously. After this check, read paths may trust member/chunk
+/// arithmetic.
+fn validate_members(members: &[MemberEntry], dir_offset: u64) -> Result<(), ArchiveError> {
+    for m in members {
+        let corrupt = |what: String| ArchiveError::Corrupt(format!("member `{}`: {what}", m.name));
+        match m.kind {
+            MemberKind::Field => {
+                let codec = Codec::from_id(m.codec)?;
+                if m.t_max > 0 && m.values_per_slice == 0 {
+                    return Err(corrupt("zero values per slice".to_string()));
+                }
+                let width = codec.value_width() as u64;
+                let mut next_t0 = 0u64;
+                for (i, c) in m.chunks.iter().enumerate() {
+                    if c.t0 != next_t0 {
+                        return Err(corrupt(format!(
+                            "chunk {i} starts at step {} (expected {next_t0})",
+                            c.t0
+                        )));
+                    }
+                    let expect_raw = u64::from(c.t_len)
+                        .checked_mul(m.values_per_slice)
+                        .and_then(|v| v.checked_mul(width));
+                    if expect_raw != Some(c.raw_len) {
+                        return Err(corrupt(format!(
+                            "chunk {i} records raw_len {} for {} slices",
+                            c.raw_len, c.t_len
+                        )));
+                    }
+                    next_t0 += u64::from(c.t_len);
+                }
+                if next_t0 != m.t_max {
+                    return Err(corrupt(format!(
+                        "chunks cover {next_t0} steps, directory records {}",
+                        m.t_max
+                    )));
+                }
+            }
+            MemberKind::Snapshot => {
+                ByteCodec::from_id(m.codec)?;
+                let mut next_t0 = 0u64;
+                for (i, c) in m.chunks.iter().enumerate() {
+                    if c.t0 != next_t0 || c.raw_len != u64::from(c.t_len) {
+                        return Err(corrupt(format!("chunk {i} is not a contiguous byte run")));
+                    }
+                    next_t0 += u64::from(c.t_len);
+                }
+                if next_t0 != m.t_max {
+                    return Err(corrupt(format!(
+                        "chunks cover {next_t0} bytes, directory records {}",
+                        m.t_max
+                    )));
+                }
+            }
+        }
+        for (i, c) in m.chunks.iter().enumerate() {
+            let end = c.offset.checked_add(c.stored_len);
+            if c.offset < HEADER_LEN || end.is_none() || end.unwrap() > dir_offset {
+                return Err(ArchiveError::TruncatedChunk {
+                    member: m.name.clone(),
+                    chunk: i,
+                });
+            }
+            if c.raw_len > MAX_CHUNK_RAW_LEN {
+                return Err(ArchiveError::Corrupt(format!(
+                    "member `{}`: chunk {i} claims {} decoded bytes (limit {})",
+                    m.name, c.raw_len, MAX_CHUNK_RAW_LEN
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// ECA1 reader over any `Read + Seek` source.
+pub struct ArchiveReader<R: Read + Seek> {
+    source: R,
+    members: Vec<MemberEntry>,
+    /// Container length recorded by the directory (header + payload +
+    /// directory + CRC).
+    total_len: u64,
+}
+
+impl<R: Read + Seek> std::fmt::Debug for ArchiveReader<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArchiveReader")
+            .field("members", &self.members.len())
+            .field("total_len", &self.total_len)
+            .finish()
+    }
+}
+
+impl ArchiveReader<std::io::BufReader<std::fs::File>> {
+    /// Open an archive file.
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Self, ArchiveError> {
+        let file = std::fs::File::open(path)?;
+        Self::new(std::io::BufReader::new(file))
+    }
+}
+
+impl<R: Read + Seek> ArchiveReader<R> {
+    /// Validate the header, load and verify the directory.
+    pub fn new(mut source: R) -> Result<Self, ArchiveError> {
+        let stream_len = source.seek(SeekFrom::End(0))?;
+        if stream_len < HEADER_LEN {
+            return Err(ArchiveError::Corrupt(format!(
+                "stream is {stream_len} bytes, shorter than the {HEADER_LEN}-byte header"
+            )));
+        }
+        source.seek(SeekFrom::Start(0))?;
+        let mut header_buf = [0u8; HEADER_LEN as usize];
+        source.read_exact(&mut header_buf)?;
+        let mut header: &[u8] = &header_buf;
+        let mut magic = [0u8; 4];
+        header.copy_to_slice(&mut magic);
+        if magic != MAGIC {
+            return Err(ArchiveError::BadMagic);
+        }
+        let version = header.get_u16_le();
+        if version != VERSION {
+            return Err(ArchiveError::BadVersion(version));
+        }
+        let _flags = header.get_u16_le();
+        let dir_offset = header.get_u64_le();
+        let dir_len = header.get_u64_le();
+        let total = dir_offset
+            .checked_add(dir_len)
+            .and_then(|v| v.checked_add(4))
+            .filter(|_| dir_offset >= HEADER_LEN);
+        let Some(total_len) = total else {
+            return Err(ArchiveError::Corrupt(
+                "directory offset/length out of range (unfinished archive?)".to_string(),
+            ));
+        };
+        if stream_len < total_len {
+            return Err(ArchiveError::Corrupt(format!(
+                "stream is {stream_len} bytes but the directory needs {total_len}"
+            )));
+        }
+        if stream_len > total_len {
+            return Err(ArchiveError::TrailingBytes {
+                expected: total_len,
+                actual: stream_len,
+            });
+        }
+        source.seek(SeekFrom::Start(dir_offset))?;
+        let mut dir = vec![0u8; dir_len as usize + 4];
+        source.read_exact(&mut dir)?;
+        let crc_stored = u32::from_le_bytes(dir[dir_len as usize..].try_into().unwrap());
+        dir.truncate(dir_len as usize);
+        if crc32(&dir) != crc_stored {
+            return Err(ArchiveError::Corrupt(
+                "directory checksum mismatch".to_string(),
+            ));
+        }
+        let members = crate::chunk::decode_directory(Bytes::from(dir))?;
+        validate_members(&members, dir_offset)?;
+        Ok(Self {
+            source,
+            members,
+            total_len,
+        })
+    }
+
+    /// All members, in write order.
+    pub fn members(&self) -> &[MemberEntry] {
+        &self.members
+    }
+
+    /// Total container length in bytes.
+    pub fn total_len(&self) -> u64 {
+        self.total_len
+    }
+
+    /// Look up a member by name.
+    pub fn member(&self, name: &str) -> Result<&MemberEntry, ArchiveError> {
+        self.members
+            .iter()
+            .find(|m| m.name == name)
+            .ok_or_else(|| ArchiveError::MemberNotFound(name.to_string()))
+    }
+
+    /// Read and checksum-verify the stored bytes of one chunk.
+    fn read_chunk_stored(
+        &mut self,
+        member_idx: usize,
+        chunk_idx: usize,
+    ) -> Result<Vec<u8>, ArchiveError> {
+        let m = &self.members[member_idx];
+        let c = m.chunks[chunk_idx];
+        let name = m.name.clone();
+        self.source.seek(SeekFrom::Start(c.offset))?;
+        let mut stored = vec![0u8; c.stored_len as usize];
+        self.source
+            .read_exact(&mut stored)
+            .map_err(|_| ArchiveError::TruncatedChunk {
+                member: name.clone(),
+                chunk: chunk_idx,
+            })?;
+        if crc32(&stored) != c.crc32 {
+            return Err(ArchiveError::ChecksumMismatch {
+                member: name,
+                chunk: chunk_idx,
+            });
+        }
+        Ok(stored)
+    }
+
+    /// Decode all values of one field chunk.
+    fn decode_field_chunk(
+        &mut self,
+        member_idx: usize,
+        chunk_idx: usize,
+    ) -> Result<Vec<f64>, ArchiveError> {
+        let m = &self.members[member_idx];
+        if m.kind != MemberKind::Field {
+            return Err(ArchiveError::BadRequest(format!(
+                "member `{}` is not a field",
+                m.name
+            )));
+        }
+        let codec = Codec::from_id(m.codec)?;
+        let c = m.chunks[chunk_idx];
+        let n_values = c.t_len as usize * m.values_per_slice as usize;
+        if c.raw_len != (n_values * codec.value_width()) as u64 {
+            return Err(ArchiveError::Corrupt(format!(
+                "chunk {chunk_idx} of `{}` records raw_len {} for {n_values} values",
+                m.name, c.raw_len
+            )));
+        }
+        let stored = self.read_chunk_stored(member_idx, chunk_idx)?;
+        codec.decode(&stored, n_values)
+    }
+
+    /// Read time slices `range` of a field member, without touching
+    /// chunks outside the range. Returns `(t1 − t0) × values_per_slice`
+    /// values, time-major.
+    pub fn read_field_slices(
+        &mut self,
+        name: &str,
+        range: Range<u64>,
+    ) -> Result<Vec<f64>, ArchiveError> {
+        let member_idx = self
+            .members
+            .iter()
+            .position(|m| m.name == name)
+            .ok_or_else(|| ArchiveError::MemberNotFound(name.to_string()))?;
+        let m = &self.members[member_idx];
+        if m.kind != MemberKind::Field {
+            return Err(ArchiveError::BadRequest(format!(
+                "member `{name}` is not a field"
+            )));
+        }
+        if range.start > range.end || range.end > m.t_max {
+            return Err(ArchiveError::BadRequest(format!(
+                "slice range {}..{} out of bounds for {} time steps",
+                range.start, range.end, m.t_max
+            )));
+        }
+        let vps = m.values_per_slice as usize;
+        // Chunks tile the member contiguously (validated at open), so the
+        // overlapping chunks arrive in time order and concatenating their
+        // in-range parts assembles the slice. Growing the buffer from
+        // decoded data (rather than pre-allocating from directory fields)
+        // bounds memory by what the payload actually decodes to.
+        let mut out: Vec<f64> = Vec::new();
+        for chunk_idx in m.chunks_for_range(range.start, range.end) {
+            let c = self.members[member_idx].chunks[chunk_idx];
+            let values = self.decode_field_chunk(member_idx, chunk_idx)?;
+            let lo = range.start.max(c.t0);
+            let hi = range.end.min(c.t0 + u64::from(c.t_len));
+            let a = (lo - c.t0) as usize * vps;
+            let b = (hi - c.t0) as usize * vps;
+            out.extend_from_slice(&values[a..b]);
+        }
+        debug_assert_eq!(out.len(), (range.end - range.start) as usize * vps);
+        Ok(out)
+    }
+
+    /// Read every time slice of a field member.
+    pub fn read_field_all(&mut self, name: &str) -> Result<Vec<f64>, ArchiveError> {
+        let t_max = self.member(name)?.t_max;
+        self.read_field_slices(name, 0..t_max)
+    }
+
+    /// Read a snapshot blob, returning `(schema_version, payload)`.
+    pub fn read_snapshot(&mut self, name: &str) -> Result<(u32, Vec<u8>), ArchiveError> {
+        let member_idx = self
+            .members
+            .iter()
+            .position(|m| m.name == name)
+            .ok_or_else(|| ArchiveError::MemberNotFound(name.to_string()))?;
+        let m = &self.members[member_idx];
+        if m.kind != MemberKind::Snapshot {
+            return Err(ArchiveError::BadRequest(format!(
+                "member `{name}` is not a snapshot"
+            )));
+        }
+        let codec = ByteCodec::from_id(m.codec)?;
+        let version = m.snapshot_version;
+        let total = m.t_max as usize;
+        let chunk_count = m.chunks.len();
+        // Grow from decoded chunks; `total` comes from the directory and
+        // is only trusted as a final consistency check.
+        let mut out = Vec::new();
+        for chunk_idx in 0..chunk_count {
+            let c = self.members[member_idx].chunks[chunk_idx];
+            let stored = self.read_chunk_stored(member_idx, chunk_idx)?;
+            let part = codec.decode(&stored, c.raw_len as usize)?;
+            out.extend_from_slice(&part);
+        }
+        if out.len() != total {
+            return Err(ArchiveError::Corrupt(format!(
+                "snapshot `{name}` decodes to {} bytes, directory records {total}",
+                out.len()
+            )));
+        }
+        Ok((version, out))
+    }
+
+    /// Verify every chunk checksum in the archive.
+    pub fn verify(&mut self) -> Result<(), ArchiveError> {
+        for member_idx in 0..self.members.len() {
+            for chunk_idx in 0..self.members[member_idx].chunks.len() {
+                self.read_chunk_stored(member_idx, chunk_idx)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::FieldMeta;
+    use crate::writer::ArchiveWriter;
+    use std::io::Cursor;
+
+    fn smooth(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| 280.0 + 10.0 * (i as f64 * 0.02).sin())
+            .collect()
+    }
+
+    fn build(codec: Codec) -> (Vec<u8>, Vec<f64>) {
+        let meta = FieldMeta {
+            ntheta: 4,
+            nphi: 5,
+            start_year: 1990,
+            tau: 365,
+        };
+        let data = smooth(20 * 17); // 17 slices of 20 values, chunk_t 5
+        let mut w = ArchiveWriter::new(Cursor::new(Vec::new())).unwrap();
+        w.add_field("t2m", codec, meta, 20, 5, &data).unwrap();
+        w.add_snapshot("model", 3, ByteCodec::Rle, b"{\"k\":[1,2,3]}", 8)
+            .unwrap();
+        let (cursor, total) = w.finish().unwrap();
+        let raw = cursor.into_inner();
+        assert_eq!(raw.len() as u64, total);
+        (raw, data)
+    }
+
+    #[test]
+    fn full_and_sliced_reads_roundtrip() {
+        for codec in Codec::ALL {
+            let (raw, data) = build(codec);
+            let mut r = ArchiveReader::new(Cursor::new(raw)).unwrap();
+            let m = r.member("t2m").unwrap();
+            assert_eq!(m.t_max, 17);
+            assert_eq!(m.chunks.len(), 4); // 5+5+5+2
+            let all = r.read_field_all("t2m").unwrap();
+            let expect: Vec<f64> = data.iter().map(|&x| codec.quantize(x)).collect();
+            assert_eq!(all, expect, "{}", codec.label());
+            // A slice crossing a chunk boundary.
+            let part = r.read_field_slices("t2m", 4..11).unwrap();
+            assert_eq!(part, expect[4 * 20..11 * 20]);
+            // Snapshot back.
+            let (version, blob) = r.read_snapshot("model").unwrap();
+            assert_eq!(version, 3);
+            assert_eq!(blob, b"{\"k\":[1,2,3]}");
+            r.verify().unwrap();
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_detected() {
+        let (mut raw, _) = build(Codec::F32);
+        let pristine = raw.clone();
+        raw[0] = b'X';
+        assert!(matches!(
+            ArchiveReader::new(Cursor::new(raw)).unwrap_err(),
+            ArchiveError::BadMagic
+        ));
+        let mut raw = pristine.clone();
+        raw[4] = 99;
+        assert!(matches!(
+            ArchiveReader::new(Cursor::new(raw)).unwrap_err(),
+            ArchiveError::BadVersion(99)
+        ));
+        let mut short = pristine.clone();
+        short.truncate(10);
+        assert!(matches!(
+            ArchiveReader::new(Cursor::new(short)).unwrap_err(),
+            ArchiveError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_checksum_only_for_its_chunk() {
+        let (mut raw, _) = build(Codec::F32);
+        // Flip one byte inside the second chunk of `t2m`.
+        let (off, t0) = {
+            let r = ArchiveReader::new(Cursor::new(raw.clone())).unwrap();
+            let c = r.member("t2m").unwrap().chunks[1];
+            (c.offset as usize, c.t0)
+        };
+        raw[off + 3] ^= 0x40;
+        let mut r = ArchiveReader::new(Cursor::new(raw)).unwrap();
+        // Chunk 0 still reads fine.
+        let ok = r.read_field_slices("t2m", 0..t0).unwrap();
+        assert_eq!(ok.len() as u64, t0 * 20);
+        // Any read touching chunk 1 reports the checksum failure.
+        let err = r.read_field_all("t2m").unwrap_err();
+        assert_eq!(
+            err,
+            ArchiveError::ChecksumMismatch {
+                member: "t2m".to_string(),
+                chunk: 1
+            }
+        );
+        assert!(r.verify().is_err());
+    }
+
+    #[test]
+    fn overflowing_directory_offsets_are_corrupt() {
+        // dir_offset + dir_len passes a single checked_add but the +4 for
+        // the CRC would overflow: must error, not panic.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(b"ECA1");
+        raw.extend_from_slice(&1u16.to_le_bytes());
+        raw.extend_from_slice(&0u16.to_le_bytes());
+        raw.extend_from_slice(&(u64::MAX - 5).to_le_bytes()); // dir offset
+        raw.extend_from_slice(&2u64.to_le_bytes()); // dir len
+        raw.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            ArchiveReader::new(Cursor::new(raw)).unwrap_err(),
+            ArchiveError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn truncated_and_trailing_streams_are_detected() {
+        let (raw, _) = build(Codec::Raw64);
+        let mut long = raw.clone();
+        long.extend_from_slice(b"garbage");
+        assert!(matches!(
+            ArchiveReader::new(Cursor::new(long)).unwrap_err(),
+            ArchiveError::TrailingBytes { .. }
+        ));
+        let mut short = raw.clone();
+        short.truncate(raw.len() - 3);
+        assert!(matches!(
+            ArchiveReader::new(Cursor::new(short)).unwrap_err(),
+            ArchiveError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn hostile_directories_are_rejected_before_allocation() {
+        use crate::chunk::ChunkEntry;
+        // Writer refuses chunks beyond the decoded-size limit.
+        let mut w = ArchiveWriter::new(Cursor::new(Vec::new())).unwrap();
+        assert!(matches!(
+            w.begin_field("x", Codec::Raw64, FieldMeta::default(), 1 << 27, 1 << 27),
+            Err(ArchiveError::BadRequest(_))
+        ));
+        // A directory claiming huge t_max with no chunks backing it.
+        let phantom = MemberEntry {
+            name: "phantom".to_string(),
+            kind: MemberKind::Field,
+            codec: Codec::Raw64.id(),
+            snapshot_version: 0,
+            meta: crate::chunk::FieldMeta::default(),
+            t_max: 1 << 20,
+            chunk_t: 1,
+            values_per_slice: 1 << 40,
+            chunks: vec![],
+        };
+        assert!(matches!(
+            validate_members(std::slice::from_ref(&phantom), 1000),
+            Err(ArchiveError::Corrupt(_))
+        ));
+        // A self-consistent chunk whose decoded size exceeds the limit.
+        let giant = MemberEntry {
+            t_max: 1,
+            values_per_slice: 1 << 30,
+            chunks: vec![ChunkEntry {
+                offset: 32,
+                stored_len: 10,
+                raw_len: (1u64 << 30) * 8,
+                t0: 0,
+                t_len: 1,
+                crc32: 0,
+            }],
+            ..phantom.clone()
+        };
+        assert!(matches!(
+            validate_members(&[giant], 1000),
+            Err(ArchiveError::Corrupt(_))
+        ));
+        // Non-contiguous chunks (a gap in time coverage).
+        let gappy = MemberEntry {
+            t_max: 4,
+            values_per_slice: 1,
+            chunks: vec![
+                ChunkEntry {
+                    offset: 32,
+                    stored_len: 16,
+                    raw_len: 16,
+                    t0: 0,
+                    t_len: 2,
+                    crc32: 0,
+                },
+                ChunkEntry {
+                    offset: 48,
+                    stored_len: 8,
+                    raw_len: 8,
+                    t0: 3,
+                    t_len: 1,
+                    crc32: 0,
+                },
+            ],
+            ..phantom
+        };
+        assert!(matches!(
+            validate_members(&[gappy], 1000),
+            Err(ArchiveError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_requests_are_bad_requests() {
+        let (raw, _) = build(Codec::F32);
+        let mut r = ArchiveReader::new(Cursor::new(raw)).unwrap();
+        assert!(matches!(
+            r.read_field_slices("t2m", 5..100),
+            Err(ArchiveError::BadRequest(_))
+        ));
+        assert!(matches!(
+            r.read_field_slices("nope", 0..1),
+            Err(ArchiveError::MemberNotFound(_))
+        ));
+        assert!(matches!(
+            r.read_snapshot("t2m"),
+            Err(ArchiveError::BadRequest(_))
+        ));
+    }
+}

@@ -7,8 +7,8 @@
 //! ```
 
 use exaclim::{ClimateEmulator, EmulatorConfig};
-use exaclim_climate::{SyntheticEra5, SyntheticEra5Config};
 use exaclim_climate::generator::Dataset;
+use exaclim_climate::{SyntheticEra5, SyntheticEra5Config};
 use exaclim_mathkit::stats::OnlineStats;
 
 /// Render a field as an ASCII map (cold → '.', hot → '#').
@@ -41,8 +41,8 @@ fn field_stats(d: &Dataset, t: usize) -> (f64, f64, f64, f64) {
 fn main() {
     let generator = SyntheticEra5::new(SyntheticEra5Config::small_daily(12));
     let simulation = generator.generate_member(0, 2 * 365);
-    let emulator = ClimateEmulator::train(&simulation, EmulatorConfig::small(8))
-        .expect("training succeeds");
+    let emulator =
+        ClimateEmulator::train(&simulation, EmulatorConfig::small(8)).expect("training succeeds");
     let emulation = emulator.emulate(2 * 365, 7).expect("emulation succeeds");
 
     // "Jan 1" (t = 0) and "Jun 1" (t = 151), as in the paper's Figure 2.
@@ -50,9 +50,7 @@ fn main() {
         println!("=== {label} ===");
         for (name, d) in [("simulation", &simulation), ("emulation ", &emulation)] {
             let (mean, std, min, max) = field_stats(d, t);
-            println!(
-                "{name}: mean {mean:7.2} K  std {std:6.2} K  range [{min:6.1}, {max:6.1}] K"
-            );
+            println!("{name}: mean {mean:7.2} K  std {std:6.2} K  range [{min:6.1}, {max:6.1}] K");
         }
         println!("simulation map:");
         print!("{}", ascii_map(&simulation, t, 12, 48));

@@ -8,13 +8,15 @@
 
 use exaclim_linalg::cholesky::factorization_residual;
 use exaclim_linalg::precision::PrecisionPolicy;
-use exaclim_linalg::tiled::{TiledMatrix, exp_covariance};
-use exaclim_runtime::{SchedulerKind, parallel_tile_cholesky};
+use exaclim_linalg::tiled::{exp_covariance, TiledMatrix};
+use exaclim_runtime::{parallel_tile_cholesky, SchedulerKind};
 
 fn main() {
     let n = 768;
     let b = 64;
-    let workers = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(4);
     let a = exp_covariance(n, 24.0, 1e-3);
     println!(
         "matrix: exponential covariance, n = {n}, tile = {b} ({} tiles), {workers} workers",
@@ -37,9 +39,8 @@ fn main() {
         let mut tm = TiledMatrix::from_dense(&a, n, b, &policy);
         let bytes = tm.payload_bytes();
         let census = tm.precision_census();
-        let (stats, trace) =
-            parallel_tile_cholesky(&mut tm, workers, SchedulerKind::PriorityHeap)
-                .expect("SPD covariance");
+        let (stats, trace) = parallel_tile_cholesky(&mut tm, workers, SchedulerKind::PriorityHeap)
+            .expect("SPD covariance");
         let res = factorization_residual(&a, &tm);
         println!(
             "{:<10} {:>10} {:>14.3e} {:>12.4} {:>10.2} {:>4}/{}/{}",

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use exaclim::{ClimateEmulator, EmulatorConfig, validate_consistency};
+use exaclim::{validate_consistency, ClimateEmulator, EmulatorConfig};
 use exaclim_climate::{SyntheticEra5, SyntheticEra5Config};
 
 fn main() {
@@ -47,11 +47,26 @@ fn main() {
     // 4. Statistical consistency (the Figure 2 claim).
     let report = validate_consistency(&training, &emulation);
     println!("consistency report:");
-    println!("  mean nRMSE             {:.4}  (< 0.15)", report.mean_nrmse);
-    println!("  std ratio (median)     {:.4}  (≈ 1)", report.std_ratio_median);
-    println!("  mean-field correlation {:.4}  (> 0.98)", report.mean_field_correlation);
-    println!("  std-field correlation  {:.4}  (> 0.6)", report.std_field_correlation);
-    println!("  |Δ acf(1)|             {:.4}  (< 0.25)", report.acf1_abs_diff);
+    println!(
+        "  mean nRMSE             {:.4}  (< 0.15)",
+        report.mean_nrmse
+    );
+    println!(
+        "  std ratio (median)     {:.4}  (≈ 1)",
+        report.std_ratio_median
+    );
+    println!(
+        "  mean-field correlation {:.4}  (> 0.98)",
+        report.mean_field_correlation
+    );
+    println!(
+        "  std-field correlation  {:.4}  (> 0.6)",
+        report.std_field_correlation
+    );
+    println!(
+        "  |Δ acf(1)|             {:.4}  (< 0.25)",
+        report.acf1_abs_diff
+    );
     println!("  PASSES: {}", report.passes());
 
     // 5. Storage ledger: what replacing a 10-member archive saves.

@@ -8,7 +8,7 @@
 
 use exaclim_cluster::machines::{Machine, MachineSpec};
 use exaclim_cluster::scaling::{strong_scaling, weak_scaling};
-use exaclim_cluster::sim::{SimConfig, Variant, simulate_cholesky};
+use exaclim_cluster::sim::{simulate_cholesky, SimConfig, Variant};
 
 fn main() {
     println!("== Largest-scale DP/HP runs (Figure 8 scenario) ==");
@@ -36,13 +36,24 @@ fn main() {
         );
         best = best.max(r.pflops);
     }
-    println!("peak modeled rate: {:.3} EFlop/s (paper: 0.976 EFlop/s on Frontier)", best / 1e3);
-    assert!(best > 400.0, "the Frontier run must be sub-exascale-class at least");
+    println!(
+        "peak modeled rate: {:.3} EFlop/s (paper: 0.976 EFlop/s on Frontier)",
+        best / 1e3
+    );
+    assert!(
+        best > 400.0,
+        "the Frontier run must be sub-exascale-class at least"
+    );
 
     println!();
     println!("== Summit weak scaling, DP/HP (Figure 7 left) ==");
     let spec = MachineSpec::of(Machine::Summit);
-    for p in weak_scaling(&spec, Variant::DpHp, &[384, 1536, 3072, 6144, 12288], 1_500_000) {
+    for p in weak_scaling(
+        &spec,
+        Variant::DpHp,
+        &[384, 1536, 3072, 6144, 12288],
+        1_500_000,
+    ) {
         println!(
             "  {:>6} GPUs  n = {:>9.2}M  {:>7.2} TF/GPU  efficiency {:>5.0}%",
             p.gpus,
@@ -56,8 +67,10 @@ fn main() {
     println!("== Summit strong scaling (Figure 7 right) ==");
     for v in Variant::all() {
         let pts = strong_scaling(&spec, v, &[3072, 6144, 12288], 12_580_000);
-        let effs: Vec<String> =
-            pts.iter().map(|p| format!("{:.0}%", p.efficiency_pct)).collect();
+        let effs: Vec<String> = pts
+            .iter()
+            .map(|p| format!("{:.0}%", p.efficiency_pct))
+            .collect();
         println!("  {:<9} {}", v.label(), effs.join(" → "));
     }
 }

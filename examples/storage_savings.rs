@@ -7,8 +7,8 @@
 //! ```
 
 use exaclim_climate::storage::{
-    CMIP3_BYTES, CMIP5_BYTES, CMIP6_BYTES, DOLLARS_PER_TB_YEAR, PB,
-    SCREAM_BYTES_PER_DAY, StorageModel, TB, paper_headline_model,
+    paper_headline_model, StorageModel, CMIP3_BYTES, CMIP5_BYTES, CMIP6_BYTES, DOLLARS_PER_TB_YEAR,
+    PB, SCREAM_BYTES_PER_DAY, TB,
 };
 
 fn fmt_bytes(b: f64) -> String {
@@ -64,7 +64,10 @@ fn main() {
                 var_order: 3,
             },
         ),
-        ("0.034° hourly, 1 yr, R=1 (headline grid)", paper_headline_model(1, 1)),
+        (
+            "0.034° hourly, 1 yr, R=1 (headline grid)",
+            paper_headline_model(1, 1),
+        ),
         ("0.034° hourly, 83 yr, R=100", paper_headline_model(100, 83)),
     ];
     for (name, m) in &configs {

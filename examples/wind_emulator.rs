@@ -14,7 +14,7 @@ use exaclim::{ClimateEmulator, EmulatorConfig};
 use exaclim_climate::generator::Dataset;
 use exaclim_climate::{SyntheticEra5, SyntheticEra5Config};
 use exaclim_mathkit::stats::quantile;
-use exaclim_stats::tukey::{TukeyGH, fit_tukey_gh};
+use exaclim_stats::tukey::{fit_tukey_gh, TukeyGH};
 
 /// Build synthetic "wind" data: warp the standardized stochastic part of a
 /// temperature-like simulation through a skewed, heavy-tailed g-and-h.
@@ -36,7 +36,8 @@ fn make_wind(base: &Dataset, warp: &TukeyGH) -> Dataset {
             sd[p] += d * d;
         }
     }
-    sd.iter_mut().for_each(|s| *s = (*s / base.t_max as f64).sqrt().max(1e-9));
+    sd.iter_mut()
+        .for_each(|s| *s = (*s / base.t_max as f64).sqrt().max(1e-9));
     for t in 0..base.t_max {
         for p in 0..np {
             let z = (base.data[t * np + p] - mean[p]) / sd[p];
@@ -50,7 +51,12 @@ fn main() {
     let generator = SyntheticEra5::new(SyntheticEra5Config::small_daily(12));
     let base = generator.generate_member(0, 3 * 365);
     // "True" wind marginal: skewed (g) and heavy-tailed (h), ~8 m/s mean.
-    let truth = TukeyGH { xi: 8.0, omega: 3.0, g: 0.4, h: 0.08 };
+    let truth = TukeyGH {
+        xi: 8.0,
+        omega: 3.0,
+        g: 0.4,
+        h: 0.08,
+    };
     let wind = make_wind(&base, &truth);
 
     // 1. Fit the marginal on the pooled wind sample.
@@ -75,7 +81,10 @@ fn main() {
     }
 
     // 4. Compare wind-space quantiles — skewness and tails must survive.
-    println!("{:<12} {:>10} {:>10} {:>10} {:>10} {:>10}", "source", "q05", "q50", "q95", "q99", "mean");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "source", "q05", "q50", "q95", "q99", "mean"
+    );
     for (name, d) in [("simulation", &wind), ("emulation", &emulated)] {
         let mean = d.data.iter().sum::<f64>() / d.data.len() as f64;
         println!(

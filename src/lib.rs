@@ -14,5 +14,6 @@ pub use exaclim_runtime as runtime;
 pub use exaclim_sht as sht;
 pub use exaclim_sphere as sphere;
 pub use exaclim_stats as stats;
+pub use exaclim_store as store;
 
 pub use exaclim;

@@ -2,7 +2,7 @@
 //! the binary container, load it back, train jointly, and verify the
 //! covariance benefits of pooling (eq. 9 with R > 1).
 
-use exaclim::{ClimateEmulator, EmulatorConfig, validate_consistency};
+use exaclim::{validate_consistency, ClimateEmulator, EmulatorConfig};
 use exaclim_climate::generator::Dataset;
 use exaclim_climate::io::{decode_dataset, encode_dataset};
 use exaclim_climate::{SyntheticEra5, SyntheticEra5Config};
@@ -59,9 +59,8 @@ fn pooling_members_stabilizes_the_innovation_covariance() {
     // Pooled diagonal of V should be no larger on average (tighter
     // covariance estimate, same underlying process).
     let dim = 64;
-    let diag_mean = |f: &[f64]| -> f64 {
-        (0..dim).map(|i| f[i * dim + i]).sum::<f64>() / dim as f64
-    };
+    let diag_mean =
+        |f: &[f64]| -> f64 { (0..dim).map(|i| f[i * dim + i]).sum::<f64>() / dim as f64 };
     let (ds, dp) = (diag_mean(&single.factor), diag_mean(&pooled.factor));
     assert!((ds / dp - 1.0).abs() < 0.5, "same scale: {ds} vs {dp}");
 }

@@ -4,11 +4,11 @@
 
 use exaclim_linalg::cholesky::factorization_residual;
 use exaclim_linalg::precision::PrecisionPolicy;
-use exaclim_linalg::tiled::{TiledMatrix, exp_covariance};
+use exaclim_linalg::tiled::{exp_covariance, TiledMatrix};
 use exaclim_mathkit::rng::MultivariateNormal;
-use exaclim_runtime::{SchedulerKind, parallel_tile_cholesky};
-use rand::SeedableRng;
+use exaclim_runtime::{parallel_tile_cholesky, SchedulerKind};
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Factor with a policy, sample, and measure the max absolute error of the
 /// recovered covariance entries.
@@ -40,7 +40,10 @@ fn chain_error(n: usize, b: usize, policy: PrecisionPolicy, samples: usize) -> (
 fn dp_chain_recovers_covariance() {
     let (res, cov_err) = chain_error(24, 8, PrecisionPolicy::dp(), 30_000);
     assert!(res < 1e-13, "residual {res}");
-    assert!(cov_err < 0.06, "covariance error {cov_err} (Monte-Carlo floor)");
+    assert!(
+        cov_err < 0.06,
+        "covariance error {cov_err} (Monte-Carlo floor)"
+    );
 }
 
 #[test]

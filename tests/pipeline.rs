@@ -1,7 +1,7 @@
 //! End-to-end integration: generator → training → emulation → validation,
 //! across temporal resolutions and precision policies.
 
-use exaclim::{ClimateEmulator, EmulatorConfig, TrainedEmulator, validate_consistency};
+use exaclim::{validate_consistency, ClimateEmulator, EmulatorConfig, TrainedEmulator};
 use exaclim_climate::{SyntheticEra5, SyntheticEra5Config};
 use exaclim_linalg::precision::PrecisionPolicy;
 

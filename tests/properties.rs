@@ -1,6 +1,6 @@
 //! Property-based tests on the core substrates (proptest).
 
-use exaclim_fft::{Fft, dft_naive};
+use exaclim_fft::{dft_naive, Fft};
 use exaclim_linalg::f16::Half;
 use exaclim_linalg::precision::{Precision, PrecisionPolicy};
 use exaclim_linalg::tile::Tile;
