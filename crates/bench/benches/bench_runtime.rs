@@ -1,10 +1,12 @@
 //! Runtime scheduling overhead: per-task cost of the three schedulers on
-//! the Cholesky DAG shape, and the FFT substrate's throughput.
+//! the Cholesky DAG shape, the pool-backed `par_chunks` training path
+//! against its sequential equivalent, and the FFT substrate's throughput.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use exaclim_fft::Fft;
 use exaclim_mathkit::Complex64;
 use exaclim_runtime::{graph::cholesky_graph, Executor, SchedulerKind};
+use rayon::prelude::*;
 use std::hint::black_box;
 
 fn bench_runtime(c: &mut Criterion) {
@@ -28,6 +30,49 @@ fn bench_runtime(c: &mut Criterion) {
             },
         );
     }
+    group.finish();
+
+    // The rayon shim's data-parallel chunk traversal (the trend/SHT hot-path
+    // shape) against the identical sequential loop. With `EXACLIM_THREADS=1`
+    // the two should coincide; with N lanes on real cores, par_chunks should
+    // approach N× on this embarrassingly parallel kernel.
+    let mut group = c.benchmark_group("data_parallel");
+    group.sample_size(10);
+    let lanes = exaclim_runtime::pool::global().threads();
+    let npoints = 4096usize;
+    let nslices = 64usize;
+    let mut field = vec![0.0f64; npoints * nslices];
+    let heavy = |slice_idx: usize, row: &mut [f64]| {
+        for (p, v) in row.iter_mut().enumerate() {
+            let x = (slice_idx * 31 + p) as f64 * 1e-3;
+            *v = (x.sin() * x.cos()).mul_add(x.sqrt(), x.exp().recip());
+        }
+    };
+    group.bench_with_input(
+        BenchmarkId::new("seq_chunks", npoints),
+        &npoints,
+        |bch, &n| {
+            bch.iter(|| {
+                for (t, row) in field.chunks_mut(n).enumerate() {
+                    heavy(t, row);
+                }
+                black_box(field[0]);
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new(format!("par_chunks_{lanes}lanes"), npoints),
+        &npoints,
+        |bch, &n| {
+            bch.iter(|| {
+                field
+                    .par_chunks_mut(n)
+                    .enumerate()
+                    .for_each(|(t, row)| heavy(t, row));
+                black_box(field[0]);
+            });
+        },
+    );
     group.finish();
 
     let mut group = c.benchmark_group("fft");

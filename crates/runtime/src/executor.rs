@@ -45,10 +45,18 @@ pub struct Executor {
     scheduler: SchedulerKind,
 }
 
-/// Shared queue behind the global-queue schedulers.
+/// Shared queue behind the global-queue schedulers. Idle workers block in
+/// [`GlobalQueue::pop`] on the condition variable — an idle executor burns
+/// no CPU — and are released either by a push or by [`GlobalQueue::close`],
+/// the shutdown broadcast issued once the run's last task has completed.
 struct GlobalQueue {
-    heap: Mutex<QueueImpl>,
+    state: Mutex<QueueState>,
     cv: Condvar,
+}
+
+struct QueueState {
+    queue: QueueImpl,
+    closed: bool,
 }
 
 enum QueueImpl {
@@ -56,23 +64,48 @@ enum QueueImpl {
     Fifo(VecDeque<usize>),
 }
 
-impl GlobalQueue {
-    fn push(&self, prio: i64, id: usize) {
-        let mut q = self.heap.lock();
-        match &mut *q {
-            QueueImpl::Heap(h) => h.push((prio, id)),
-            QueueImpl::Fifo(f) => f.push_back(id),
-        }
-        drop(q);
-        self.cv.notify_one();
-    }
-
-    fn pop(&self) -> Option<usize> {
-        let mut q = self.heap.lock();
-        match &mut *q {
+impl QueueImpl {
+    fn take(&mut self) -> Option<usize> {
+        match self {
             QueueImpl::Heap(h) => h.pop().map(|(_, id)| id),
             QueueImpl::Fifo(f) => f.pop_front(),
         }
+    }
+}
+
+impl GlobalQueue {
+    fn push(&self, prio: i64, id: usize) {
+        let mut s = self.state.lock();
+        match &mut s.queue {
+            QueueImpl::Heap(h) => h.push((prio, id)),
+            QueueImpl::Fifo(f) => f.push_back(id),
+        }
+        drop(s);
+        self.cv.notify_one();
+    }
+
+    /// Block until a task is available (`Some`) or the queue has been
+    /// closed and drained (`None`, the worker-exit signal).
+    fn pop(&self) -> Option<usize> {
+        let mut s = self.state.lock();
+        loop {
+            if let Some(id) = s.queue.take() {
+                return Some(id);
+            }
+            if s.closed {
+                return None;
+            }
+            self.cv.wait(&mut s);
+        }
+    }
+
+    /// Shutdown broadcast: wake every blocked worker so it can observe the
+    /// closed queue and exit. Idempotent.
+    fn close(&self) {
+        let mut s = self.state.lock();
+        s.closed = true;
+        drop(s);
+        self.cv.notify_all();
     }
 }
 
@@ -96,6 +129,9 @@ impl Executor {
         F: Fn(TaskId, &TaskKind) -> Result<(), String> + Sync,
     {
         let n = graph.len();
+        if n == 0 {
+            return Ok(TraceReport::new(Vec::new(), 0.0, self.workers));
+        }
         let indegree: Vec<AtomicUsize> = graph
             .nodes()
             .iter()
@@ -132,6 +168,9 @@ impl Executor {
                         };
                         scope.spawn(move || {
                             let mut local_spans = Vec::new();
+                            // Misses since the last successful pop/steal;
+                            // drives the idle back-off below.
+                            let mut misses = 0u32;
                             loop {
                                 if ctx.remaining.load(Ordering::Acquire) == 0 {
                                     break;
@@ -150,11 +189,30 @@ impl Executor {
                                 });
                                 match task {
                                     Some(id) => {
+                                        misses = 0;
                                         ctx.execute(id, wid, &mut local_spans, |succ| {
                                             local.push(succ)
                                         });
                                     }
-                                    None => std::thread::yield_now(),
+                                    None => {
+                                        // Brief yields first (a ready task is
+                                        // usually moments away), then sleep
+                                        // with exponential back-off. The cap
+                                        // stays low (320 µs): enough to stop
+                                        // an idle worker burning its core,
+                                        // small enough that a sleeper picks
+                                        // up a fresh fan-out of ~1 ms tile
+                                        // kernels without serializing them.
+                                        misses += 1;
+                                        if misses < 16 {
+                                            std::thread::yield_now();
+                                        } else {
+                                            let exp = (misses - 16).min(4);
+                                            std::thread::sleep(std::time::Duration::from_micros(
+                                                20 << exp,
+                                            ));
+                                        }
+                                    }
                                 }
                             }
                             spans_ref.lock().extend(local_spans);
@@ -164,9 +222,12 @@ impl Executor {
             }
             SchedulerKind::PriorityHeap | SchedulerKind::Fifo => {
                 let q = GlobalQueue {
-                    heap: Mutex::new(match self.scheduler {
-                        SchedulerKind::PriorityHeap => QueueImpl::Heap(BinaryHeap::new()),
-                        _ => QueueImpl::Fifo(VecDeque::new()),
+                    state: Mutex::new(QueueState {
+                        queue: match self.scheduler {
+                            SchedulerKind::PriorityHeap => QueueImpl::Heap(BinaryHeap::new()),
+                            _ => QueueImpl::Fifo(VecDeque::new()),
+                        },
+                        closed: false,
                     }),
                     cv: Condvar::new(),
                 };
@@ -187,18 +248,14 @@ impl Executor {
                         };
                         scope.spawn(move || {
                             let mut local_spans = Vec::new();
-                            loop {
+                            // `pop` blocks on the queue's condvar; `None`
+                            // means the queue was closed after the last task.
+                            while let Some(id) = q.pop() {
+                                ctx.execute(id, wid, &mut local_spans, |succ| {
+                                    q.push(ctx.graph.node(succ).priority, succ)
+                                });
                                 if ctx.remaining.load(Ordering::Acquire) == 0 {
-                                    q.cv.notify_all();
-                                    break;
-                                }
-                                match q.pop() {
-                                    Some(id) => {
-                                        ctx.execute(id, wid, &mut local_spans, |succ| {
-                                            q.push(ctx.graph.node(succ).priority, succ)
-                                        });
-                                    }
-                                    None => std::thread::yield_now(),
+                                    q.close();
                                 }
                             }
                             spans_ref.lock().extend(local_spans);
@@ -248,7 +305,17 @@ where
         let node = self.graph.node(id);
         if !self.cancelled.load(Ordering::Acquire) {
             let t0 = self.epoch.elapsed().as_secs_f64();
-            match (self.f)(id, &node.kind) {
+            // A panicking task must not tear down the whole scope: catch it
+            // and report it like an `Err`, attributed to this task.
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (self.f)(id, &node.kind)))
+                    .unwrap_or_else(|payload| {
+                        Err(format!(
+                            "task panicked: {}",
+                            panic_message(payload.as_ref())
+                        ))
+                    });
+            match outcome {
                 Ok(()) => {
                     let t1 = self.epoch.elapsed().as_secs_f64();
                     local_spans.push(TaskSpan {
@@ -275,6 +342,17 @@ where
             }
         }
         self.remaining.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Best-effort human-readable text of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
     }
 }
 
@@ -375,16 +453,19 @@ mod tests {
 
     #[test]
     fn parallel_speedup_on_wide_graph() {
-        // 64 independent ~1 ms tasks: 8 workers must be much faster than 1.
-        // Meaningless without real hardware parallelism (CI containers are
-        // sometimes single-core), so gate on available cores.
+        // 64 independent ~1 ms tasks: N workers must beat 1 worker by a
+        // margin scaled to the parallelism actually available. Meaningless
+        // on a single-core host (CI containers sometimes are), so skip
+        // there instead of asserting.
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        if cores < 4 {
+        if cores < 2 {
             eprintln!("skipping speedup assertion on {cores}-core host");
             return;
         }
+        let _timing = crate::TIMING_TEST_LOCK.lock();
+        let workers = cores.min(8);
         let mut g = TaskGraph::new();
         for i in 0..64u64 {
             g.add(TaskKind::Generic(i), 0, &[]);
@@ -403,15 +484,104 @@ mod tests {
             });
             tr.unwrap().wall
         };
-        let t8 = {
-            let e = Executor::new(8, SchedulerKind::WorkStealing);
+        let tn = {
+            let e = Executor::new(workers, SchedulerKind::WorkStealing);
             let tr = e.run(&g, |_, _| {
                 work();
                 Ok(())
             });
             tr.unwrap().wall
         };
-        assert!(t8 < t1 / 2.0, "t1={t1}, t8={t8}");
+        // Expect at least ~30% parallel efficiency per extra worker — loose
+        // enough for noisy shared CI hosts, tight enough to catch a
+        // sequentialized executor.
+        let min_speedup = 1.0 + 0.3 * (workers as f64 - 1.0);
+        assert!(
+            t1 / tn > min_speedup,
+            "workers={workers}: t1={t1}, tn={tn}, want ≥ {min_speedup}×"
+        );
+    }
+
+    #[test]
+    fn panicking_task_becomes_error_with_attribution() {
+        for sched in all_schedulers() {
+            let mut g = TaskGraph::new();
+            let a = g.add(TaskKind::Generic(0), 0, &[]);
+            let b = g.add(TaskKind::Generic(1), 0, &[a]);
+            let _c = g.add(TaskKind::Generic(2), 0, &[b]);
+            let ran = AtomicUsize::new(0);
+            let err = Executor::new(2, sched)
+                .run(&g, |id, _| {
+                    if id == b {
+                        panic!("kernel blew up");
+                    }
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    Ok(())
+                })
+                .unwrap_err();
+            assert_eq!(err.task, b, "{sched:?}");
+            assert!(
+                err.message.contains("task panicked") && err.message.contains("kernel blew up"),
+                "{sched:?}: {}",
+                err.message
+            );
+            assert_eq!(ran.load(Ordering::Relaxed), 1, "{sched:?}: c must not run");
+        }
+    }
+
+    #[test]
+    fn global_queue_pop_blocks_until_push_or_close() {
+        use std::sync::mpsc;
+        use std::time::Duration;
+
+        let q = std::sync::Arc::new(GlobalQueue {
+            state: Mutex::new(QueueState {
+                queue: QueueImpl::Fifo(VecDeque::new()),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        });
+        // Two waiters: one will receive the pushed task, the other the
+        // shutdown broadcast. Neither may return while the queue is open
+        // and empty (the old implementation returned `None` immediately,
+        // which is what made workers spin).
+        let (tx, rx) = mpsc::channel();
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let q = std::sync::Arc::clone(&q);
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                tx.send(q.pop()).unwrap();
+            }));
+        }
+        assert!(
+            rx.recv_timeout(Duration::from_millis(100)).is_err(),
+            "pop returned on an open empty queue instead of blocking"
+        );
+        q.push(0, 7);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Some(7),
+            "push must wake a blocked waiter"
+        );
+        q.close();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            None,
+            "close must release the remaining waiter"
+        );
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_graph_completes() {
+        for sched in all_schedulers() {
+            let g = TaskGraph::new();
+            let trace = Executor::new(4, sched).run(&g, |_, _| Ok(())).unwrap();
+            assert!(trace.spans.is_empty(), "{sched:?}");
+        }
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //! * [`executor`] — a multi-threaded executor with three scheduling
 //!   policies: work-stealing LIFO deques, a global priority heap (the
 //!   paper's critical-path priorities), and plain FIFO,
+//! * [`pool`] — the shared worker pool for flat data parallelism
+//!   (`parallel_for`, `join`, mutable chunk splits); the rayon shim routes
+//!   every `par_iter`/`par_chunks` call site through it,
 //! * [`trace`] — per-task timelines, worker utilization, and critical-path
 //!   statistics used by the scaling ablations,
 //! * [`cholesky_par`] — the task-parallel mixed-precision tile Cholesky,
@@ -22,10 +25,18 @@ pub mod cholesky_par;
 pub mod distsim;
 pub mod executor;
 pub mod graph;
+pub mod pool;
 pub mod trace;
 
 pub use cholesky_par::parallel_tile_cholesky;
 pub use distsim::{simulate_distribution, ConversionSide, DistConfig, MessageLedger};
 pub use executor::{ExecError, Executor, SchedulerKind};
 pub use graph::{cholesky_graph, TaskGraph, TaskId};
+pub use pool::WorkerPool;
 pub use trace::TraceReport;
+
+/// Serializes the wall-clock speedup tests of this crate: libtest runs
+/// tests concurrently within a binary, and two overlapping spin-timing
+/// measurements would skew each other's ratios on small CI hosts.
+#[cfg(test)]
+pub(crate) static TIMING_TEST_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());

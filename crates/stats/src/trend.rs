@@ -212,6 +212,73 @@ pub fn fit_grid(
 mod tests {
     use super::*;
 
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    }
+
+    /// Sequential reference for [`fit_grid`]: the same per-location math
+    /// driven by plain loops. The pool-backed rayon shim must reproduce
+    /// this bit-for-bit, whatever the thread count.
+    fn fit_grid_sequential(
+        data: &[f64],
+        t_max: usize,
+        npoints: usize,
+        cfg: &TrendConfig,
+        forcing: &ForcingSeries,
+    ) -> TrendFit {
+        let models: Vec<TrendModel> = (0..npoints)
+            .map(|p| {
+                let series: Vec<f64> = (0..t_max).map(|t| data[t * npoints + p]).collect();
+                fit_location(&series, cfg, forcing)
+            })
+            .collect();
+        let means: Vec<Vec<f64>> = models
+            .iter()
+            .map(|m| m.mean_series(cfg, forcing, t_max))
+            .collect();
+        let mut residuals = vec![0.0f64; t_max * npoints];
+        for t in 0..t_max {
+            for p in 0..npoints {
+                residuals[t * npoints + p] =
+                    (data[t * npoints + p] - means[p][t]) / models[p].sigma;
+            }
+        }
+        TrendFit { models, residuals }
+    }
+
+    #[test]
+    fn parallel_fit_grid_is_bit_identical_to_sequential() {
+        let cfg = cfg();
+        let forcing = ForcingSeries::historical_like(1950, 1970, 30);
+        let (t_max, npoints) = (8 * cfg.tau, 7);
+        let mut data = vec![0.0f64; t_max * npoints];
+        let mut state = 0x5eed_u64;
+        for (i, v) in data.iter_mut().enumerate() {
+            let p = i % npoints;
+            let t = i / npoints;
+            let seasonal =
+                (2.0 * std::f64::consts::PI * t as f64 / cfg.tau as f64 + p as f64).sin();
+            *v = 280.0 + 3.0 * seasonal + 0.5 * lcg(&mut state);
+        }
+        let par = fit_grid(&data, t_max, npoints, &cfg, &forcing);
+        let seq = fit_grid_sequential(&data, t_max, npoints, &cfg, &forcing);
+        assert_eq!(par.models.len(), seq.models.len());
+        for (p, (a, b)) in par.models.iter().zip(&seq.models).enumerate() {
+            assert_eq!(a.beta0.to_bits(), b.beta0.to_bits(), "beta0 at {p}");
+            assert_eq!(a.beta1.to_bits(), b.beta1.to_bits(), "beta1 at {p}");
+            assert_eq!(a.beta2.to_bits(), b.beta2.to_bits(), "beta2 at {p}");
+            assert_eq!(a.rho.to_bits(), b.rho.to_bits(), "rho at {p}");
+            assert_eq!(a.sigma.to_bits(), b.sigma.to_bits(), "sigma at {p}");
+            assert_eq!(a.harmonics, b.harmonics, "harmonics at {p}");
+        }
+        for (i, (a, b)) in par.residuals.iter().zip(&seq.residuals).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "residual at {i}");
+        }
+    }
+
     fn cfg() -> TrendConfig {
         TrendConfig {
             k_harmonics: 2,

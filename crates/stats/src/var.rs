@@ -153,6 +153,40 @@ mod tests {
     }
 
     #[test]
+    fn parallel_fit_is_bit_identical_to_sequential() {
+        // The per-channel OLS regressions run through the pool-backed rayon
+        // shim; each channel's math is independent, so the result must be
+        // bit-for-bit the sequential answer regardless of thread count.
+        let truth = vec![vec![0.6, -0.1], vec![0.4, 0.2], vec![-0.5, 0.1]];
+        let series = simulate_ar(&truth, 4_000, 42);
+        let order = 2;
+        let fit = fit_diagonal_var(&series, order);
+        let t_max = series.len();
+        let rows = t_max - order;
+        for (c, phi_c) in fit.phi.iter().enumerate() {
+            let mut x = Vec::with_capacity(rows * order);
+            let mut y = Vec::with_capacity(rows);
+            for t in order..t_max {
+                for p in 1..=order {
+                    x.push(series[t - p][c]);
+                }
+                y.push(series[t][c]);
+            }
+            let design = Matrix::from_vec(rows, order, x);
+            let seq = ols_solve(&design, &y);
+            assert_eq!(phi_c.len(), seq.len());
+            for (p, (a, b)) in phi_c.iter().zip(&seq).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "channel {c}, lag {p}");
+            }
+        }
+        // Same for the multi-member estimator (single member ≡ stacked).
+        let fit_multi = fit_diagonal_var_multi(&[series.as_slice()], order);
+        for (a, b) in fit_multi.phi.iter().flatten().zip(fit.phi.iter().flatten()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
     fn recovers_ar1_coefficients() {
         let truth = vec![vec![0.9], vec![0.5], vec![-0.3], vec![0.0]];
         let series = simulate_ar(&truth, 20_000, 1);

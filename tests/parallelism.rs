@@ -1,0 +1,90 @@
+//! Cross-crate parallelism integration: the rayon shim's pool-backed data
+//! parallelism composing with the task-graph executor, and end-to-end
+//! determinism of the training/emulation hot paths under real threads.
+
+use exaclim::{ClimateEmulator, EmulatorConfig};
+use exaclim_climate::{SyntheticEra5, SyntheticEra5Config};
+use exaclim_runtime::{Executor, SchedulerKind, TaskGraph};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+/// Rayon-shim calls from inside executor tasks must complete without
+/// deadlock: executor workers block on the pool's completion latches while
+/// pool workers (which never block on the pool — nested calls run inline)
+/// crunch the data-parallel pieces.
+#[test]
+fn rayon_shim_inside_executor_tasks_completes() {
+    for sched in [
+        SchedulerKind::WorkStealing,
+        SchedulerKind::PriorityHeap,
+        SchedulerKind::Fifo,
+    ] {
+        let ntasks = 16usize;
+        let mut g = TaskGraph::new();
+        for i in 0..ntasks as u64 {
+            g.add(exaclim_runtime::graph::TaskKind::Generic(i), 0, &[]);
+        }
+        let results = Mutex::new(vec![0u64; ntasks]);
+        Executor::new(4, sched)
+            .run(&g, |id, _| {
+                // Data-parallel work nested inside a task-parallel task.
+                let data: Vec<u64> = (0..512).into_par_iter().map(|i| (i + id) as u64).collect();
+                let total: u64 = data.par_chunks(64).map(|c| c.iter().sum::<u64>()).sum();
+                results.lock()[id] = total;
+                Ok(())
+            })
+            .unwrap_or_else(|e| panic!("{sched:?}: {e}"));
+        for (id, &total) in results.lock().iter().enumerate() {
+            let expect: u64 = (0..512u64).map(|i| i + id as u64).sum();
+            assert_eq!(total, expect, "{sched:?}: task {id}");
+        }
+    }
+}
+
+/// Training and emulation run the rayon shim across every stage (trend fit,
+/// SHT batches, coefficient paths); for a fixed dataset and seed the output
+/// must be bit-identical from run to run, whatever the pool size.
+#[test]
+fn training_and_emulation_are_deterministic_under_parallelism() {
+    let generator = SyntheticEra5::new(SyntheticEra5Config::small_daily(12));
+    let training = generator.generate_member(0, 2 * 365);
+    let a = ClimateEmulator::train(&training, EmulatorConfig::small(8)).unwrap();
+    let b = ClimateEmulator::train(&training, EmulatorConfig::small(8)).unwrap();
+    assert_eq!(a.factor.len(), b.factor.len());
+    for (i, (x, y)) in a.factor.iter().zip(&b.factor).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "factor element {i}");
+    }
+    for (p, (x, y)) in a.trend.iter().zip(&b.trend).enumerate() {
+        assert_eq!(x.sigma.to_bits(), y.sigma.to_bits(), "sigma at {p}");
+        assert_eq!(x.beta1.to_bits(), y.beta1.to_bits(), "beta1 at {p}");
+    }
+    for (i, (x, y)) in a.v2.iter().zip(&b.v2).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "v2 at {i}");
+    }
+    let ea = a.emulate(120, 9).unwrap();
+    let eb = b.emulate(120, 9).unwrap();
+    for (i, (x, y)) in ea.data.iter().zip(&eb.data).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "emulated value {i}");
+    }
+}
+
+/// The SHT batch entry points distribute time slices over the pool; each
+/// slice must match the sequential single-slice transform exactly.
+#[test]
+fn parallel_sht_batches_match_single_slice_transforms() {
+    use exaclim_sht::{analysis_batch, ShtPlan};
+    let plan = ShtPlan::equiangular(8, 12, 20);
+    let n = plan.field_len();
+    let t = 24;
+    let data: Vec<f64> = (0..n * t)
+        .map(|i| (i as f64 * 0.37).sin() + (i as f64 * 0.011).cos())
+        .collect();
+    let batch = analysis_batch(&plan, &data, t);
+    for (k, coeffs) in batch.iter().enumerate() {
+        let single = plan.analysis(&data[k * n..(k + 1) * n]);
+        assert!(
+            coeffs.max_abs_diff(&single) == 0.0,
+            "slice {k} differs from the sequential transform"
+        );
+    }
+}
