@@ -1,0 +1,98 @@
+//! Serving-layer throughput: cold (cache-disabled) vs. warm-cache slice
+//! reads, and batch coalescing vs. naive per-request serving.
+//!
+//! The cold/warm pair isolates what the chunk cache buys: a cold read
+//! pays seek + CRC + decode per touched chunk, a warm read only the LRU
+//! lookup and the slice assembly copy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use exaclim_climate::{SyntheticEra5, SyntheticEra5Config};
+use exaclim_serve::{Catalog, Request, ServeConfig, Server, SliceRequest};
+use exaclim_store::{ArchiveWriter, Codec, FieldMeta};
+use std::hint::black_box;
+use std::io::Cursor;
+
+const T_MAX: usize = 256;
+const CHUNK_T: usize = 16;
+
+fn build_server(codec: Codec, cache_bytes: usize) -> Server {
+    let generator = SyntheticEra5::new(SyntheticEra5Config::small_daily(16));
+    let data = generator.generate_member(0, T_MAX);
+    let meta = FieldMeta {
+        ntheta: data.ntheta,
+        nphi: data.nphi,
+        start_year: data.start_year,
+        tau: data.tau,
+    };
+    let mut w = ArchiveWriter::new(Cursor::new(Vec::new())).unwrap();
+    w.add_field("t2m", codec, meta, data.npoints, CHUNK_T, &data.data)
+        .unwrap();
+    let (cursor, _) = w.finish().unwrap();
+    let mut catalog = Catalog::new();
+    catalog
+        .open_archive_bytes("a", cursor.into_inner())
+        .unwrap();
+    Server::new(
+        catalog,
+        ServeConfig {
+            cache_bytes,
+            cache_shards: 8,
+        },
+    )
+}
+
+/// A batch of 32 overlapping slice reads across the member.
+fn slice_batch() -> Vec<Request> {
+    (0..32u64)
+        .map(|i| {
+            let t0 = (i * 7) % (T_MAX as u64 - 48);
+            Request::Slice(SliceRequest {
+                archive: "a".to_string(),
+                member: "t2m".to_string(),
+                range: t0..t0 + 48,
+            })
+        })
+        .collect()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    let batch = slice_batch();
+    let slice_bytes: u64 = 32 * 48 * 18 * 33 * 8; // requests × steps × grid × f64
+    for codec in [Codec::F32Shuffle, Codec::Raw64] {
+        let label = codec.label();
+        group.throughput(Throughput::Bytes(slice_bytes));
+
+        // Cold: zero cache budget, every chunk decoded on every batch.
+        let cold = build_server(codec, 0);
+        group.bench_with_input(BenchmarkId::new("cold_read", label), &cold, |b, server| {
+            b.iter(|| black_box(server.handle_batch(&batch)));
+        });
+
+        // Warm: generous budget, primed once; batches are pure cache hits.
+        let warm = build_server(codec, 64 << 20);
+        warm.handle_batch(&batch);
+        group.bench_with_input(BenchmarkId::new("warm_read", label), &warm, |b, server| {
+            b.iter(|| black_box(server.handle_batch(&batch)));
+        });
+    }
+
+    // Coalescing: the same 32 overlapping requests as one batch vs. 32
+    // single-request batches, both uncached.
+    let naive = build_server(Codec::F32Shuffle, 0);
+    group.bench_function("uncached_one_batch", |b| {
+        b.iter(|| black_box(naive.handle_batch(&batch)));
+    });
+    group.bench_function("uncached_per_request", |b| {
+        b.iter(|| {
+            for request in &batch {
+                black_box(naive.handle(request).unwrap());
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Energy ablation (paper ref. [35]: automated precision conversion reduces
+//! Energy ablation (paper ref. \[35\]: automated precision conversion reduces
 //! data motion *and* energy): joules and GFlops/W for the four precision
 //! variants of the 2,048-node Summit run of Figure 6.
 //!

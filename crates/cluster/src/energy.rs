@@ -1,6 +1,6 @@
 //! Energy model of the mixed-precision Cholesky.
 //!
-//! Reference [35] of the paper (Cao et al., CLUSTER 2023) reports that
+//! Reference \[35\] of the paper (Cao et al., CLUSTER 2023) reports that
 //! automated precision conversion reduces both data motion *and energy*.
 //! This module prices a simulated run: dynamic compute energy per flop and
 //! per precision, data-motion energy per byte, plus idle/base power over

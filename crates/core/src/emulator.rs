@@ -406,15 +406,44 @@ impl TrainedEmulator {
     /// incompatible change to the serialized model.
     pub const SNAPSHOT_VERSION: u32 = 1;
 
-    /// Persist to an ECA1 snapshot archive at `path` (compressed,
-    /// checksummed). Returns the container size in bytes.
-    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<u64, EmulationError> {
-        let snapshot = exaclim_store::Snapshot::new(
+    /// Package this model as an ECA1 snapshot (member
+    /// [`TrainedEmulator::SNAPSHOT_MEMBER`], schema
+    /// [`TrainedEmulator::SNAPSHOT_VERSION`]).
+    ///
+    /// The returned [`exaclim_store::Snapshot`] can be written to its own
+    /// archive via [`exaclim_store::write_snapshot_file`] (what
+    /// [`TrainedEmulator::save`] does) or embedded next to field members in
+    /// a larger archive via [`exaclim_store::ArchiveWriter::add_snapshot`],
+    /// which is how a serving catalog ships an emulator alongside the data
+    /// it was trained on.
+    pub fn to_snapshot(&self) -> exaclim_store::Snapshot {
+        exaclim_store::Snapshot::new(
             Self::SNAPSHOT_MEMBER,
             Self::SNAPSHOT_VERSION,
             self.to_json().into_bytes(),
-        );
-        exaclim_store::write_snapshot_file(path, &snapshot)
+        )
+    }
+
+    /// Reconstruct a model from a snapshot produced by
+    /// [`TrainedEmulator::to_snapshot`], wherever it was stored. Rejects
+    /// unknown schema versions before touching the payload.
+    pub fn from_snapshot(snapshot: &exaclim_store::Snapshot) -> Result<Self, EmulationError> {
+        if snapshot.version != Self::SNAPSHOT_VERSION {
+            return Err(EmulationError::Data(format!(
+                "snapshot schema version {} is not supported (expected {})",
+                snapshot.version,
+                Self::SNAPSHOT_VERSION
+            )));
+        }
+        let json = std::str::from_utf8(&snapshot.payload)
+            .map_err(|_| EmulationError::Data("snapshot payload is not UTF-8".to_string()))?;
+        Self::from_json(json)
+    }
+
+    /// Persist to an ECA1 snapshot archive at `path` (compressed,
+    /// checksummed). Returns the container size in bytes.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<u64, EmulationError> {
+        exaclim_store::write_snapshot_file(path, &self.to_snapshot())
             .map_err(|e| EmulationError::Data(e.to_string()))
     }
 
@@ -423,16 +452,7 @@ impl TrainedEmulator {
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, EmulationError> {
         let snapshot = exaclim_store::read_snapshot_file(path, Self::SNAPSHOT_MEMBER)
             .map_err(|e| EmulationError::Data(e.to_string()))?;
-        if snapshot.version != Self::SNAPSHOT_VERSION {
-            return Err(EmulationError::Data(format!(
-                "snapshot schema version {} is not supported (expected {})",
-                snapshot.version,
-                Self::SNAPSHOT_VERSION
-            )));
-        }
-        let json = String::from_utf8(snapshot.payload)
-            .map_err(|_| EmulationError::Data("snapshot payload is not UTF-8".to_string()))?;
-        Self::from_json(&json)
+        Self::from_snapshot(&snapshot)
     }
 }
 
@@ -494,6 +514,56 @@ mod tests {
             a.data, b.data,
             "reloaded emulator must emulate bit-identically"
         );
+    }
+
+    #[test]
+    fn snapshot_embeds_in_mixed_archive() {
+        // An emulator snapshot stored *next to* field members — the layout
+        // a serving catalog reads — reloads bit-identically.
+        use exaclim_store::{ArchiveReader, ArchiveWriter, ByteCodec, Codec, FieldMeta};
+        use std::io::Cursor;
+        let (em, training) = train_small();
+        let snap = em.to_snapshot();
+        let mut w = ArchiveWriter::new(Cursor::new(Vec::new())).unwrap();
+        let meta = FieldMeta {
+            ntheta: training.ntheta,
+            nphi: training.nphi,
+            start_year: training.start_year,
+            tau: training.tau,
+        };
+        w.add_field(
+            "t2m/member0",
+            Codec::F32,
+            meta,
+            training.npoints,
+            32,
+            &training.data,
+        )
+        .unwrap();
+        w.add_snapshot(
+            &snap.name,
+            snap.version,
+            ByteCodec::Rle,
+            &snap.payload,
+            1 << 16,
+        )
+        .unwrap();
+        let (cursor, _) = w.finish().unwrap();
+        let mut r = ArchiveReader::new(cursor).unwrap();
+        let (version, payload) = r.read_snapshot(TrainedEmulator::SNAPSHOT_MEMBER).unwrap();
+        let back = TrainedEmulator::from_snapshot(&exaclim_store::Snapshot::new(
+            TrainedEmulator::SNAPSHOT_MEMBER,
+            version,
+            payload,
+        ))
+        .unwrap();
+        assert_eq!(
+            em.emulate(30, 5).unwrap().data,
+            back.emulate(30, 5).unwrap().data
+        );
+        // Version gate holds for embedded snapshots too.
+        let wrong = exaclim_store::Snapshot::new("x", 999, b"{}".to_vec());
+        assert!(TrainedEmulator::from_snapshot(&wrong).is_err());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Statistical consistency between emulations and training simulations.
 //!
-//! The paper (Figures 2 and 4, and ref. [23]) claims emulations are
+//! The paper (Figures 2 and 4, and ref. \[23\]) claims emulations are
 //! *statistically consistent* with the simulations: same per-location
 //! climatology, variability, and temporal persistence — without matching
 //! weather realizations point for point. This module quantifies that.

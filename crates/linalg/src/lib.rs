@@ -4,7 +4,7 @@
 //! the paper accelerates on GPUs (§III.C–D), reproduced here with CPU
 //! kernels whose *rounding semantics* match the hardware ones:
 //!
-//! * [`f16`] — software IEEE binary16 with round-to-nearest-even; half
+//! * [`mod@f16`] — software IEEE binary16 with round-to-nearest-even; half
 //!   precision tiles store `u16` payloads and multiply–accumulate in `f32`,
 //!   mirroring tensor-core MMA behaviour,
 //! * [`precision`] — the DP/SP/HP lattice and the paper's four variant

@@ -5,7 +5,7 @@
 //! rest HP (DP/SP/HP); and DP band with the rest HP (DP/HP). Assignment is
 //! by band distance from the diagonal — tiles near the diagonal carry the
 //! strongest correlations — or adaptively from tile norms (the tile-centric
-//! approach of ref. [47]).
+//! approach of ref. \[47\]).
 
 use serde::{Deserialize, Serialize};
 

@@ -1,0 +1,366 @@
+//! Sharded LRU cache of decoded field chunks.
+//!
+//! The cache holds whole decoded chunks — the unit
+//! [`exaclim_store::ArchiveReader::read_field_chunk`] produces — keyed by
+//! `(archive, member, chunk)`. Entries are immutable `Arc<[f64]>` values:
+//! a hit hands out another reference to bytes that can never change, so
+//! readers can never observe a torn or partially evicted chunk, and
+//! eviction merely drops the cache's own reference while in-flight
+//! requests keep theirs alive.
+//!
+//! **Eviction** is byte-budgeted LRU per shard: the configured budget is
+//! split evenly across shards, and an insert that would overflow its shard
+//! evicts least-recently-used entries until the new chunk fits. A chunk
+//! larger than one shard's budget is served but never cached. Keys are
+//! spread across shards by a fixed multiplicative hash, so two requests
+//! for different chunks almost always lock different shards.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identity of one decoded chunk in the cache.
+///
+/// All three components are *indices* (into the catalog's archive list and
+/// the archive's member/chunk tables), not names: the serving layer
+/// resolves names once per request, and the per-chunk hot path stays
+/// string-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChunkKey {
+    /// Catalog index of the archive.
+    pub archive: u32,
+    /// Member index within the archive directory.
+    pub member: u32,
+    /// Chunk index within the member.
+    pub chunk: u32,
+}
+
+/// One cached chunk with its LRU stamp.
+struct Entry {
+    values: Arc<[f64]>,
+    /// Last-touch tick; smallest stamp in a shard is the LRU entry.
+    stamp: u64,
+}
+
+/// Entries and bookkeeping of one shard, guarded by one mutex.
+struct Shard {
+    map: HashMap<ChunkKey, Entry>,
+    /// Decoded bytes currently held (8 × values).
+    bytes: usize,
+    /// Monotonic touch counter feeding the stamps.
+    tick: u64,
+}
+
+/// Point-in-time counters of a [`ChunkCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found the chunk.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Inserts rejected because the chunk alone exceeds a shard budget.
+    pub oversize_rejects: u64,
+    /// Decoded bytes currently resident.
+    pub resident_bytes: u64,
+    /// Chunks currently resident.
+    pub resident_chunks: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups so far (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Sharded, byte-budgeted LRU cache of decoded chunks.
+///
+/// ```
+/// use exaclim_serve::cache::{ChunkCache, ChunkKey};
+/// use std::sync::Arc;
+///
+/// let cache = ChunkCache::new(1 << 20, 4); // 1 MiB budget, ≤ 4 shards
+/// let key = ChunkKey { archive: 0, member: 0, chunk: 7 };
+/// assert!(cache.get(key).is_none());
+/// cache.insert(key, Arc::from(vec![1.0, 2.0, 3.0]));
+/// assert_eq!(cache.get(key).unwrap().as_ref(), &[1.0, 2.0, 3.0]);
+/// let stats = cache.stats();
+/// assert_eq!((stats.hits, stats.misses), (1, 1));
+/// ```
+pub struct ChunkCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Byte budget of each shard (total budget / shard count).
+    shard_budget: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    oversize_rejects: AtomicU64,
+}
+
+impl std::fmt::Debug for ChunkCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkCache")
+            .field("shards", &self.shards.len())
+            .field("shard_budget", &self.shard_budget)
+            .finish()
+    }
+}
+
+impl ChunkCache {
+    /// Bytes of budget below which a shard is not worth its lock: the
+    /// shard count is reduced until every shard holds at least this much
+    /// (or one shard remains), so small budgets degrade to fewer shards
+    /// instead of shards too small to fit any chunk.
+    pub const MIN_SHARD_BUDGET: usize = 8 << 20;
+
+    /// Build a cache holding at most `budget_bytes` of decoded values,
+    /// split evenly across up to `shards` independently locked shards
+    /// (clamped to `1..=1024`, and reduced so each shard gets at least
+    /// [`ChunkCache::MIN_SHARD_BUDGET`] — a tiny budget becomes one
+    /// shard, never many useless ones). A chunk larger than one shard's
+    /// share is served but not cached. A budget of 0 disables caching:
+    /// every `get` misses and every `insert` is dropped, which is the
+    /// "cold" configuration the benches compare against.
+    pub fn new(budget_bytes: usize, shards: usize) -> Self {
+        let shards = shards
+            .min(budget_bytes.div_ceil(Self::MIN_SHARD_BUDGET).max(1))
+            .clamp(1, 1024);
+        Self {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        bytes: 0,
+                        tick: 0,
+                    })
+                })
+                .collect(),
+            shard_budget: budget_bytes / shards,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            oversize_rejects: AtomicU64::new(0),
+        }
+    }
+
+    /// Shard owning `key` (fixed multiplicative hash of the packed key).
+    fn shard_of(&self, key: ChunkKey) -> &Mutex<Shard> {
+        let packed =
+            (u64::from(key.archive) << 44) ^ (u64::from(key.member) << 22) ^ u64::from(key.chunk);
+        let h = packed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let idx = (h >> 32) as usize % self.shards.len();
+        &self.shards[idx]
+    }
+
+    /// Look up a chunk, refreshing its LRU position on a hit.
+    pub fn get(&self, key: ChunkKey) -> Option<Arc<[f64]>> {
+        let mut shard = self.shard_of(key).lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(&key) {
+            Some(entry) => {
+                entry.stamp = tick;
+                let values = Arc::clone(&entry.values);
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(values)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a decoded chunk, evicting LRU entries of its shard until it
+    /// fits. Re-inserting an existing key refreshes the value (the bytes
+    /// are identical by construction — both sides decoded the same
+    /// checksummed chunk). Chunks larger than one shard's budget are not
+    /// cached.
+    pub fn insert(&self, key: ChunkKey, values: Arc<[f64]>) {
+        let cost = std::mem::size_of_val(values.as_ref());
+        if cost > self.shard_budget {
+            self.oversize_rejects.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut evicted = 0u64;
+        {
+            let mut shard = self.shard_of(key).lock();
+            if let Some(old) = shard.map.remove(&key) {
+                shard.bytes -= std::mem::size_of_val(old.values.as_ref());
+            }
+            while shard.bytes + cost > self.shard_budget {
+                // O(n) LRU scan: eviction only triggers once a shard is
+                // full, and shards stay small under tight budgets — the
+                // regime where this runs at all.
+                let Some((&lru, _)) = shard.map.iter().min_by_key(|(_, e)| e.stamp) else {
+                    break;
+                };
+                let old = shard.map.remove(&lru).expect("lru key present");
+                shard.bytes -= std::mem::size_of_val(old.values.as_ref());
+                evicted += 1;
+            }
+            shard.tick += 1;
+            let stamp = shard.tick;
+            shard.bytes += cost;
+            shard.map.insert(key, Entry { values, stamp });
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop every entry, keeping the lifetime counters. Benches use this
+    /// to re-measure the cold path on a warmed server.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            s.map.clear();
+            s.bytes = 0;
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let mut resident_bytes = 0u64;
+        let mut resident_chunks = 0u64;
+        for shard in &self.shards {
+            let s = shard.lock();
+            resident_bytes += s.bytes as u64;
+            resident_chunks += s.map.len() as u64;
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            oversize_rejects: self.oversize_rejects.load(Ordering::Relaxed),
+            resident_bytes,
+            resident_chunks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(chunk: u32) -> ChunkKey {
+        ChunkKey {
+            archive: 0,
+            member: 0,
+            chunk,
+        }
+    }
+
+    fn chunk_of(len: usize, fill: f64) -> Arc<[f64]> {
+        Arc::from(vec![fill; len])
+    }
+
+    #[test]
+    fn hit_returns_inserted_values() {
+        let cache = ChunkCache::new(1 << 16, 2);
+        cache.insert(key(1), chunk_of(8, 1.5));
+        assert_eq!(cache.get(key(1)).unwrap().as_ref(), &[1.5; 8]);
+        assert!(cache.get(key(2)).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.resident_chunks), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_entry_is_evicted_first() {
+        // Single shard, room for exactly two 8-value chunks.
+        let cache = ChunkCache::new(2 * 8 * 8, 1);
+        cache.insert(key(1), chunk_of(8, 1.0));
+        cache.insert(key(2), chunk_of(8, 2.0));
+        // Touch 1 so 2 becomes LRU.
+        assert!(cache.get(key(1)).is_some());
+        cache.insert(key(3), chunk_of(8, 3.0));
+        assert!(cache.get(key(1)).is_some(), "recently used stays");
+        assert!(cache.get(key(2)).is_none(), "LRU evicted");
+        assert!(cache.get(key(3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let cache = ChunkCache::new(0, 4);
+        cache.insert(key(1), chunk_of(4, 1.0));
+        assert!(cache.get(key(1)).is_none());
+        assert_eq!(cache.stats().resident_bytes, 0);
+        assert_eq!(cache.stats().oversize_rejects, 1);
+    }
+
+    #[test]
+    fn oversize_chunks_are_served_uncached() {
+        let cache = ChunkCache::new(64, 1); // budget: one 8-value chunk
+        cache.insert(key(1), chunk_of(100, 1.0));
+        assert!(cache.get(key(1)).is_none());
+        assert_eq!(cache.stats().oversize_rejects, 1);
+        // Small chunks still cache fine.
+        cache.insert(key(2), chunk_of(4, 2.0));
+        assert!(cache.get(key(2)).is_some());
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_counting() {
+        let cache = ChunkCache::new(1 << 12, 1);
+        cache.insert(key(1), chunk_of(16, 1.0));
+        cache.insert(key(1), chunk_of(16, 1.0));
+        let s = cache.stats();
+        assert_eq!(s.resident_chunks, 1);
+        assert_eq!(s.resident_bytes, 16 * 8);
+    }
+
+    #[test]
+    fn budget_is_respected_under_churn() {
+        let budget = 4 * 32 * 8;
+        let cache = ChunkCache::new(budget, 2);
+        for i in 0..200 {
+            cache.insert(key(i), chunk_of(32, f64::from(i)));
+        }
+        let s = cache.stats();
+        assert!(s.resident_bytes <= budget as u64);
+        assert!(s.evictions > 0);
+        // Whatever survived reads back intact.
+        for i in 0..200 {
+            if let Some(v) = cache.get(key(i)) {
+                assert!(v.iter().all(|&x| x == f64::from(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn small_budgets_collapse_to_fewer_shards() {
+        // A budget far below MIN_SHARD_BUDGET × shards must not be diced
+        // into shards too small to hold a chunk: 16 requested shards over
+        // a 2-chunk budget become one shard holding both chunks.
+        let cache = ChunkCache::new(2 * 64 * 8, 16);
+        cache.insert(key(1), chunk_of(64, 1.0));
+        cache.insert(key(2), chunk_of(64, 2.0));
+        assert!(cache.get(key(1)).is_some());
+        assert!(cache.get(key(2)).is_some());
+        assert_eq!(cache.stats().oversize_rejects, 0);
+        // Large budgets keep the requested shard count.
+        let cache = ChunkCache::new(256 << 20, 16);
+        assert_eq!(cache.shards.len(), 16);
+    }
+
+    #[test]
+    fn hit_rate_reports_fraction() {
+        let cache = ChunkCache::new(1 << 12, 1);
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+        cache.insert(key(1), chunk_of(4, 0.0));
+        let _ = cache.get(key(1));
+        let _ = cache.get(key(2));
+        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type of the serving layer.
+
+use exaclim::EmulationError;
+use exaclim_store::ArchiveError;
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The underlying archive rejected the operation (I/O, corruption,
+    /// checksum failure, bad slice range, …).
+    Archive(ArchiveError),
+    /// An emulation run failed (message of the [`EmulationError`]).
+    Emulation(String),
+    /// No archive with this name is open in the catalog.
+    UnknownArchive(String),
+    /// No emulator with this name is registered in the catalog.
+    UnknownEmulator(String),
+    /// The request itself is inconsistent (duplicate catalog names,
+    /// zero-length emulation, …).
+    BadRequest(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Archive(e) => write!(f, "archive error: {e}"),
+            ServeError::Emulation(m) => write!(f, "emulation error: {m}"),
+            ServeError::UnknownArchive(n) => write!(f, "no archive `{n}` in catalog"),
+            ServeError::UnknownEmulator(n) => write!(f, "no emulator `{n}` in catalog"),
+            ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ArchiveError> for ServeError {
+    fn from(e: ArchiveError) -> Self {
+        ServeError::Archive(e)
+    }
+}
+
+impl From<EmulationError> for ServeError {
+    fn from(e: EmulationError) -> Self {
+        ServeError::Emulation(e.to_string())
+    }
+}

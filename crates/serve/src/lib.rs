@@ -1,0 +1,82 @@
+//! # exaclim-serve
+//!
+//! The serving layer of the reproduction — the ROADMAP's north-star
+//! workload. A long-running process opens ECA1 archives and trained
+//! emulator snapshots once, then answers three request kinds at scale:
+//!
+//! * **field slices** — `(archive, member, time-range)` reads, assembled
+//!   from whole decoded chunks,
+//! * **emulation runs** — a registered [`exaclim::TrainedEmulator`] run
+//!   forward for `(t_max, seed)`,
+//! * **catalog queries** — archive, member, and emulator metadata.
+//!
+//! The architecture is the one `exaclim-store`'s chunk granularity was
+//! designed for:
+//!
+//! * [`catalog`] — the name space of opened archives and registered
+//!   emulators; one parsed directory and one mutex-guarded I/O handle per
+//!   archive (I/O under the lock, decode outside it),
+//! * [`cache`] — a sharded LRU of **decoded** chunks keyed by
+//!   `(archive, member, chunk)` with byte-budget eviction; entries are
+//!   immutable `Arc<[f64]>` values, so hits are zero-copy and eviction can
+//!   never tear a response in flight,
+//! * [`batch`] — request coalescing: a batch's slice requests are planned
+//!   together and each distinct chunk is fetched and decoded once,
+//! * [`server`] — the request/response front end, dispatching chunk
+//!   resolution and response assembly over the
+//!   [`exaclim_runtime::pool`] worker pool (`EXACLIM_THREADS` bounds serve
+//!   concurrency exactly as it bounds compute).
+//!
+//! Served bytes are **bit-identical** to sequential
+//! [`exaclim_store::ArchiveReader`] reads at any thread count and any
+//! cache budget — caching and batching change performance, never values.
+//!
+//! ## Example
+//!
+//! ```
+//! use exaclim_serve::{Catalog, Request, Response, ServeConfig, Server, SliceRequest};
+//! use exaclim_store::{ArchiveWriter, Codec, FieldMeta};
+//! use std::io::Cursor;
+//!
+//! // Build a small in-memory archive: 8 time steps of a 6-value field.
+//! let data: Vec<f64> = (0..6 * 8).map(|i| 280.0 + i as f64 * 0.1).collect();
+//! let mut w = ArchiveWriter::new(Cursor::new(Vec::new())).unwrap();
+//! w.add_field("t2m", Codec::F32Shuffle, FieldMeta::default(), 6, 3, &data).unwrap();
+//! let (cursor, _) = w.finish().unwrap();
+//!
+//! // Open it in a catalog and serve a batch of overlapping slices.
+//! let mut catalog = Catalog::new();
+//! catalog.open_archive_bytes("demo", cursor.into_inner()).unwrap();
+//! let server = Server::new(catalog, ServeConfig::default());
+//! let slice = |range| Request::Slice(SliceRequest {
+//!     archive: "demo".to_string(),
+//!     member: "t2m".to_string(),
+//!     range,
+//! });
+//! let responses = server.handle_batch(&[slice(0..8), slice(2..5), slice(4..8)]);
+//! assert!(responses.iter().all(|r| r.is_ok()));
+//!
+//! // The three requests touched 3 + 2 + 2 chunks but each of the three
+//! // distinct chunks was fetched once; a repeat batch is all cache hits.
+//! let stats = server.stats();
+//! assert_eq!((stats.chunk_touches, stats.chunk_fetches), (7, 3));
+//! server.handle_batch(&[slice(0..8)]);
+//! assert_eq!(server.cache_stats().hits, 3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cache;
+pub mod catalog;
+pub mod error;
+pub mod server;
+
+pub use batch::{BatchPlan, SliceRequest};
+pub use cache::{CacheStats, ChunkCache, ChunkKey};
+pub use catalog::{ByteSource, Catalog, ServedArchive, ServedEmulator};
+pub use error::ServeError;
+pub use server::{
+    ArchiveInfo, CatalogAnswer, CatalogQuery, EmulatorInfo, MemberInfo, Request, Response,
+    ServeConfig, ServeStats, Server, SliceData,
+};

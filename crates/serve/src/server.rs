@@ -1,0 +1,637 @@
+//! The request/response server: catalog + cache + batcher over the pool.
+//!
+//! [`Server::handle_batch`] is the core entry point. A batch runs in two
+//! parallel phases on the process-wide
+//! [`exaclim_runtime::pool`] worker pool:
+//!
+//! 1. **Fetch** — the batch's slice requests are planned
+//!    ([`crate::batch::BatchPlan`]) and the deduplicated set of touched
+//!    chunks is resolved in parallel: cache hit → shared `Arc` of the
+//!    decoded values; miss → stored bytes are read under the archive's
+//!    I/O lock, decoded *outside* the lock, and inserted into the cache.
+//! 2. **Answer** — every request is answered in parallel: slice responses
+//!    are assembled from the shared decoded chunks, emulation requests run
+//!    the registered model (its internal data parallelism nests safely —
+//!    pool calls from workers run inline), and catalog queries read the
+//!    immutable catalog.
+//!
+//! Both phases use the same pool the training/emulation hot paths use, so
+//! `EXACLIM_THREADS` bounds serve concurrency the same way it bounds
+//! compute parallelism: `EXACLIM_THREADS=1` serves every batch on the
+//! caller thread, bit-identically to the concurrent configuration.
+
+use crate::batch::{BatchPlan, SliceRequest};
+use crate::cache::{CacheStats, ChunkCache, ChunkKey};
+use crate::catalog::Catalog;
+use crate::error::ServeError;
+use exaclim_climate::Dataset;
+use exaclim_store::{Codec, MemberKind};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Tuning knobs of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Byte budget of the decoded-chunk cache (0 disables caching).
+    pub cache_bytes: usize,
+    /// Number of independently locked cache shards.
+    pub cache_shards: usize,
+}
+
+impl Default for ServeConfig {
+    /// 256 MiB of cache across 16 shards.
+    fn default() -> Self {
+        Self {
+            cache_bytes: 256 << 20,
+            cache_shards: 16,
+        }
+    }
+}
+
+/// A serving request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Read time slices of a field member.
+    Slice(SliceRequest),
+    /// Run a registered emulator forward.
+    Emulate {
+        /// Catalog name of the emulator.
+        emulator: String,
+        /// Steps to emulate.
+        t_max: usize,
+        /// Seed of the run (same seed ⇒ bit-identical output).
+        seed: u64,
+    },
+    /// Query the catalog.
+    Catalog(CatalogQuery),
+}
+
+/// Metadata queries against the catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogQuery {
+    /// Every open archive.
+    ListArchives,
+    /// Every member of one archive.
+    ListMembers {
+        /// Catalog name of the archive.
+        archive: String,
+    },
+    /// One member's metadata.
+    MemberInfo {
+        /// Catalog name of the archive.
+        archive: String,
+        /// Member name.
+        member: String,
+    },
+    /// Every registered emulator.
+    ListEmulators,
+}
+
+/// A served field slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliceData {
+    /// Archive the slice came from.
+    pub archive: String,
+    /// Member the slice came from.
+    pub member: String,
+    /// The served time range.
+    pub range: Range<u64>,
+    /// Grid values per time slice.
+    pub values_per_slice: u64,
+    /// `(range.end − range.start) × values_per_slice` values, time-major —
+    /// bit-identical to a sequential
+    /// [`exaclim_store::ArchiveReader::read_field_slices`] read.
+    pub values: Vec<f64>,
+}
+
+/// Summary of one open archive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchiveInfo {
+    /// Catalog name.
+    pub name: String,
+    /// Member count.
+    pub members: usize,
+    /// Container length in bytes.
+    pub total_len: u64,
+}
+
+/// Summary of one archive member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemberInfo {
+    /// Member name.
+    pub name: String,
+    /// Field or snapshot.
+    pub kind: MemberKind,
+    /// Wire codec id ([`exaclim_store::Codec`] for fields,
+    /// [`exaclim_store::ByteCodec`] for snapshots).
+    pub codec: u8,
+    /// Time steps (fields) or payload bytes (snapshots).
+    pub t_max: u64,
+    /// Grid values per slice (0 for snapshots).
+    pub values_per_slice: u64,
+    /// Chunk count.
+    pub chunks: usize,
+    /// Snapshot schema version (0 for fields).
+    pub snapshot_version: u32,
+}
+
+/// Summary of one registered emulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmulatorInfo {
+    /// Catalog name.
+    pub name: String,
+    /// Spherical-harmonic band-limit of the model.
+    pub lmax: usize,
+    /// Grid rows × columns the model emulates.
+    pub grid: (usize, usize),
+    /// Serialized parameter footprint in bytes.
+    pub parameter_bytes: usize,
+}
+
+/// Answer to a [`CatalogQuery`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CatalogAnswer {
+    /// Reply to [`CatalogQuery::ListArchives`].
+    Archives(Vec<ArchiveInfo>),
+    /// Reply to [`CatalogQuery::ListMembers`].
+    Members(Vec<MemberInfo>),
+    /// Reply to [`CatalogQuery::MemberInfo`].
+    Member(MemberInfo),
+    /// Reply to [`CatalogQuery::ListEmulators`].
+    Emulators(Vec<EmulatorInfo>),
+}
+
+/// A serving response.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// Reply to [`Request::Slice`].
+    Slice(SliceData),
+    /// Reply to [`Request::Emulate`]: the emulated dataset.
+    Emulate(Dataset),
+    /// Reply to [`Request::Catalog`].
+    Catalog(CatalogAnswer),
+}
+
+/// Point-in-time serving counters (see [`Server::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Slice requests answered successfully.
+    pub slices: u64,
+    /// Emulation requests answered successfully.
+    pub emulations: u64,
+    /// Catalog queries answered successfully.
+    pub catalog_queries: u64,
+    /// Requests that returned an error.
+    pub errors: u64,
+    /// Batches processed (single `handle` calls count as 1-batches).
+    pub batches: u64,
+    /// Chunk touches across all slice requests, before coalescing.
+    pub chunk_touches: u64,
+    /// Unique chunks actually resolved after coalescing; the difference
+    /// to [`ServeStats::chunk_touches`] is work the batcher saved.
+    pub chunk_fetches: u64,
+    /// Wall-clock nanoseconds spent inside `handle_batch`.
+    pub busy_nanos: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    slices: AtomicU64,
+    emulations: AtomicU64,
+    catalog_queries: AtomicU64,
+    errors: AtomicU64,
+    batches: AtomicU64,
+    chunk_touches: AtomicU64,
+    chunk_fetches: AtomicU64,
+    busy_nanos: AtomicU64,
+}
+
+/// A serving instance: an immutable [`Catalog`] fronted by a
+/// [`ChunkCache`], answering requests concurrently on the shared worker
+/// pool.
+///
+/// ```
+/// use exaclim_serve::{Catalog, Request, Response, ServeConfig, Server, SliceRequest};
+/// use exaclim_store::{ArchiveWriter, Codec, FieldMeta};
+/// use std::io::Cursor;
+///
+/// // A single-member archive in memory.
+/// let data: Vec<f64> = (0..4 * 12).map(f64::from).collect();
+/// let mut w = ArchiveWriter::new(Cursor::new(Vec::new())).unwrap();
+/// w.add_field("t2m", Codec::Raw64, FieldMeta::default(), 4, 5, &data).unwrap();
+/// let (cursor, _) = w.finish().unwrap();
+///
+/// let mut catalog = Catalog::new();
+/// catalog.open_archive_bytes("era5", cursor.into_inner()).unwrap();
+/// let server = Server::new(catalog, ServeConfig::default());
+///
+/// let request = Request::Slice(SliceRequest {
+///     archive: "era5".to_string(),
+///     member: "t2m".to_string(),
+///     range: 3..7,
+/// });
+/// let Ok(Response::Slice(slice)) = server.handle(&request) else { panic!() };
+/// assert_eq!(slice.values, data[3 * 4..7 * 4]);
+/// assert_eq!(server.stats().slices, 1);
+/// ```
+pub struct Server {
+    catalog: Catalog,
+    cache: ChunkCache,
+    stats: StatCells,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("archives", &self.catalog.archives().len())
+            .field("emulators", &self.catalog.emulators().len())
+            .field("cache", &self.cache)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Build a server over `catalog` with the given cache configuration.
+    pub fn new(catalog: Catalog, config: ServeConfig) -> Self {
+        Self {
+            catalog,
+            cache: ChunkCache::new(config.cache_bytes, config.cache_shards),
+            stats: StatCells::default(),
+        }
+    }
+
+    /// The catalog being served.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Current chunk-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drop every cached chunk (counters survive). Benches use this to
+    /// re-measure cold reads on a warmed server.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Current serving counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            slices: self.stats.slices.load(Ordering::Relaxed),
+            emulations: self.stats.emulations.load(Ordering::Relaxed),
+            catalog_queries: self.stats.catalog_queries.load(Ordering::Relaxed),
+            errors: self.stats.errors.load(Ordering::Relaxed),
+            batches: self.stats.batches.load(Ordering::Relaxed),
+            chunk_touches: self.stats.chunk_touches.load(Ordering::Relaxed),
+            chunk_fetches: self.stats.chunk_fetches.load(Ordering::Relaxed),
+            busy_nanos: self.stats.busy_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Answer one request (a 1-element batch).
+    pub fn handle(&self, request: &Request) -> Result<Response, ServeError> {
+        self.handle_batch(std::slice::from_ref(request))
+            .pop()
+            .expect("one response per request")
+    }
+
+    /// Answer a batch of requests, coalescing slice reads that touch the
+    /// same chunk and spreading chunk resolution + response assembly
+    /// across the worker pool. Responses align with the input order, and
+    /// each request fails or succeeds individually.
+    pub fn handle_batch(&self, requests: &[Request]) -> Vec<Result<Response, ServeError>> {
+        let t0 = std::time::Instant::now();
+        let pool = exaclim_runtime::pool::global();
+
+        // Plan the batch's slice requests together.
+        let slice_reqs: Vec<SliceRequest> = requests
+            .iter()
+            .filter_map(|r| match r {
+                Request::Slice(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        let plan = BatchPlan::build(&self.catalog, &slice_reqs);
+
+        // Phase 1: resolve the deduplicated chunk set in parallel.
+        let mut fetched: Vec<Option<Result<Arc<[f64]>, ServeError>>> =
+            vec![None; plan.fetches.len()];
+        pool.parallel_chunks_mut(&mut fetched, 1, |i, slot| {
+            slot[0] = Some(self.resolve_chunk(plan.fetches[i]));
+        });
+        let fetched: Vec<Result<Arc<[f64]>, ServeError>> = fetched
+            .into_iter()
+            .map(|slot| slot.expect("every fetch slot filled"))
+            .collect();
+        // Aligned chunk values for assembly; errors keep a placeholder and
+        // poison the requests that need them below.
+        let chunks: Vec<Arc<[f64]>> = fetched
+            .iter()
+            .map(|r| match r {
+                Ok(v) => Arc::clone(v),
+                Err(_) => Arc::from(Vec::new()),
+            })
+            .collect();
+
+        // Phase 2: answer every request in parallel.
+        let mut out: Vec<Option<Result<Response, ServeError>>> = vec![None; requests.len()];
+        {
+            let mut slice_no = 0usize;
+            let slice_order: Vec<usize> = requests
+                .iter()
+                .map(|r| match r {
+                    Request::Slice(_) => {
+                        slice_no += 1;
+                        slice_no - 1
+                    }
+                    _ => usize::MAX,
+                })
+                .collect();
+            pool.parallel_chunks_mut(&mut out, 1, |i, slot| {
+                slot[0] = Some(match &requests[i] {
+                    Request::Slice(req) => {
+                        self.answer_slice(req, &plan, slice_order[i], &fetched, &chunks)
+                    }
+                    Request::Emulate {
+                        emulator,
+                        t_max,
+                        seed,
+                    } => self.answer_emulate(emulator, *t_max, *seed),
+                    Request::Catalog(query) => self.answer_catalog(query),
+                });
+            });
+        }
+        let responses: Vec<Result<Response, ServeError>> = out
+            .into_iter()
+            .map(|slot| slot.expect("every response slot filled"))
+            .collect();
+
+        // Bookkeeping.
+        for r in &responses {
+            let cell = match r {
+                Ok(Response::Slice(_)) => &self.stats.slices,
+                Ok(Response::Emulate(_)) => &self.stats.emulations,
+                Ok(Response::Catalog(_)) => &self.stats.catalog_queries,
+                Err(_) => &self.stats.errors,
+            };
+            cell.fetch_add(1, Ordering::Relaxed);
+        }
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .chunk_touches
+            .fetch_add(plan.touches as u64, Ordering::Relaxed);
+        self.stats
+            .chunk_fetches
+            .fetch_add(plan.fetches.len() as u64, Ordering::Relaxed);
+        self.stats
+            .busy_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        responses
+    }
+
+    /// Resolve one chunk: cache hit, or read-under-lock + decode-outside.
+    fn resolve_chunk(&self, key: ChunkKey) -> Result<Arc<[f64]>, ServeError> {
+        if let Some(hit) = self.cache.get(key) {
+            return Ok(hit);
+        }
+        let archive = &self.catalog.archives()[key.archive as usize];
+        let m = &archive.members()[key.member as usize];
+        let codec = Codec::from_id(m.codec)?;
+        let entry = m.chunks[key.chunk as usize];
+        // I/O + CRC under the archive lock, decode on this worker.
+        let stored = archive.fetch_chunk_stored(key.member as usize, key.chunk as usize)?;
+        let n_values = entry.t_len as usize * m.values_per_slice as usize;
+        let values: Arc<[f64]> = codec.decode(&stored, n_values)?.into();
+        self.cache.insert(key, Arc::clone(&values));
+        Ok(values)
+    }
+
+    /// Assemble one slice response from the batch's resolved chunks.
+    fn answer_slice(
+        &self,
+        req: &SliceRequest,
+        plan: &BatchPlan,
+        slice_idx: usize,
+        fetched: &[Result<Arc<[f64]>, ServeError>],
+        chunks: &[Arc<[f64]>],
+    ) -> Result<Response, ServeError> {
+        let sp = plan.per_request[slice_idx].as_ref().map_err(Clone::clone)?;
+        for &fi in &sp.fetch_indices {
+            if let Err(e) = &fetched[fi] {
+                return Err(e.clone());
+            }
+        }
+        let values = plan.assemble(&self.catalog, sp, chunks);
+        Ok(Response::Slice(SliceData {
+            archive: req.archive.clone(),
+            member: req.member.clone(),
+            range: sp.range.clone(),
+            values_per_slice: sp.values_per_slice,
+            values,
+        }))
+    }
+
+    /// Run a registered emulator forward.
+    fn answer_emulate(
+        &self,
+        emulator: &str,
+        t_max: usize,
+        seed: u64,
+    ) -> Result<Response, ServeError> {
+        let served = self.catalog.emulator(emulator)?;
+        let dataset = served.emulator.emulate(t_max, seed)?;
+        Ok(Response::Emulate(dataset))
+    }
+
+    /// Answer a catalog/metadata query.
+    fn answer_catalog(&self, query: &CatalogQuery) -> Result<Response, ServeError> {
+        let member_info = |m: &exaclim_store::MemberEntry| MemberInfo {
+            name: m.name.clone(),
+            kind: m.kind,
+            codec: m.codec,
+            t_max: m.t_max,
+            values_per_slice: m.values_per_slice,
+            chunks: m.chunks.len(),
+            snapshot_version: m.snapshot_version,
+        };
+        let answer = match query {
+            CatalogQuery::ListArchives => CatalogAnswer::Archives(
+                self.catalog
+                    .archives()
+                    .iter()
+                    .map(|a| ArchiveInfo {
+                        name: a.name().to_string(),
+                        members: a.members().len(),
+                        total_len: a.total_len(),
+                    })
+                    .collect(),
+            ),
+            CatalogQuery::ListMembers { archive } => {
+                let a = self.catalog.archive(archive)?;
+                CatalogAnswer::Members(a.members().iter().map(member_info).collect())
+            }
+            CatalogQuery::MemberInfo { archive, member } => {
+                let a = self.catalog.archive(archive)?;
+                let idx = a.member_index(member)?;
+                CatalogAnswer::Member(member_info(&a.members()[idx]))
+            }
+            CatalogQuery::ListEmulators => CatalogAnswer::Emulators(
+                self.catalog
+                    .emulators()
+                    .iter()
+                    .map(|e| EmulatorInfo {
+                        name: e.name.clone(),
+                        lmax: e.emulator.config.lmax,
+                        grid: (e.emulator.ntheta, e.emulator.nphi),
+                        parameter_bytes: e.emulator.parameter_bytes(),
+                    })
+                    .collect(),
+            ),
+        };
+        Ok(Response::Catalog(answer))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exaclim_store::{ArchiveReader, ArchiveWriter, FieldMeta};
+    use std::io::Cursor;
+
+    fn archive_bytes(codec: Codec, vps: usize, t_max: usize, chunk_t: usize) -> Vec<u8> {
+        let data: Vec<f64> = (0..vps * t_max)
+            .map(|i| 260.0 + 30.0 * (i as f64 * 0.013).sin())
+            .collect();
+        let mut w = ArchiveWriter::new(Cursor::new(Vec::new())).unwrap();
+        w.add_field("t2m", codec, FieldMeta::default(), vps, chunk_t, &data)
+            .unwrap();
+        w.finish().unwrap().0.into_inner()
+    }
+
+    fn server_with(codec: Codec, cache_bytes: usize) -> (Server, Vec<u8>) {
+        let bytes = archive_bytes(codec, 6, 23, 4);
+        let mut catalog = Catalog::new();
+        catalog.open_archive_bytes("a", bytes.clone()).unwrap();
+        (
+            Server::new(
+                catalog,
+                ServeConfig {
+                    cache_bytes,
+                    cache_shards: 4,
+                },
+            ),
+            bytes,
+        )
+    }
+
+    fn slice(range: Range<u64>) -> Request {
+        Request::Slice(SliceRequest {
+            archive: "a".to_string(),
+            member: "t2m".to_string(),
+            range,
+        })
+    }
+
+    #[test]
+    fn batched_slices_match_sequential_reader_bitwise() {
+        for codec in Codec::ALL {
+            let (server, bytes) = server_with(codec, 1 << 20);
+            let mut reader = ArchiveReader::new(Cursor::new(bytes)).unwrap();
+            let ranges = [0..23u64, 2..9, 8..9, 0..4, 20..23, 5..5];
+            let batch: Vec<Request> = ranges.iter().map(|r| slice(r.clone())).collect();
+            for r in server.handle_batch(&batch).into_iter().zip(&ranges) {
+                let (Ok(Response::Slice(got)), range) = r else {
+                    panic!("slice failed");
+                };
+                let want = reader.read_field_slices("t2m", range.clone()).unwrap();
+                assert_eq!(got.values, want, "{} {range:?}", codec.label());
+            }
+        }
+    }
+
+    #[test]
+    fn warm_reads_hit_the_cache() {
+        let (server, _) = server_with(Codec::F32Shuffle, 1 << 20);
+        let batch = vec![slice(0..23)];
+        server.handle_batch(&batch);
+        let cold = server.cache_stats();
+        assert_eq!(cold.hits, 0);
+        assert_eq!(cold.misses, 6); // ceil(23 / 4) chunks
+        server.handle_batch(&batch);
+        let warm = server.cache_stats();
+        assert_eq!(warm.hits, 6);
+        assert_eq!(warm.misses, 6, "no new misses on the warm pass");
+    }
+
+    #[test]
+    fn mixed_batch_answers_everything_in_order() {
+        let (server, _) = server_with(Codec::F32, 1 << 20);
+        let batch = vec![
+            Request::Catalog(CatalogQuery::ListArchives),
+            slice(1..6),
+            Request::Catalog(CatalogQuery::MemberInfo {
+                archive: "a".to_string(),
+                member: "t2m".to_string(),
+            }),
+            Request::Emulate {
+                emulator: "none".to_string(),
+                t_max: 10,
+                seed: 0,
+            },
+        ];
+        let responses = server.handle_batch(&batch);
+        assert!(matches!(
+            responses[0],
+            Ok(Response::Catalog(CatalogAnswer::Archives(_)))
+        ));
+        assert!(matches!(responses[1], Ok(Response::Slice(_))));
+        let Ok(Response::Catalog(CatalogAnswer::Member(info))) = &responses[2] else {
+            panic!("member info failed");
+        };
+        assert_eq!((info.t_max, info.values_per_slice, info.chunks), (23, 6, 6));
+        assert!(matches!(responses[3], Err(ServeError::UnknownEmulator(_))));
+        let stats = server.stats();
+        assert_eq!(
+            (stats.slices, stats.catalog_queries, stats.errors),
+            (1, 2, 1)
+        );
+    }
+
+    #[test]
+    fn coalescing_is_visible_in_stats() {
+        let (server, _) = server_with(Codec::Raw64, 1 << 20);
+        // 8 requests over the same two chunks.
+        let batch: Vec<Request> = (0..8).map(|_| slice(0..8)).collect();
+        server.handle_batch(&batch);
+        let stats = server.stats();
+        assert_eq!(stats.chunk_touches, 16);
+        assert_eq!(stats.chunk_fetches, 2);
+    }
+
+    #[test]
+    fn per_request_errors_do_not_poison_the_batch() {
+        let (server, _) = server_with(Codec::F16, 1 << 20);
+        let batch = vec![slice(0..5), slice(4..99), slice(6..8)];
+        let responses = server.handle_batch(&batch);
+        assert!(responses[0].is_ok());
+        assert!(matches!(responses[1], Err(ServeError::Archive(_))));
+        assert!(responses[2].is_ok());
+    }
+
+    #[test]
+    fn zero_budget_cache_still_serves_correct_bytes() {
+        let (server, bytes) = server_with(Codec::F32Shuffle, 0);
+        let mut reader = ArchiveReader::new(Cursor::new(bytes)).unwrap();
+        for _ in 0..3 {
+            let responses = server.handle_batch(&[slice(3..17)]);
+            let Ok(Response::Slice(got)) = &responses[0] else {
+                panic!()
+            };
+            assert_eq!(got.values, reader.read_field_slices("t2m", 3..17).unwrap());
+        }
+        assert_eq!(server.cache_stats().hits, 0);
+    }
+}

@@ -177,7 +177,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: a fixed size or a size range.
+    /// Length specification for [`fn@vec`]: a fixed size or a size range.
     pub trait SizeRange {
         /// Draw a length.
         fn sample_len(&self, rng: &mut TestRng) -> usize;

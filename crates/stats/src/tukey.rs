@@ -1,6 +1,6 @@
 //! Tukey g-and-h marginal transforms.
 //!
-//! Reference [21] of the paper (Jeong et al. 2019) builds a *wind* emulator
+//! Reference \[21\] of the paper (Jeong et al. 2019) builds a *wind* emulator
 //! from Tukey g-and-h autoregressive processes: a Gaussian core `z` is
 //! warped to `τ_{g,h}(z) = g⁻¹(e^{gz} − 1)·e^{hz²/2}` to capture skewness
 //! (`g`) and heavy tails (`h ≥ 0`). Supporting this transform makes the

@@ -1,7 +1,7 @@
 //! VAR(P) temporal model on spherical-harmonic coefficient vectors.
 //!
 //! `f_t = Σ_{p=1..P} Φ_p f_{t−p} + ξ_t` with each `Φ_p` **diagonal**
-//! (paper §III.A.3, following [23]): coefficient channels evolve
+//! (paper §III.A.3, following \[23\]): coefficient channels evolve
 //! independently in time, while their *innovations* `ξ_t` remain fully
 //! cross-correlated through the covariance `U` estimated downstream.
 //! Diagonality turns the fit into `L²` independent AR(P) least-squares

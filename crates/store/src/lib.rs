@@ -25,13 +25,53 @@
 //! [`reader::ArchiveReader`] seeks straight to any `(member, time-range)`
 //! slice and decodes only the chunks that overlap it.
 //!
+//! ## Format invariants
+//!
+//! * Every chunk's CRC32 covers its **stored** bytes, so corruption is
+//!   detected before decoding and attributed to one `(member, chunk)`;
+//!   intact chunks of a damaged archive stay readable.
+//! * A member's chunks tile `[0, t_max)` contiguously; the reader rejects
+//!   gaps, overlaps, and size claims inconsistent with the member's codec
+//!   and geometry at open time ([`format::MAX_CHUNK_RAW_LEN`] bounds what a
+//!   hostile directory can make it allocate).
+//! * The stream must end exactly at `directory offset + length + CRC` —
+//!   truncation and trailing garbage are both errors, never silent.
+//! * Codec ids are stable wire values ([`Codec::id`]): 0 = `Raw64`,
+//!   1 = `F32`, 2 = `F16`, 3 = `F32Shuffle`, 4 = `F16Shuffle`; snapshot
+//!   members use [`ByteCodec::id`] (0 = raw, 1 = RLE) in the same field.
+//!
+//! ## Example
+//!
+//! Write an archive to any `Write + Seek` sink and slice it back:
+//!
+//! ```
+//! use exaclim_store::{ArchiveReader, ArchiveWriter, Codec, FieldMeta};
+//! use std::io::Cursor;
+//!
+//! let meta = FieldMeta { ntheta: 2, nphi: 3, start_year: 2000, tau: 365 };
+//! let data: Vec<f64> = (0..6 * 10).map(|i| 280.0 + i as f64).collect();
+//!
+//! let mut w = ArchiveWriter::new(Cursor::new(Vec::new())).unwrap();
+//! w.add_field("t2m", Codec::Raw64, meta, 6, 4, &data).unwrap();
+//! let (cursor, total) = w.finish().unwrap();
+//!
+//! let bytes = cursor.into_inner();
+//! assert_eq!(bytes.len() as u64, total);
+//! let mut r = ArchiveReader::new(Cursor::new(bytes)).unwrap();
+//! // Steps 3..7 of the field: 4 slices × 6 values, crossing a chunk seam.
+//! let part = r.read_field_slices("t2m", 3..7).unwrap();
+//! assert_eq!(part, data[3 * 6..7 * 6]);
+//! ```
+//!
 //! Modules:
 //!
-//! * [`format`] — magic/version constants, error type, CRC32,
+//! * [`mod@format`] — magic/version constants, error type, CRC32,
 //! * [`chunk`] — directory model and its binary encoding,
 //! * [`codec`] — payload codecs (`Raw64`, `F32`, `F16`, shuffled+RLE),
 //! * [`writer`] / [`reader`] — streaming append and random-access read,
 //! * [`snapshot`] — versioned save/load of opaque snapshot blobs.
+
+#![warn(missing_docs)]
 
 pub mod chunk;
 pub mod codec;

@@ -200,8 +200,45 @@ impl<R: Read + Seek> ArchiveReader<R> {
             .ok_or_else(|| ArchiveError::MemberNotFound(name.to_string()))
     }
 
-    /// Read and checksum-verify the stored bytes of one chunk.
-    fn read_chunk_stored(
+    /// Bounds-check a `(member, chunk)` index pair from an external caller.
+    fn check_chunk_indices(&self, member_idx: usize, chunk_idx: usize) -> Result<(), ArchiveError> {
+        let Some(m) = self.members.get(member_idx) else {
+            return Err(ArchiveError::BadRequest(format!(
+                "member index {member_idx} out of range ({} members)",
+                self.members.len()
+            )));
+        };
+        if chunk_idx >= m.chunks.len() {
+            return Err(ArchiveError::BadRequest(format!(
+                "chunk index {chunk_idx} out of range for member `{}` ({} chunks)",
+                m.name,
+                m.chunks.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Read and checksum-verify the **stored** (possibly compressed) bytes
+    /// of one chunk, without decoding them.
+    ///
+    /// This is the raw-fetch primitive a serving layer builds on: the seek
+    /// and read happen here (typically under whatever lock serializes the
+    /// underlying source), while the CPU-heavy decode can run elsewhere via
+    /// [`crate::Codec::decode`]. Indices are bounds-checked; the CRC32 of
+    /// the stored bytes is verified before they are returned, so a caller
+    /// can never observe torn or corrupted payloads.
+    pub fn read_chunk_stored(
+        &mut self,
+        member_idx: usize,
+        chunk_idx: usize,
+    ) -> Result<Vec<u8>, ArchiveError> {
+        self.check_chunk_indices(member_idx, chunk_idx)?;
+        self.read_chunk_stored_unchecked(member_idx, chunk_idx)
+    }
+
+    /// [`ArchiveReader::read_chunk_stored`] for indices already known to be
+    /// in range (internal read paths iterate validated directories).
+    fn read_chunk_stored_unchecked(
         &mut self,
         member_idx: usize,
         chunk_idx: usize,
@@ -226,7 +263,22 @@ impl<R: Read + Seek> ArchiveReader<R> {
         Ok(stored)
     }
 
-    /// Decode all values of one field chunk.
+    /// Read, checksum-verify, and decode **all** values of one field chunk
+    /// (`chunks[chunk_idx].t_len × values_per_slice` values, time-major).
+    ///
+    /// This is the unit a chunk cache stores: whole decoded chunks keyed by
+    /// `(member, chunk)`, from which any overlapping time-range slice can
+    /// be assembled without touching the source again.
+    pub fn read_field_chunk(
+        &mut self,
+        member_idx: usize,
+        chunk_idx: usize,
+    ) -> Result<Vec<f64>, ArchiveError> {
+        self.check_chunk_indices(member_idx, chunk_idx)?;
+        self.decode_field_chunk(member_idx, chunk_idx)
+    }
+
+    /// Decode all values of one field chunk (indices already validated).
     fn decode_field_chunk(
         &mut self,
         member_idx: usize,

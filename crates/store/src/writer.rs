@@ -23,6 +23,29 @@ struct OpenField {
 }
 
 /// Streaming ECA1 writer over any `Write + Seek` sink.
+///
+/// Fields can be appended slice-by-slice; chunks are encoded and flushed
+/// as soon as they fill, so peak memory is one chunk regardless of member
+/// size:
+///
+/// ```
+/// use exaclim_store::{ArchiveReader, ArchiveWriter, Codec, FieldMeta};
+/// use std::io::Cursor;
+///
+/// let mut w = ArchiveWriter::new(Cursor::new(Vec::new())).unwrap();
+/// w.begin_field("u10", Codec::F32, FieldMeta::default(), 4, 2).unwrap();
+/// for step in 0..5 {
+///     let slice = [step as f64; 4]; // one 4-value time slice
+///     w.append_slices(&slice).unwrap();
+/// }
+/// w.finish_field().unwrap();
+/// let (cursor, _total) = w.finish().unwrap();
+///
+/// let mut r = ArchiveReader::new(cursor).unwrap();
+/// let m = r.member("u10").unwrap();
+/// assert_eq!((m.t_max, m.chunks.len()), (5, 3)); // 2 + 2 + 1 steps
+/// assert_eq!(r.read_field_slices("u10", 4..5).unwrap(), [4.0; 4]);
+/// ```
 pub struct ArchiveWriter<W: Write + Seek> {
     sink: W,
     /// Next payload byte offset.

@@ -1,0 +1,215 @@
+//! Mixed-workload serving demo: N clients firing slice / emulate /
+//! metadata requests at one [`exaclim_serve::Server`], with throughput,
+//! latency, cache, and coalescing statistics.
+//!
+//! ```text
+//! cargo run --release --example serve_demo
+//! ```
+//!
+//! The demo builds a two-archive catalog (an ensemble of field members
+//! plus an embedded trained-emulator snapshot), then runs a fixed number
+//! of rounds; each round every client contributes one request to a batch
+//! and the batch is served concurrently on the worker pool. Set
+//! `EXACLIM_THREADS` to bound serve concurrency.
+
+use exaclim::{ClimateEmulator, EmulatorConfig};
+use exaclim_climate::{SyntheticEra5, SyntheticEra5Config};
+use exaclim_serve::{Catalog, CatalogQuery, Request, Response, ServeConfig, Server, SliceRequest};
+use exaclim_store::{ArchiveWriter, Codec, FieldMeta};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::Cursor;
+use std::time::Instant;
+
+const CLIENTS: usize = 16;
+const ROUNDS: usize = 200;
+const SLICE_STEPS: u64 = 48;
+
+fn main() {
+    // --- Catalog: two archives + one emulator ----------------------------
+    let lmax = 12;
+    let generator = SyntheticEra5::new(SyntheticEra5Config::small_daily(lmax));
+    let days = 2 * 365;
+    let training = generator.generate_member(0, days);
+    let meta = FieldMeta {
+        ntheta: training.ntheta,
+        nphi: training.nphi,
+        start_year: training.start_year,
+        tau: training.tau,
+    };
+
+    println!("training a small emulator (L = {lmax}, {days} daily steps)…");
+    let emulator = ClimateEmulator::train(&training, EmulatorConfig::small(8)).expect("train");
+    let snapshot = emulator.to_snapshot();
+
+    // Archive 1: a 3-member ensemble at f32+shuffle, with the trained
+    // emulator embedded as a snapshot member.
+    let mut w = ArchiveWriter::new(Cursor::new(Vec::new())).expect("writer");
+    for member in 0..3u64 {
+        let ds = generator.generate_member(member, days);
+        w.add_field(
+            &format!("t2m/member{member}"),
+            Codec::F32Shuffle,
+            meta,
+            ds.npoints,
+            32,
+            &ds.data,
+        )
+        .expect("add member");
+    }
+    w.add_snapshot(
+        &snapshot.name,
+        snapshot.version,
+        exaclim_store::ByteCodec::Rle,
+        &snapshot.payload,
+        1 << 20,
+    )
+    .expect("embed snapshot");
+    let (cursor, ensemble_bytes) = w.finish().expect("finish");
+    let ensemble = cursor.into_inner();
+
+    // Archive 2: one emulated realization archived at f16+shuffle.
+    let emulated = emulator.emulate(365, 7).expect("emulate");
+    let mut w = ArchiveWriter::new(Cursor::new(Vec::new())).expect("writer");
+    w.add_field(
+        "t2m/emulated0",
+        Codec::F16Shuffle,
+        meta,
+        emulated.npoints,
+        32,
+        &emulated.data,
+    )
+    .expect("add emulated");
+    let (cursor, emulated_bytes) = w.finish().expect("finish");
+
+    let mut catalog = Catalog::new();
+    catalog
+        .open_archive_bytes("ensemble", ensemble)
+        .expect("open ensemble");
+    catalog
+        .open_archive_bytes("emulated", cursor.into_inner())
+        .expect("open emulated");
+    catalog
+        .load_emulator_from_archive("era5-emulator", "ensemble", &snapshot.name)
+        .expect("load embedded emulator");
+    let fields = catalog.field_members();
+    println!(
+        "catalog: ensemble ({ensemble_bytes} B) + emulated ({emulated_bytes} B), \
+         {} field members, 1 emulator",
+        fields.len()
+    );
+
+    let server = Server::new(
+        catalog,
+        ServeConfig {
+            cache_bytes: 32 << 20,
+            cache_shards: 16,
+        },
+    );
+
+    // --- Workload: CLIENTS × ROUNDS mixed requests -----------------------
+    // Per round, each client contributes one request: ~70% slice reads
+    // (skewed toward the first member, so batches overlap and the cache
+    // has a working set), ~10% emulation runs, ~20% catalog queries.
+    let mut rng = StdRng::seed_from_u64(2024);
+    let mut latencies_us: Vec<Vec<u64>> = vec![Vec::new(); 3]; // slice/emulate/catalog
+    let t_start = Instant::now();
+    for round in 0..ROUNDS {
+        let batch: Vec<Request> = (0..CLIENTS)
+            .map(|_| {
+                let roll: f64 = rng.gen_range(0.0..1.0);
+                if roll < 0.70 {
+                    let (archive, member) = if rng.gen_bool(0.6) {
+                        fields[0].clone()
+                    } else {
+                        fields[rng.gen_range(0..fields.len())].clone()
+                    };
+                    let horizon = if archive == "emulated" {
+                        365
+                    } else {
+                        days as u64
+                    };
+                    let t0 = rng.gen_range(0..horizon - SLICE_STEPS);
+                    Request::Slice(SliceRequest {
+                        archive,
+                        member,
+                        range: t0..t0 + SLICE_STEPS,
+                    })
+                } else if roll < 0.80 {
+                    Request::Emulate {
+                        emulator: "era5-emulator".to_string(),
+                        t_max: 30,
+                        seed: rng.gen_range(0..1_000_000),
+                    }
+                } else {
+                    match rng.gen_range(0..3) {
+                        0 => Request::Catalog(CatalogQuery::ListArchives),
+                        1 => Request::Catalog(CatalogQuery::ListMembers {
+                            archive: "ensemble".to_string(),
+                        }),
+                        _ => Request::Catalog(CatalogQuery::ListEmulators),
+                    }
+                }
+            })
+            .collect();
+        let t_batch = Instant::now();
+        let responses = server.handle_batch(&batch);
+        let batch_us = t_batch.elapsed().as_micros() as u64;
+        for response in &responses {
+            match response {
+                Ok(Response::Slice(_)) => latencies_us[0].push(batch_us),
+                Ok(Response::Emulate(_)) => latencies_us[1].push(batch_us),
+                Ok(Response::Catalog(_)) => latencies_us[2].push(batch_us),
+                Err(e) => panic!("request failed in round {round}: {e}"),
+            }
+        }
+    }
+    let elapsed = t_start.elapsed();
+
+    // --- Report ----------------------------------------------------------
+    let stats = server.stats();
+    let cache = server.cache_stats();
+    let total = stats.slices + stats.emulations + stats.catalog_queries;
+    println!(
+        "\nserved {total} requests in {:.2}s over {} batches of {CLIENTS} \
+         ({:.0} req/s end to end)",
+        elapsed.as_secs_f64(),
+        stats.batches,
+        total as f64 / elapsed.as_secs_f64(),
+    );
+    let kind = ["slice", "emulate", "catalog"];
+    for (k, lat) in kind.iter().zip(&mut latencies_us) {
+        if lat.is_empty() {
+            continue;
+        }
+        lat.sort_unstable();
+        let mean = lat.iter().sum::<u64>() as f64 / lat.len() as f64;
+        println!(
+            "  {k:<8} {:>6} requests, batch latency mean {:>7.0} µs, p50 {:>6} µs, p99 {:>6} µs",
+            lat.len(),
+            mean,
+            lat[lat.len() / 2],
+            lat[lat.len() * 99 / 100],
+        );
+    }
+    println!(
+        "  cache    {:.1}% hit rate ({} hits / {} misses), {} evictions, {} chunks / {} KiB resident",
+        100.0 * cache.hit_rate(),
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        cache.resident_chunks,
+        cache.resident_bytes / 1024,
+    );
+    println!(
+        "  batcher  {} chunk touches coalesced into {} fetches ({:.2}× deduplication)",
+        stats.chunk_touches,
+        stats.chunk_fetches,
+        stats.chunk_touches as f64 / stats.chunk_fetches.max(1) as f64,
+    );
+    println!(
+        "  server   busy {:.2}s across batches ({:.0}% of wall clock)",
+        stats.busy_nanos as f64 / 1e9,
+        100.0 * stats.busy_nanos as f64 / 1e9 / elapsed.as_secs_f64(),
+    );
+}

@@ -1,5 +1,5 @@
 //! A non-Gaussian variable through the pipeline: wind-speed-like fields via
-//! the Tukey g-and-h marginal transform (paper ref. [21], and the §VI
+//! the Tukey g-and-h marginal transform (paper ref. \[21\], and the §VI
 //! "multi-variate emulators" direction).
 //!
 //! Wind speed is right-skewed and heavy-tailed; the g-and-h warp maps a
