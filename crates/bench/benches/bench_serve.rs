@@ -91,6 +91,58 @@ fn bench_serve(c: &mut Criterion) {
             }
         });
     });
+
+    // Byte-source backends on the cold path: mmap'd file (lock-free
+    // borrowed views) vs. buffered file behind the fallback mutex. The
+    // multi-threaded version of this comparison lives in the `serve_perf`
+    // bin (`--json` writes BENCH_serve.json).
+    let path =
+        std::env::temp_dir().join(format!("exaclim_bench_serve_{}.eca1", std::process::id()));
+    {
+        let generator = SyntheticEra5::new(SyntheticEra5Config::small_daily(16));
+        let data = generator.generate_member(0, T_MAX);
+        let meta = FieldMeta {
+            ntheta: data.ntheta,
+            nphi: data.nphi,
+            start_year: data.start_year,
+            tau: data.tau,
+        };
+        let mut w = ArchiveWriter::new(Cursor::new(Vec::new())).unwrap();
+        w.add_field(
+            "t2m",
+            Codec::F32Shuffle,
+            meta,
+            data.npoints,
+            CHUNK_T,
+            &data.data,
+        )
+        .unwrap();
+        std::fs::write(&path, w.finish().unwrap().0.into_inner()).unwrap();
+    }
+    for (label, use_mmap) in [("file_mutexed", false), ("file_mmap", true)] {
+        let mut catalog = Catalog::new();
+        catalog
+            .open_archive_source(
+                "a",
+                exaclim_store::open_file_source(&path, use_mmap).unwrap(),
+            )
+            .unwrap();
+        let server = Server::new(
+            catalog,
+            ServeConfig {
+                cache_bytes: 0,
+                cache_shards: 8,
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cold_read", label),
+            &server,
+            |b, server| {
+                b.iter(|| black_box(server.handle_batch(&batch)));
+            },
+        );
+    }
+    std::fs::remove_file(&path).ok();
     group.finish();
 }
 

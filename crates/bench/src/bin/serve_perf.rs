@@ -1,0 +1,283 @@
+//! Serving-path performance report: multi-threaded cold/warm slice reads
+//! over the mutexed (buffered-file) and zero-copy (mmap) byte-source
+//! backends, plus a hot-chunk stampede showing single-flight dedup.
+//!
+//! ```text
+//! cargo run --release -p exaclim-bench --bin serve_perf [-- --json]
+//! ```
+//!
+//! With `--json`, machine-readable results land in `BENCH_serve.json` in
+//! the current directory, so the serving layer's perf trajectory is
+//! recorded PR over PR. Knobs: `--threads N` (client threads, default 8),
+//! `--batches N` (batches per thread, default 24).
+
+use exaclim_climate::{SyntheticEra5, SyntheticEra5Config};
+use exaclim_serve::{Catalog, Request, Response, ServeConfig, Server, SliceRequest};
+use exaclim_store::{open_file_source, ArchiveWriter, Codec, FieldMeta};
+use std::io::Cursor;
+use std::time::Instant;
+
+const T_MAX: usize = 256;
+const CHUNK_T: usize = 16;
+const SLICE_T: u64 = 48;
+const BATCH: usize = 32;
+
+/// One measured scenario.
+struct Scenario {
+    name: &'static str,
+    backend: &'static str,
+    threads: usize,
+    batches_per_thread: usize,
+    elapsed_s: f64,
+    served_mib: f64,
+    requests: u64,
+    p50_us: f64,
+    p95_us: f64,
+}
+
+impl Scenario {
+    fn mib_per_s(&self) -> f64 {
+        self.served_mib / self.elapsed_s
+    }
+    fn req_per_s(&self) -> f64 {
+        self.requests as f64 / self.elapsed_s
+    }
+}
+
+fn build_archive_file(path: &std::path::Path) -> (u64, usize) {
+    let generator = SyntheticEra5::new(SyntheticEra5Config::small_daily(16));
+    let data = generator.generate_member(0, T_MAX);
+    let meta = FieldMeta {
+        ntheta: data.ntheta,
+        nphi: data.nphi,
+        start_year: data.start_year,
+        tau: data.tau,
+    };
+    let mut w = ArchiveWriter::new(Cursor::new(Vec::new())).unwrap();
+    w.add_field(
+        "t2m",
+        Codec::F32Shuffle,
+        meta,
+        data.npoints,
+        CHUNK_T,
+        &data.data,
+    )
+    .unwrap();
+    let (cursor, total) = w.finish().unwrap();
+    std::fs::write(path, cursor.into_inner()).unwrap();
+    (total, data.npoints)
+}
+
+fn server_for(path: &std::path::Path, use_mmap: bool, cache_bytes: usize) -> Server {
+    let mut catalog = Catalog::new();
+    catalog
+        .open_archive_source("a", open_file_source(path, use_mmap).unwrap())
+        .unwrap();
+    Server::new(
+        catalog,
+        ServeConfig {
+            cache_bytes,
+            cache_shards: 8,
+        },
+    )
+}
+
+/// A batch of overlapping slice reads, phase-shifted per thread so the
+/// threads' working sets overlap without being identical.
+fn slice_batch(thread: u64) -> Vec<Request> {
+    (0..BATCH as u64)
+        .map(|i| {
+            let t0 = (thread * 13 + i * 7) % (T_MAX as u64 - SLICE_T);
+            Request::Slice(SliceRequest {
+                archive: "a".to_string(),
+                member: "t2m".to_string(),
+                range: t0..t0 + SLICE_T,
+            })
+        })
+        .collect()
+}
+
+/// Drive `threads × batches_per_thread` batches and collect wall time +
+/// per-batch latency.
+fn run_scenario(
+    name: &'static str,
+    backend: &'static str,
+    server: &Server,
+    threads: usize,
+    batches_per_thread: usize,
+    npoints: usize,
+) -> Scenario {
+    let start = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads as u64)
+            .map(|t| {
+                scope.spawn(move || {
+                    let batch = slice_batch(t);
+                    let mut lat = Vec::with_capacity(batches_per_thread);
+                    for _ in 0..batches_per_thread {
+                        let t0 = Instant::now();
+                        let responses = server.handle_batch(&batch);
+                        lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                        for r in &responses {
+                            assert!(matches!(r, Ok(Response::Slice(_))));
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+    let requests = (threads * batches_per_thread * BATCH) as u64;
+    let served_mib = requests as f64 * SLICE_T as f64 * npoints as f64 * 8.0 / (1 << 20) as f64;
+    Scenario {
+        name,
+        backend,
+        threads,
+        batches_per_thread,
+        elapsed_s,
+        served_mib,
+        requests,
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+    }
+}
+
+fn write_json(path: &str, scenarios: &[Scenario], speedup_cold: f64, stampede: (u64, u64, u64)) {
+    let mut out = String::from("{\n  \"bench\": \"serve\",\n  \"scenarios\": [\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"backend\": \"{}\", \"threads\": {}, \"batches_per_thread\": {}, \
+             \"elapsed_s\": {:.6}, \"served_mib\": {:.3}, \"mib_per_s\": {:.3}, \"req_per_s\": {:.1}, \
+             \"p50_us\": {:.1}, \"p95_us\": {:.1}}}{}\n",
+            s.name,
+            s.backend,
+            s.threads,
+            s.batches_per_thread,
+            s.elapsed_s,
+            s.served_mib,
+            s.mib_per_s(),
+            s.req_per_s(),
+            s.p50_us,
+            s.p95_us,
+            if i + 1 < scenarios.len() { "," } else { "" },
+        ));
+    }
+    let (decodes, leads, waits) = stampede;
+    out.push_str(&format!(
+        "  ],\n  \"cold_mmap_over_mutexed_speedup\": {speedup_cold:.3},\n  \
+         \"stampede\": {{\"chunk_decodes\": {decodes}, \"flight_leads\": {leads}, \"flight_waits\": {waits}}}\n}}\n"
+    ));
+    std::fs::write(path, out).unwrap();
+    println!("wrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let flag = |name: &str, default: usize| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let threads = flag("--threads", 8);
+    let batches = flag("--batches", 24);
+
+    let path = std::env::temp_dir().join(format!("exaclim_serve_perf_{}.eca1", std::process::id()));
+    let (total, npoints) = build_archive_file(&path);
+    println!("archive: {total} bytes on disk, {T_MAX} steps × {npoints} points, chunk_t {CHUNK_T}");
+    println!(
+        "workload: {threads} client threads × {batches} batches × {BATCH} slices of {SLICE_T} steps\n"
+    );
+
+    let mut scenarios = Vec::new();
+
+    // Cold: zero cache budget — every batch decodes every touched chunk.
+    // This is the fetch-path microscope: mutexed seek+read+copy vs.
+    // lock-free borrowed mmap views.
+    for (backend, use_mmap) in [("mutexed", false), ("mmap", true)] {
+        let server = server_for(&path, use_mmap, 0);
+        scenarios.push(run_scenario(
+            "cold", backend, &server, threads, batches, npoints,
+        ));
+    }
+    let speedup_cold = {
+        let mutexed = scenarios[0].mib_per_s();
+        let mapped = scenarios[1].mib_per_s();
+        mapped / mutexed
+    };
+
+    // Warm: generous cache, primed — measures the hit path (identical for
+    // both backends; run on mmap).
+    {
+        let server = server_for(&path, true, 256 << 20);
+        for t in 0..threads as u64 {
+            server.handle_batch(&slice_batch(t));
+        }
+        scenarios.push(run_scenario(
+            "warm", "mmap", &server, threads, batches, npoints,
+        ));
+    }
+
+    // Stampede: every thread fires the same single-slice batch at a cold
+    // server; the single-flight map must hold decodes at one per chunk.
+    let stampede = {
+        let server = server_for(&path, true, 256 << 20);
+        let barrier = std::sync::Barrier::new(threads);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let server = &server;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    let batch = vec![Request::Slice(SliceRequest {
+                        archive: "a".to_string(),
+                        member: "t2m".to_string(),
+                        range: 0..SLICE_T,
+                    })];
+                    for r in server.handle_batch(&batch) {
+                        assert!(r.is_ok());
+                    }
+                });
+            }
+        });
+        let stats = server.stats();
+        let cache = server.cache_stats();
+        (stats.chunk_decodes, cache.flight_leads, cache.flight_waits)
+    };
+
+    println!(
+        "{:<6} {:<9} {:>10} {:>12} {:>10} {:>10}",
+        "case", "backend", "MiB/s", "req/s", "p50 µs", "p95 µs"
+    );
+    for s in &scenarios {
+        println!(
+            "{:<6} {:<9} {:>10.1} {:>12.0} {:>10.1} {:>10.1}",
+            s.name,
+            s.backend,
+            s.mib_per_s(),
+            s.req_per_s(),
+            s.p50_us,
+            s.p95_us
+        );
+    }
+    println!("\ncold {threads}-thread speedup (mmap over mutexed): {speedup_cold:.2}×");
+    let (decodes, leads, waits) = stampede;
+    println!(
+        "stampede over {} unique chunks: {decodes} decodes, {leads} leads, {waits} coalesced waits",
+        SLICE_T.div_ceil(CHUNK_T as u64)
+    );
+
+    if json {
+        write_json("BENCH_serve.json", &scenarios, speedup_cold, stampede);
+    }
+    std::fs::remove_file(&path).ok();
+}

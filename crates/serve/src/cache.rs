@@ -14,8 +14,21 @@
 //! larger than one shard's budget is served but never cached. Keys are
 //! spread across shards by a fixed multiplicative hash, so two requests
 //! for different chunks almost always lock different shards.
+//!
+//! **Single-flight decode.** Concurrent misses on the same chunk from
+//! *different* batches (the batcher already dedups within one) coalesce
+//! through a reservation map: the first fetcher becomes the **leader**
+//! ([`Fetch::Lead`]) and decodes; every racer gets a [`Fetch::Wait`]
+//! handle and parks on the leader's [`Flight`] instead of redecoding. The
+//! leader publishes its result (inserting into the cache first, removing
+//! the reservation second — under the reservation lock — so a key is
+//! always either cached or reserved once a decode has started), and a
+//! dropped leader fails its waiters rather than hanging them. The
+//! reservation lock is only ever touched on a cache miss; hits stay on
+//! the lock-free shard fast path.
 
-use parking_lot::Mutex;
+use crate::error::ServeError;
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -67,6 +80,11 @@ pub struct CacheStats {
     pub resident_bytes: u64,
     /// Chunks currently resident.
     pub resident_chunks: u64,
+    /// Misses that became single-flight leaders (decoded the chunk).
+    pub flight_leads: u64,
+    /// Misses that coalesced onto an in-flight decode instead of
+    /// redecoding — cross-batch stampede work the reservation map saved.
+    pub flight_waits: u64,
 }
 
 impl CacheStats {
@@ -99,10 +117,119 @@ pub struct ChunkCache {
     shards: Vec<Mutex<Shard>>,
     /// Byte budget of each shard (total budget / shard count).
     shard_budget: usize,
+    /// Reservations of chunks currently being decoded, keyed like the
+    /// cache. Touched only on misses; completion removes the entry under
+    /// this lock *after* the cache insert, so post-completion fetchers
+    /// always find the cached value.
+    inflight: Mutex<HashMap<ChunkKey, Arc<Flight>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     oversize_rejects: AtomicU64,
+    flight_leads: AtomicU64,
+    flight_waits: AtomicU64,
+}
+
+/// One in-flight chunk decode, shared between its leader and waiters.
+pub struct Flight {
+    state: Mutex<FlightState>,
+    done: Condvar,
+}
+
+enum FlightState {
+    /// The leader is still decoding.
+    Pending,
+    /// The leader published its result (waiters clone it).
+    Done(Result<Arc<[f64]>, ServeError>),
+}
+
+impl std::fmt::Debug for Flight {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match &*self.state.lock() {
+            FlightState::Pending => "pending",
+            FlightState::Done(Ok(_)) => "done",
+            FlightState::Done(Err(_)) => "failed",
+        };
+        f.debug_struct("Flight").field("state", &state).finish()
+    }
+}
+
+impl Flight {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(FlightState::Pending),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Block until the leader publishes, then return its result. The
+    /// leader is always another thread actively decoding on its own
+    /// worker (never queued behind this one), so waiting cannot deadlock;
+    /// a leader that dies publishes an error from its guard's `Drop`.
+    pub fn wait(&self) -> Result<Arc<[f64]>, ServeError> {
+        let mut state = self.state.lock();
+        loop {
+            if let FlightState::Done(result) = &*state {
+                return result.clone();
+            }
+            self.done.wait(&mut state);
+        }
+    }
+
+    fn publish(&self, result: Result<Arc<[f64]>, ServeError>) {
+        *self.state.lock() = FlightState::Done(result);
+        self.done.notify_all();
+    }
+}
+
+/// Outcome of [`ChunkCache::begin_fetch`].
+#[derive(Debug)]
+pub enum Fetch<'a> {
+    /// Cache hit: the decoded chunk.
+    Ready(Arc<[f64]>),
+    /// Cache miss with no decode in flight: the caller is the leader and
+    /// **must** resolve the guard via [`FlightLead::finish`] (dropping it
+    /// fails the flight, so waiters never hang).
+    Lead(FlightLead<'a>),
+    /// Another fetch is already decoding this chunk: park on it via
+    /// [`Flight::wait`].
+    Wait(Arc<Flight>),
+}
+
+/// Leadership of one in-flight decode; ties the reservation to the cache
+/// it was made in.
+#[derive(Debug)]
+pub struct FlightLead<'a> {
+    cache: &'a ChunkCache,
+    key: ChunkKey,
+    flight: Arc<Flight>,
+    resolved: bool,
+}
+
+impl FlightLead<'_> {
+    /// Publish the decode result: a success is inserted into the cache
+    /// (before the reservation is released) and handed to every waiter;
+    /// an error is handed to the waiters as-is.
+    pub fn finish(mut self, result: Result<Arc<[f64]>, ServeError>) {
+        self.resolved = true;
+        self.cache.complete_flight(self.key, &self.flight, result);
+    }
+}
+
+impl Drop for FlightLead<'_> {
+    fn drop(&mut self) {
+        if !self.resolved {
+            // The leader unwound (panic in decode) — fail the waiters
+            // instead of leaving them parked forever.
+            self.cache.complete_flight(
+                self.key,
+                &self.flight,
+                Err(ServeError::BadRequest(
+                    "chunk decode abandoned by its leader".to_string(),
+                )),
+            );
+        }
+    }
 }
 
 impl std::fmt::Debug for ChunkCache {
@@ -144,10 +271,13 @@ impl ChunkCache {
                 })
                 .collect(),
             shard_budget: budget_bytes / shards,
+            inflight: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             oversize_rejects: AtomicU64::new(0),
+            flight_leads: AtomicU64::new(0),
+            flight_waits: AtomicU64::new(0),
         }
     }
 
@@ -179,6 +309,78 @@ impl ChunkCache {
                 None
             }
         }
+    }
+
+    /// Look up a chunk without touching the hit/miss counters or the LRU
+    /// stamp — the double-check inside [`ChunkCache::begin_fetch`], whose
+    /// first (counted) lookup already classified this fetch.
+    fn peek(&self, key: ChunkKey) -> Option<Arc<[f64]>> {
+        let shard = self.shard_of(key).lock();
+        shard.map.get(&key).map(|e| Arc::clone(&e.values))
+    }
+
+    /// Start resolving a chunk with cross-batch stampede protection.
+    ///
+    /// * [`Fetch::Ready`] — cached; nothing to do.
+    /// * [`Fetch::Lead`] — this caller owns the (single) decode; it must
+    ///   call [`FlightLead::finish`] with the outcome.
+    /// * [`Fetch::Wait`] — some other caller is decoding this very chunk;
+    ///   [`Flight::wait`] returns its published result.
+    ///
+    /// The fast path is one counted cache lookup — identical to
+    /// [`ChunkCache::get`] — so hits never touch the reservation lock.
+    /// On a miss, the reservation map is consulted (and the cache
+    /// re-checked) under the reservation lock; because a completing
+    /// leader inserts into the cache *before* releasing its reservation,
+    /// every fetch lands in exactly one of the three arms and at most one
+    /// decode per chunk can be in flight.
+    pub fn begin_fetch(&self, key: ChunkKey) -> Fetch<'_> {
+        if let Some(values) = self.get(key) {
+            return Fetch::Ready(values);
+        }
+        let mut inflight = self.inflight.lock();
+        // Double-check: a leader may have completed between the miss
+        // above and taking the reservation lock.
+        if let Some(values) = self.peek(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            // The first lookup counted a miss for what is now a hit;
+            // leave both counts — they describe what each lookup saw.
+            return Fetch::Ready(values);
+        }
+        if let Some(flight) = inflight.get(&key) {
+            self.flight_waits.fetch_add(1, Ordering::Relaxed);
+            return Fetch::Wait(Arc::clone(flight));
+        }
+        let flight = Flight::new();
+        inflight.insert(key, Arc::clone(&flight));
+        self.flight_leads.fetch_add(1, Ordering::Relaxed);
+        Fetch::Lead(FlightLead {
+            cache: self,
+            key,
+            flight,
+            resolved: false,
+        })
+    }
+
+    /// Publish a leader's result and release its reservation. The cache
+    /// insert strictly precedes the reservation removal, so a racer that
+    /// misses the cache and then takes the reservation lock either finds
+    /// the flight still registered (→ waits) or, if it is gone, is
+    /// guaranteed to find the value cached by its double-check. The
+    /// insert itself (shard lock + possible LRU eviction loop) runs
+    /// *outside* the reservation lock so leaders completing unrelated
+    /// chunks never serialize on it.
+    fn complete_flight(
+        &self,
+        key: ChunkKey,
+        flight: &Arc<Flight>,
+        result: Result<Arc<[f64]>, ServeError>,
+    ) {
+        if let Ok(values) = &result {
+            self.insert(key, Arc::clone(values));
+        }
+        self.inflight.lock().remove(&key);
+        flight.publish(result);
     }
 
     /// Insert a decoded chunk, evicting LRU entries of its shard until it
@@ -245,6 +447,8 @@ impl ChunkCache {
             oversize_rejects: self.oversize_rejects.load(Ordering::Relaxed),
             resident_bytes,
             resident_chunks,
+            flight_leads: self.flight_leads.load(Ordering::Relaxed),
+            flight_waits: self.flight_waits.load(Ordering::Relaxed),
         }
     }
 }
@@ -352,6 +556,115 @@ mod tests {
         // Large budgets keep the requested shard count.
         let cache = ChunkCache::new(256 << 20, 16);
         assert_eq!(cache.shards.len(), 16);
+    }
+
+    #[test]
+    fn single_flight_leads_then_serves_from_cache() {
+        let cache = ChunkCache::new(1 << 16, 2);
+        // First fetch leads…
+        let Fetch::Lead(lead) = cache.begin_fetch(key(1)) else {
+            panic!("first fetch must lead");
+        };
+        // …a racing fetch waits on the same flight…
+        let Fetch::Wait(flight) = cache.begin_fetch(key(1)) else {
+            panic!("racing fetch must wait");
+        };
+        // …and an unrelated key gets its own lead.
+        let Fetch::Lead(other) = cache.begin_fetch(key(2)) else {
+            panic!("unrelated key must lead");
+        };
+        other.finish(Ok(chunk_of(4, 2.0)));
+        lead.finish(Ok(chunk_of(4, 1.0)));
+        assert_eq!(flight.wait().unwrap().as_ref(), &[1.0; 4]);
+        // Post-completion fetches are plain hits.
+        let Fetch::Ready(v) = cache.begin_fetch(key(1)) else {
+            panic!("completed chunk must be cached");
+        };
+        assert_eq!(v.as_ref(), &[1.0; 4]);
+        let s = cache.stats();
+        assert_eq!((s.flight_leads, s.flight_waits), (2, 1));
+    }
+
+    #[test]
+    fn dropped_leader_fails_waiters_instead_of_hanging() {
+        let cache = ChunkCache::new(1 << 16, 1);
+        let Fetch::Lead(lead) = cache.begin_fetch(key(7)) else {
+            panic!()
+        };
+        let Fetch::Wait(flight) = cache.begin_fetch(key(7)) else {
+            panic!()
+        };
+        drop(lead); // leader panicked / unwound
+        assert!(flight.wait().is_err());
+        // The reservation is released: the next fetch leads afresh.
+        assert!(matches!(cache.begin_fetch(key(7)), Fetch::Lead(_)));
+    }
+
+    #[test]
+    fn failed_decode_propagates_to_waiters_and_is_not_cached() {
+        let cache = ChunkCache::new(1 << 16, 1);
+        let Fetch::Lead(lead) = cache.begin_fetch(key(3)) else {
+            panic!()
+        };
+        let Fetch::Wait(flight) = cache.begin_fetch(key(3)) else {
+            panic!()
+        };
+        lead.finish(Err(crate::error::ServeError::BadRequest("boom".into())));
+        assert!(flight.wait().is_err());
+        assert_eq!(cache.stats().resident_chunks, 0);
+        assert!(matches!(cache.begin_fetch(key(3)), Fetch::Lead(_)));
+    }
+
+    #[test]
+    fn zero_budget_single_flight_still_hands_waiters_the_value() {
+        let cache = ChunkCache::new(0, 4);
+        let Fetch::Lead(lead) = cache.begin_fetch(key(1)) else {
+            panic!()
+        };
+        let Fetch::Wait(flight) = cache.begin_fetch(key(1)) else {
+            panic!()
+        };
+        lead.finish(Ok(chunk_of(4, 9.0)));
+        // Waiters share the flight's value even though nothing is cached…
+        assert_eq!(flight.wait().unwrap().as_ref(), &[9.0; 4]);
+        // …and with no cache to land in, the next fetch decodes again.
+        assert!(matches!(cache.begin_fetch(key(1)), Fetch::Lead(_)));
+    }
+
+    #[test]
+    fn concurrent_stampede_coalesces_to_one_lead() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = std::sync::Arc::new(ChunkCache::new(1 << 20, 4));
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(8));
+        let decodes = std::sync::Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = std::sync::Arc::clone(&cache);
+                let barrier = std::sync::Arc::clone(&barrier);
+                let decodes = std::sync::Arc::clone(&decodes);
+                std::thread::spawn(move || -> Arc<[f64]> {
+                    barrier.wait();
+                    match cache.begin_fetch(key(42)) {
+                        Fetch::Ready(v) => v,
+                        Fetch::Wait(flight) => flight.wait().unwrap(),
+                        Fetch::Lead(lead) => {
+                            decodes.fetch_add(1, Ordering::SeqCst);
+                            let v = chunk_of(16, 42.0);
+                            lead.finish(Ok(Arc::clone(&v)));
+                            v
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap().as_ref(), &[42.0; 16]);
+        }
+        assert_eq!(
+            decodes.load(Ordering::SeqCst),
+            1,
+            "exactly one thread may decode a stampeded chunk"
+        );
     }
 
     #[test]

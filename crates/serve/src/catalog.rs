@@ -4,24 +4,36 @@
 //! (header + directory parse + structural validation) and then addressed
 //! by name; emulators are registered directly or loaded out of snapshot
 //! members embedded in an already-open archive. After construction the
-//! catalog is immutable and shared read-only across worker threads — the
-//! only mutable state is each archive's I/O handle, serialized by a
-//! per-archive mutex so that seeks and reads never interleave.
+//! catalog is immutable and shared read-only across worker threads.
 //!
-//! That per-archive mutex guards **only** the seek+read+CRC of stored
-//! chunk bytes; decoding runs outside it, on the worker that requested the
-//! chunk. One archive therefore serves concurrent readers at the speed of
-//! its source's sequential I/O while decode work scales across the pool.
+//! **Locking model.** Each archive is an [`exaclim_store::Archive`] over a
+//! [`ChunkSource`], and every fetch goes through its `&self` read methods:
+//!
+//! * **zero-copy sources** (memory-mapped files, in-memory buffers) serve
+//!   concurrent chunk fetches with *no lock and no copy* — each fetch is a
+//!   borrowed view of stable storage, CRC-verified in place, and any
+//!   number of workers read one archive simultaneously;
+//! * **stream sources** (arbitrary `Read + Seek` handles) carry their
+//!   mutex inside [`exaclim_store::LockedReader`], preserving the old
+//!   seek+read discipline as the portable fallback.
+//!
+//! Decode always runs on the worker that requested the chunk, outside any
+//! lock, whatever the backend.
 
 use crate::error::ServeError;
 use exaclim::TrainedEmulator;
-use exaclim_store::{ArchiveError, ArchiveReader, MemberEntry, MemberKind, Snapshot};
-use parking_lot::Mutex;
+use exaclim_store::{
+    mmap_enabled, open_file_source, Archive, ChunkSource, LockedReader, MemberEntry, MemberKind,
+    SharedBytes, Snapshot, SourceBytes,
+};
 use std::io::{Read, Seek};
 use std::sync::Arc;
 
 /// Byte stream an archive can be served from. Blanket-implemented for
-/// every `Read + Seek + Send` type (files, in-memory cursors, …).
+/// every `Read + Seek + Send` type (files, in-memory cursors, …). Streams
+/// serve through the mutex fallback; prefer
+/// [`Catalog::open_archive_file`] / [`Catalog::open_archive_bytes`],
+/// which pick a zero-copy source.
 pub trait ByteSource: Read + Seek + Send {}
 impl<T: Read + Seek + Send> ByteSource for T {}
 
@@ -29,21 +41,18 @@ impl<T: Read + Seek + Send> ByteSource for T {}
 pub struct ServedArchive {
     /// Catalog name of the archive (unique).
     name: String,
-    /// Copy of the parsed directory, so request planning and metadata
-    /// queries never contend on the I/O mutex below.
-    members: Vec<MemberEntry>,
-    /// Total container length in bytes.
-    total_len: u64,
-    /// The reader, holding the archive's single I/O handle.
-    reader: Mutex<ArchiveReader<Box<dyn ByteSource>>>,
+    /// The opened archive; all read methods take `&self`, so workers
+    /// fetch chunks concurrently with no catalog-level locking.
+    archive: Archive,
 }
 
 impl std::fmt::Debug for ServedArchive {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServedArchive")
             .field("name", &self.name)
-            .field("members", &self.members.len())
-            .field("total_len", &self.total_len)
+            .field("members", &self.members().len())
+            .field("total_len", &self.total_len())
+            .field("backend", &self.backend())
             .finish()
     }
 }
@@ -56,52 +65,58 @@ impl ServedArchive {
 
     /// The archive's member directory, in write order.
     pub fn members(&self) -> &[MemberEntry] {
-        &self.members
+        self.archive.members()
     }
 
     /// Total container length in bytes.
     pub fn total_len(&self) -> u64 {
-        self.total_len
+        self.archive.total_len()
+    }
+
+    /// Byte-source backend label ("mmap", "bytes", "stream").
+    pub fn backend(&self) -> &'static str {
+        self.archive.backend()
+    }
+
+    /// True when chunk fetches are lock-free borrowed views (mmap or
+    /// in-memory source) rather than copies read under a mutex.
+    pub fn is_zero_copy(&self) -> bool {
+        self.archive.is_zero_copy()
     }
 
     /// Member index by name.
     pub fn member_index(&self, member: &str) -> Result<usize, ServeError> {
-        self.members
-            .iter()
-            .position(|m| m.name == member)
-            .ok_or_else(|| ServeError::Archive(ArchiveError::MemberNotFound(member.to_string())))
+        Ok(self.archive.member_index(member)?)
     }
 
-    /// Fetch and checksum-verify the stored bytes of one chunk, holding
-    /// the archive's I/O lock only for the duration of the seek + read.
+    /// Fetch and checksum-verify the stored bytes of one chunk. Over a
+    /// zero-copy backend this borrows straight from the mapping — no
+    /// lock, no copy; over a stream it reads under the source's internal
+    /// mutex. Decode the result with [`exaclim_store::Codec::decode`]
+    /// on the calling worker.
     pub fn fetch_chunk_stored(
         &self,
         member_idx: usize,
         chunk_idx: usize,
-    ) -> Result<Vec<u8>, ServeError> {
-        let mut reader = self.reader.lock();
-        Ok(reader.read_chunk_stored(member_idx, chunk_idx)?)
+    ) -> Result<SourceBytes<'_>, ServeError> {
+        Ok(self.archive.read_chunk_stored(member_idx, chunk_idx)?)
     }
 
-    /// Fetch **and decode** one field chunk under the I/O lock. Prefer
-    /// [`ServedArchive::fetch_chunk_stored`] + [`exaclim_store::Codec::decode`]
-    /// on hot paths so decoding happens outside the lock; this convenience
-    /// exists for sequential baselines and tests.
+    /// Fetch **and decode** one field chunk — the sequential-baseline
+    /// convenience; the serving hot path goes through
+    /// [`ServedArchive::fetch_chunk_stored`] + cache + single-flight.
     pub fn fetch_field_chunk(
         &self,
         member_idx: usize,
         chunk_idx: usize,
     ) -> Result<Vec<f64>, ServeError> {
-        let mut reader = self.reader.lock();
-        Ok(reader.read_field_chunk(member_idx, chunk_idx)?)
+        Ok(self.archive.read_field_chunk(member_idx, chunk_idx)?)
     }
 
-    /// Read a snapshot member `(schema_version, payload)` under the I/O
-    /// lock (snapshot reads are rare: catalog/emulator loading, not the
-    /// per-request path).
+    /// Read a snapshot member `(schema_version, payload)` (snapshot reads
+    /// are rare: catalog/emulator loading, not the per-request path).
     pub fn read_snapshot(&self, member: &str) -> Result<(u32, Vec<u8>), ServeError> {
-        let mut reader = self.reader.lock();
-        Ok(reader.read_snapshot(member)?)
+        Ok(self.archive.read_snapshot(member)?)
     }
 }
 
@@ -130,6 +145,8 @@ pub struct ServedEmulator {
 /// catalog.open_archive_bytes("era5", cursor.into_inner()).unwrap();
 /// assert_eq!(catalog.archives().len(), 1);
 /// assert_eq!(catalog.archive("era5").unwrap().members()[0].name, "t2m");
+/// // In-memory archives serve lock-free.
+/// assert!(catalog.archive("era5").unwrap().is_zero_copy());
 /// ```
 #[derive(Debug, Default)]
 pub struct Catalog {
@@ -143,13 +160,13 @@ impl Catalog {
         Self::default()
     }
 
-    /// Open an archive from any [`ByteSource`] under catalog name `name`.
-    /// The directory is parsed and validated here; chunk payloads are
-    /// fetched lazily per request.
-    pub fn open_archive(
+    /// Open an archive over an explicit [`ChunkSource`] under catalog
+    /// name `name`. The directory is parsed and validated here; chunk
+    /// payloads are fetched lazily per request.
+    pub fn open_archive_source(
         &mut self,
         name: impl Into<String>,
-        source: impl ByteSource + 'static,
+        source: Box<dyn ChunkSource + Send + Sync>,
     ) -> Result<&ServedArchive, ServeError> {
         let name = name.into();
         if self.archives.iter().any(|a| a.name == name) {
@@ -157,36 +174,45 @@ impl Catalog {
                 "archive `{name}` is already open in the catalog"
             )));
         }
-        let boxed: Box<dyn ByteSource> = Box::new(source);
-        let reader = ArchiveReader::new(boxed)?;
-        let members = reader.members().to_vec();
-        let total_len = reader.total_len();
-        self.archives.push(ServedArchive {
-            name,
-            members,
-            total_len,
-            reader: Mutex::new(reader),
-        });
+        let archive = Archive::from_source(source)?;
+        self.archives.push(ServedArchive { name, archive });
         Ok(self.archives.last().expect("just pushed"))
     }
 
-    /// Open an archive file at `path` under catalog name `name`.
+    /// Open an archive from any [`ByteSource`] stream under catalog name
+    /// `name`. Streams cannot hand out stable views, so this archive
+    /// serves through the mutex fallback.
+    pub fn open_archive(
+        &mut self,
+        name: impl Into<String>,
+        source: impl ByteSource + 'static,
+    ) -> Result<&ServedArchive, ServeError> {
+        let locked = LockedReader::new(source).map_err(ServeError::Archive)?;
+        self.open_archive_source(name, Box::new(locked))
+    }
+
+    /// Open an archive file at `path` under catalog name `name`,
+    /// memory-mapping it for lock-free zero-copy fetches when the
+    /// platform supports it and `EXACLIM_MMAP` does not opt out
+    /// ([`exaclim_store::mmap_enabled`]); otherwise the file serves
+    /// through a buffered reader behind a mutex.
     pub fn open_archive_file(
         &mut self,
         name: impl Into<String>,
         path: impl AsRef<std::path::Path>,
     ) -> Result<&ServedArchive, ServeError> {
-        let file = std::fs::File::open(path).map_err(ArchiveError::from)?;
-        self.open_archive(name, std::io::BufReader::new(file))
+        let source = open_file_source(path, mmap_enabled())?;
+        self.open_archive_source(name, source)
     }
 
-    /// Open an in-memory archive under catalog name `name`.
+    /// Open an in-memory archive under catalog name `name` (zero-copy,
+    /// lock-free fetches).
     pub fn open_archive_bytes(
         &mut self,
         name: impl Into<String>,
         bytes: Vec<u8>,
     ) -> Result<&ServedArchive, ServeError> {
-        self.open_archive(name, std::io::Cursor::new(bytes))
+        self.open_archive_source(name, Box::new(SharedBytes::from(bytes)))
     }
 
     /// Register an already-constructed emulator under `name`.
@@ -262,7 +288,7 @@ impl Catalog {
     pub fn field_members(&self) -> Vec<(String, String)> {
         let mut out = Vec::new();
         for a in &self.archives {
-            for m in a.members.iter() {
+            for m in a.members().iter() {
                 if m.kind == MemberKind::Field {
                     out.push((a.name.clone(), m.name.clone()));
                 }
@@ -275,7 +301,7 @@ impl Catalog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use exaclim_store::{ArchiveWriter, ByteCodec, Codec, FieldMeta};
+    use exaclim_store::{ArchiveError, ArchiveReader, ArchiveWriter, ByteCodec, Codec, FieldMeta};
     use std::io::Cursor;
 
     fn tiny_archive() -> Vec<u8> {
@@ -330,10 +356,46 @@ mod tests {
                 r.read_field_chunk(0, chunk).unwrap()
             );
             assert_eq!(
-                a.fetch_chunk_stored(0, chunk).unwrap(),
-                r.read_chunk_stored(0, chunk).unwrap()
+                &a.fetch_chunk_stored(0, chunk).unwrap()[..],
+                &r.read_chunk_stored(0, chunk).unwrap()[..]
             );
         }
+    }
+
+    #[test]
+    fn backend_is_visible_per_open_path() {
+        let bytes = tiny_archive();
+        let mut c = Catalog::new();
+        c.open_archive_bytes("mem", bytes.clone()).unwrap();
+        c.open_archive("stream", Cursor::new(bytes.clone()))
+            .unwrap();
+        assert_eq!(c.archive("mem").unwrap().backend(), "bytes");
+        assert!(c.archive("mem").unwrap().is_zero_copy());
+        assert!(c
+            .archive("mem")
+            .unwrap()
+            .fetch_chunk_stored(0, 0)
+            .unwrap()
+            .is_borrowed());
+        assert_eq!(c.archive("stream").unwrap().backend(), "stream");
+        assert!(!c.archive("stream").unwrap().is_zero_copy());
+
+        let path =
+            std::env::temp_dir().join(format!("exaclim_catalog_file_{}.eca1", std::process::id()));
+        std::fs::write(&path, &bytes).unwrap();
+        c.open_archive_file("file", &path).unwrap();
+        let file = c.archive("file").unwrap();
+        let want = if exaclim_store::MMAP_SUPPORTED && exaclim_store::mmap_enabled() {
+            "mmap"
+        } else {
+            "stream"
+        };
+        assert_eq!(file.backend(), want);
+        assert_eq!(
+            file.fetch_field_chunk(0, 0).unwrap(),
+            c.archive("mem").unwrap().fetch_field_chunk(0, 0).unwrap()
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -14,12 +14,16 @@
 //! designed for:
 //!
 //! * [`catalog`] — the name space of opened archives and registered
-//!   emulators; one parsed directory and one mutex-guarded I/O handle per
-//!   archive (I/O under the lock, decode outside it),
+//!   emulators; each archive is an [`exaclim_store::Archive`] over a
+//!   byte source: memory-mapped files and in-memory buffers serve
+//!   **lock-free zero-copy** chunk fetches, arbitrary streams fall back
+//!   to a mutex inside the source (decode always outside any lock),
 //! * [`cache`] — a sharded LRU of **decoded** chunks keyed by
 //!   `(archive, member, chunk)` with byte-budget eviction; entries are
 //!   immutable `Arc<[f64]>` values, so hits are zero-copy and eviction can
-//!   never tear a response in flight,
+//!   never tear a response in flight; a **single-flight** reservation map
+//!   collapses concurrent cross-batch misses on one chunk into exactly
+//!   one decode,
 //! * [`batch`] — request coalescing: a batch's slice requests are planned
 //!   together and each distinct chunk is fetched and decoded once,
 //! * [`server`] — the request/response front end, dispatching chunk
@@ -73,7 +77,7 @@ pub mod error;
 pub mod server;
 
 pub use batch::{BatchPlan, SliceRequest};
-pub use cache::{CacheStats, ChunkCache, ChunkKey};
+pub use cache::{CacheStats, ChunkCache, ChunkKey, Fetch, Flight, FlightLead};
 pub use catalog::{ByteSource, Catalog, ServedArchive, ServedEmulator};
 pub use error::ServeError;
 pub use server::{

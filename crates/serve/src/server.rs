@@ -7,8 +7,11 @@
 //! 1. **Fetch** — the batch's slice requests are planned
 //!    ([`crate::batch::BatchPlan`]) and the deduplicated set of touched
 //!    chunks is resolved in parallel: cache hit → shared `Arc` of the
-//!    decoded values; miss → stored bytes are read under the archive's
-//!    I/O lock, decoded *outside* the lock, and inserted into the cache.
+//!    decoded values; miss → the single-flight reservation map elects one
+//!    leader per chunk (cross-batch stampedes coalesce onto it), which
+//!    fetches the stored bytes — a lock-free borrowed view on mapped and
+//!    in-memory archives, a mutex-serialized read on stream archives —
+//!    and decodes them on its own worker, outside any lock.
 //! 2. **Answer** — every request is answered in parallel: slice responses
 //!    are assembled from the shared decoded chunks, emulation requests run
 //!    the registered model (its internal data parallelism nests safely —
@@ -21,7 +24,7 @@
 //! caller thread, bit-identically to the concurrent configuration.
 
 use crate::batch::{BatchPlan, SliceRequest};
-use crate::cache::{CacheStats, ChunkCache, ChunkKey};
+use crate::cache::{CacheStats, ChunkCache, ChunkKey, Fetch};
 use crate::catalog::Catalog;
 use crate::error::ServeError;
 use exaclim_climate::Dataset;
@@ -191,6 +194,11 @@ pub struct ServeStats {
     /// Unique chunks actually resolved after coalescing; the difference
     /// to [`ServeStats::chunk_touches`] is work the batcher saved.
     pub chunk_fetches: u64,
+    /// Chunks actually read and decoded from an archive — what remains
+    /// after the cache absorbs hits and the single-flight reservation map
+    /// collapses cross-batch stampedes. Under a hot-chunk stampede this
+    /// counts exactly one decode per distinct chunk.
+    pub chunk_decodes: u64,
     /// Wall-clock nanoseconds spent inside `handle_batch`.
     pub busy_nanos: u64,
 }
@@ -204,6 +212,7 @@ struct StatCells {
     batches: AtomicU64,
     chunk_touches: AtomicU64,
     chunk_fetches: AtomicU64,
+    chunk_decodes: AtomicU64,
     busy_nanos: AtomicU64,
 }
 
@@ -287,6 +296,7 @@ impl Server {
             batches: self.stats.batches.load(Ordering::Relaxed),
             chunk_touches: self.stats.chunk_touches.load(Ordering::Relaxed),
             chunk_fetches: self.stats.chunk_fetches.load(Ordering::Relaxed),
+            chunk_decodes: self.stats.chunk_decodes.load(Ordering::Relaxed),
             busy_nanos: self.stats.busy_nanos.load(Ordering::Relaxed),
         }
     }
@@ -392,20 +402,36 @@ impl Server {
         responses
     }
 
-    /// Resolve one chunk: cache hit, or read-under-lock + decode-outside.
+    /// Resolve one chunk: cache hit, single-flight wait, or lead the
+    /// (exactly one) decode.
     fn resolve_chunk(&self, key: ChunkKey) -> Result<Arc<[f64]>, ServeError> {
-        if let Some(hit) = self.cache.get(key) {
-            return Ok(hit);
+        match self.cache.begin_fetch(key) {
+            Fetch::Ready(values) => Ok(values),
+            // Another worker (possibly in a different batch) is decoding
+            // this very chunk: share its result instead of redecoding.
+            Fetch::Wait(flight) => flight.wait(),
+            Fetch::Lead(lead) => {
+                let result = self.decode_chunk(key);
+                lead.finish(result.clone());
+                result
+            }
         }
+    }
+
+    /// Fetch and decode one chunk from its archive. Over a zero-copy
+    /// backend (mmap, in-memory) the stored bytes are a borrowed view —
+    /// no lock, no copy; over a stream backend the read serializes on the
+    /// source's internal mutex. Decode always runs on this worker,
+    /// outside any lock.
+    fn decode_chunk(&self, key: ChunkKey) -> Result<Arc<[f64]>, ServeError> {
         let archive = &self.catalog.archives()[key.archive as usize];
         let m = &archive.members()[key.member as usize];
         let codec = Codec::from_id(m.codec)?;
         let entry = m.chunks[key.chunk as usize];
-        // I/O + CRC under the archive lock, decode on this worker.
         let stored = archive.fetch_chunk_stored(key.member as usize, key.chunk as usize)?;
         let n_values = entry.t_len as usize * m.values_per_slice as usize;
         let values: Arc<[f64]> = codec.decode(&stored, n_values)?.into();
-        self.cache.insert(key, Arc::clone(&values));
+        self.stats.chunk_decodes.fetch_add(1, Ordering::Relaxed);
         Ok(values)
     }
 

@@ -134,40 +134,62 @@ impl Codec {
     }
 
     /// Decode a chunk back to `n_values` values.
+    ///
+    /// Shuffle codecs decode straight from the RLE-expanded **planar**
+    /// layout into the output vector: byte plane `k` of value `i` lives at
+    /// `planar[k * n + i]`, so values are gathered plane-wise without ever
+    /// materializing the unshuffled byte stream. One intermediate buffer
+    /// (the RLE expansion) instead of the previous three-stage
+    /// `rle_decode → unshuffle → copy` chain — this is the hot path of
+    /// every cold chunk fetch in the serving layer.
     pub fn decode(self, bytes: &[u8], n_values: usize) -> Result<Vec<f64>, ArchiveError> {
         let width = self.value_width();
-        let fixed;
-        let flat: &[u8] = match self {
-            Codec::Raw64 | Codec::F32 | Codec::F16 => bytes,
-            Codec::F32Shuffle | Codec::F16Shuffle => {
-                let planar = rle_decode(bytes, n_values * width)?;
-                fixed = unshuffle(&planar, width);
-                &fixed
-            }
-        };
-        if flat.len() != n_values * width {
-            return Err(ArchiveError::Corrupt(format!(
-                "chunk payload is {} bytes, expected {} ({} values × {width})",
-                flat.len(),
-                n_values * width,
-                n_values
-            )));
-        }
+        let expected = n_values
+            .checked_mul(width)
+            .ok_or_else(|| ArchiveError::Corrupt("chunk size overflows".to_string()))?;
         let mut out = Vec::with_capacity(n_values);
         match self {
-            Codec::Raw64 => {
-                for c in flat.chunks_exact(8) {
-                    out.push(f64::from_le_bytes(c.try_into().unwrap()));
+            Codec::Raw64 | Codec::F32 | Codec::F16 => {
+                if bytes.len() != expected {
+                    return Err(ArchiveError::Corrupt(format!(
+                        "chunk payload is {} bytes, expected {expected} ({n_values} values × {width})",
+                        bytes.len()
+                    )));
+                }
+                match self {
+                    Codec::Raw64 => {
+                        for c in bytes.chunks_exact(8) {
+                            out.push(f64::from_le_bytes(c.try_into().unwrap()));
+                        }
+                    }
+                    Codec::F32 => {
+                        for c in bytes.chunks_exact(4) {
+                            out.push(f32::from_le_bytes(c.try_into().unwrap()) as f64);
+                        }
+                    }
+                    _ => {
+                        for c in bytes.chunks_exact(2) {
+                            out.push(Half(u16::from_le_bytes(c.try_into().unwrap())).to_f64());
+                        }
+                    }
                 }
             }
-            Codec::F32 | Codec::F32Shuffle => {
-                for c in flat.chunks_exact(4) {
-                    out.push(f32::from_le_bytes(c.try_into().unwrap()) as f64);
+            Codec::F32Shuffle => {
+                let planar = rle_decode(bytes, expected)?;
+                let n = n_values;
+                let (p0, rest) = planar.split_at(n);
+                let (p1, rest) = rest.split_at(n);
+                let (p2, p3) = rest.split_at(n);
+                for i in 0..n {
+                    let raw = u32::from_le_bytes([p0[i], p1[i], p2[i], p3[i]]);
+                    out.push(f32::from_bits(raw) as f64);
                 }
             }
-            Codec::F16 | Codec::F16Shuffle => {
-                for c in flat.chunks_exact(2) {
-                    out.push(Half(u16::from_le_bytes(c.try_into().unwrap())).to_f64());
+            Codec::F16Shuffle => {
+                let planar = rle_decode(bytes, expected)?;
+                let (p0, p1) = planar.split_at(n_values);
+                for i in 0..n_values {
+                    out.push(Half(u16::from_le_bytes([p0[i], p1[i]])).to_f64());
                 }
             }
         }
@@ -213,6 +235,21 @@ impl ByteCodec {
 
     /// Decode a blob chunk of known decoded size.
     pub fn decode(self, bytes: &[u8], raw_len: usize) -> Result<Vec<u8>, ArchiveError> {
+        let mut out = Vec::with_capacity(raw_len);
+        self.decode_into(bytes, raw_len, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decode a blob chunk, **appending** its `raw_len` decoded bytes to
+    /// `out` — the multi-chunk snapshot read path concatenates chunks
+    /// directly into its result buffer instead of decoding each chunk to
+    /// a temporary and copying it over.
+    pub fn decode_into(
+        self,
+        bytes: &[u8],
+        raw_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), ArchiveError> {
         match self {
             ByteCodec::Raw => {
                 if bytes.len() != raw_len {
@@ -221,9 +258,10 @@ impl ByteCodec {
                         bytes.len()
                     )));
                 }
-                Ok(bytes.to_vec())
+                out.extend_from_slice(bytes);
+                Ok(())
             }
-            ByteCodec::Rle => rle_decode(bytes, raw_len),
+            ByteCodec::Rle => rle_decode_into(bytes, raw_len, out),
         }
     }
 }
@@ -239,19 +277,6 @@ fn shuffle(data: &[u8], width: usize) -> Vec<u8> {
     for (i, v) in data.chunks_exact(width).enumerate() {
         for (k, &b) in v.iter().enumerate() {
             out[k * n + i] = b;
-        }
-    }
-    out
-}
-
-/// Inverse of [`shuffle`].
-fn unshuffle(data: &[u8], width: usize) -> Vec<u8> {
-    debug_assert_eq!(data.len() % width, 0);
-    let n = data.len() / width;
-    let mut out = vec![0u8; data.len()];
-    for i in 0..n {
-        for k in 0..width {
-            out[i * width + k] = data[k * n + i];
         }
     }
     out
@@ -333,11 +358,37 @@ pub fn rle_encode(data: &[u8]) -> Vec<u8> {
 /// Inverse of [`rle_encode`]; `raw_len` is the expected decoded size.
 pub fn rle_decode(data: &[u8], raw_len: usize) -> Result<Vec<u8>, ArchiveError> {
     let mut out = Vec::with_capacity(raw_len);
+    rle_decode_into(data, raw_len, &mut out)?;
+    Ok(out)
+}
+
+/// [`rle_decode`] **appending** to an existing buffer: decodes exactly
+/// `raw_len` bytes onto the end of `out`, so multi-chunk payloads can be
+/// concatenated without a temporary per chunk. On error `out` is
+/// truncated back to its original length.
+pub fn rle_decode_into(data: &[u8], raw_len: usize, out: &mut Vec<u8>) -> Result<(), ArchiveError> {
+    let base = out.len();
+    let result = rle_decode_append(data, raw_len, out, base);
+    if result.is_err() {
+        out.truncate(base);
+    }
+    result
+}
+
+/// Body of [`rle_decode_into`]; may leave a partial append behind on
+/// error (the wrapper truncates).
+fn rle_decode_append(
+    data: &[u8],
+    raw_len: usize,
+    out: &mut Vec<u8>,
+    base: usize,
+) -> Result<(), ArchiveError> {
+    out.reserve(raw_len);
     let mut pos = 0;
     while pos < data.len() {
         let v = get_varint(data, &mut pos)?;
         let count = (v >> 1) as usize;
-        if out.len() + count > raw_len {
+        if out.len() - base + count > raw_len {
             return Err(ArchiveError::Corrupt(format!(
                 "RLE stream decodes past expected size {raw_len}"
             )));
@@ -356,13 +407,13 @@ pub fn rle_decode(data: &[u8], raw_len: usize) -> Result<Vec<u8>, ArchiveError> 
             out.extend_from_slice(lit);
         }
     }
-    if out.len() != raw_len {
+    if out.len() - base != raw_len {
         return Err(ArchiveError::Corrupt(format!(
             "RLE stream decodes to {} bytes, expected {raw_len}",
-            out.len()
+            out.len() - base
         )));
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -445,6 +496,58 @@ mod tests {
             rle_decode(&[0x80], 1),
             Err(ArchiveError::Corrupt(_))
         ));
+    }
+
+    /// Reference inverse of [`shuffle`], kept only to pin the plane-gather
+    /// decode to the original two-pass definition.
+    fn unshuffle(data: &[u8], width: usize) -> Vec<u8> {
+        let n = data.len() / width;
+        let mut out = vec![0u8; data.len()];
+        for i in 0..n {
+            for k in 0..width {
+                out[i * width + k] = data[k * n + i];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn plane_gather_decode_matches_unshuffle_reference() {
+        let xs = wavy(777);
+        for codec in [Codec::F32Shuffle, Codec::F16Shuffle] {
+            let width = codec.value_width();
+            let enc = codec.encode(&xs);
+            let got = codec.decode(&enc, xs.len()).unwrap();
+            // Reference path: RLE-expand, unshuffle, then read values.
+            let flat = unshuffle(&rle_decode(&enc, xs.len() * width).unwrap(), width);
+            let want: Vec<f64> = match codec {
+                Codec::F32Shuffle => flat
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().unwrap()) as f64)
+                    .collect(),
+                _ => flat
+                    .chunks_exact(2)
+                    .map(|c| Half(u16::from_le_bytes(c.try_into().unwrap())).to_f64())
+                    .collect(),
+            };
+            assert_eq!(got, want, "{}", codec.label());
+        }
+    }
+
+    #[test]
+    fn decode_into_appends_and_restores_on_error() {
+        let blob = b"snapshot payload with runs:    aaaaaaa".to_vec();
+        for bc in [ByteCodec::Raw, ByteCodec::Rle] {
+            let enc = bc.encode(&blob);
+            let mut out = b"prefix".to_vec();
+            bc.decode_into(&enc, blob.len(), &mut out).unwrap();
+            assert_eq!(&out[..6], b"prefix");
+            assert_eq!(&out[6..], &blob[..]);
+            // Wrong expected size: error, buffer back to the prefix.
+            let mut out = b"prefix".to_vec();
+            assert!(bc.decode_into(&enc, blob.len() + 1, &mut out).is_err());
+            assert_eq!(out, b"prefix");
+        }
     }
 
     #[test]

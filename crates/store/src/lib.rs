@@ -65,24 +65,40 @@
 //!
 //! Modules:
 //!
-//! * [`mod@format`] — magic/version constants, error type, CRC32,
+//! * [`mod@format`] — magic/version constants, error type, CRC32
+//!   (slice-by-8),
 //! * [`chunk`] — directory model and its binary encoding,
 //! * [`codec`] — payload codecs (`Raw64`, `F32`, `F16`, shuffled+RLE),
-//! * [`writer`] / [`reader`] — streaming append and random-access read,
+//! * [`writer`] / [`reader`] — streaming append and exclusive-handle
+//!   random-access read,
+//! * [`mod@source`] / [`mod@mmap`] — byte-source backends: zero-copy
+//!   in-memory and memory-mapped sources, and the mutex-guarded stream
+//!   fallback,
+//! * [`mod@archive`] — shared `&self` reads over any source (the serving
+//!   layer's concurrent fast path),
 //! * [`snapshot`] — versioned save/load of opaque snapshot blobs.
 
 #![warn(missing_docs)]
 
+pub mod archive;
 pub mod chunk;
 pub mod codec;
 pub mod format;
+pub mod mmap;
 pub mod reader;
 pub mod snapshot;
+pub mod source;
 pub mod writer;
 
+pub use archive::{Archive, DynSource};
 pub use chunk::{ChunkEntry, FieldMeta, MemberEntry};
 pub use codec::{ByteCodec, Codec};
 pub use format::{ArchiveError, MemberKind};
+pub use mmap::{mmap_enabled, open_file_source, MMAP_SUPPORTED};
 pub use reader::ArchiveReader;
 pub use snapshot::{read_snapshot_file, write_snapshot_file, Snapshot};
+pub use source::{ChunkSource, LockedReader, SharedBytes, SourceBytes};
 pub use writer::ArchiveWriter;
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+pub use mmap::Mmap;

@@ -1,111 +1,34 @@
-//! Random-access archive reader.
+//! Random-access archive reader (exclusive-handle API).
 //!
-//! Opening an archive reads only the 32-byte header and the directory;
-//! payload chunks are fetched (and checksum-verified) on demand, so a
-//! `(member, time-range)` slice touches exactly the chunks that overlap
-//! the range — never the whole file.
+//! [`ArchiveReader`] is the original `&mut self` reader over any
+//! `Read + Seek` source: opening an archive reads only the 32-byte header
+//! and the directory; payload chunks are fetched (and checksum-verified)
+//! on demand, so a `(member, time-range)` slice touches exactly the chunks
+//! that overlap the range — never the whole file.
+//!
+//! Since the [`crate::source::ChunkSource`] refactor it is a thin wrapper
+//! over [`Archive`]`<`[`LockedReader`]`<R>>`: the same parse, validation,
+//! and decode paths as the shared reader, with the mutex always
+//! uncontended because this type's `&mut self` methods guarantee a single
+//! caller. Use [`Archive`] directly for concurrent or zero-copy access.
 
-use crate::chunk::MemberEntry;
-use crate::codec::{ByteCodec, Codec};
-use crate::format::{
-    crc32, ArchiveError, MemberKind, HEADER_LEN, MAGIC, MAX_CHUNK_RAW_LEN, VERSION,
-};
-use bytes::{Buf, Bytes};
-use std::io::{Read, Seek, SeekFrom};
+use crate::archive::Archive;
+use crate::format::ArchiveError;
+use crate::source::LockedReader;
+use crate::MemberEntry;
+use std::io::{Read, Seek};
 use std::ops::Range;
-
-/// Structural validation of an untrusted directory, before anything is
-/// allocated from its fields: every chunk must lie inside the payload
-/// region, decode to a bounded size consistent with its member's
-/// geometry, and the chunks of each member must tile `[0, t_max)`
-/// contiguously. After this check, read paths may trust member/chunk
-/// arithmetic.
-fn validate_members(members: &[MemberEntry], dir_offset: u64) -> Result<(), ArchiveError> {
-    for m in members {
-        let corrupt = |what: String| ArchiveError::Corrupt(format!("member `{}`: {what}", m.name));
-        match m.kind {
-            MemberKind::Field => {
-                let codec = Codec::from_id(m.codec)?;
-                if m.t_max > 0 && m.values_per_slice == 0 {
-                    return Err(corrupt("zero values per slice".to_string()));
-                }
-                let width = codec.value_width() as u64;
-                let mut next_t0 = 0u64;
-                for (i, c) in m.chunks.iter().enumerate() {
-                    if c.t0 != next_t0 {
-                        return Err(corrupt(format!(
-                            "chunk {i} starts at step {} (expected {next_t0})",
-                            c.t0
-                        )));
-                    }
-                    let expect_raw = u64::from(c.t_len)
-                        .checked_mul(m.values_per_slice)
-                        .and_then(|v| v.checked_mul(width));
-                    if expect_raw != Some(c.raw_len) {
-                        return Err(corrupt(format!(
-                            "chunk {i} records raw_len {} for {} slices",
-                            c.raw_len, c.t_len
-                        )));
-                    }
-                    next_t0 += u64::from(c.t_len);
-                }
-                if next_t0 != m.t_max {
-                    return Err(corrupt(format!(
-                        "chunks cover {next_t0} steps, directory records {}",
-                        m.t_max
-                    )));
-                }
-            }
-            MemberKind::Snapshot => {
-                ByteCodec::from_id(m.codec)?;
-                let mut next_t0 = 0u64;
-                for (i, c) in m.chunks.iter().enumerate() {
-                    if c.t0 != next_t0 || c.raw_len != u64::from(c.t_len) {
-                        return Err(corrupt(format!("chunk {i} is not a contiguous byte run")));
-                    }
-                    next_t0 += u64::from(c.t_len);
-                }
-                if next_t0 != m.t_max {
-                    return Err(corrupt(format!(
-                        "chunks cover {next_t0} bytes, directory records {}",
-                        m.t_max
-                    )));
-                }
-            }
-        }
-        for (i, c) in m.chunks.iter().enumerate() {
-            let end = c.offset.checked_add(c.stored_len);
-            if c.offset < HEADER_LEN || end.is_none() || end.unwrap() > dir_offset {
-                return Err(ArchiveError::TruncatedChunk {
-                    member: m.name.clone(),
-                    chunk: i,
-                });
-            }
-            if c.raw_len > MAX_CHUNK_RAW_LEN {
-                return Err(ArchiveError::Corrupt(format!(
-                    "member `{}`: chunk {i} claims {} decoded bytes (limit {})",
-                    m.name, c.raw_len, MAX_CHUNK_RAW_LEN
-                )));
-            }
-        }
-    }
-    Ok(())
-}
 
 /// ECA1 reader over any `Read + Seek` source.
 pub struct ArchiveReader<R: Read + Seek> {
-    source: R,
-    members: Vec<MemberEntry>,
-    /// Container length recorded by the directory (header + payload +
-    /// directory + CRC).
-    total_len: u64,
+    inner: Archive<LockedReader<R>>,
 }
 
 impl<R: Read + Seek> std::fmt::Debug for ArchiveReader<R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ArchiveReader")
-            .field("members", &self.members.len())
-            .field("total_len", &self.total_len)
+            .field("members", &self.members().len())
+            .field("total_len", &self.total_len())
             .finish()
     }
 }
@@ -120,188 +43,50 @@ impl ArchiveReader<std::io::BufReader<std::fs::File>> {
 
 impl<R: Read + Seek> ArchiveReader<R> {
     /// Validate the header, load and verify the directory.
-    pub fn new(mut source: R) -> Result<Self, ArchiveError> {
-        let stream_len = source.seek(SeekFrom::End(0))?;
-        if stream_len < HEADER_LEN {
-            return Err(ArchiveError::Corrupt(format!(
-                "stream is {stream_len} bytes, shorter than the {HEADER_LEN}-byte header"
-            )));
-        }
-        source.seek(SeekFrom::Start(0))?;
-        let mut header_buf = [0u8; HEADER_LEN as usize];
-        source.read_exact(&mut header_buf)?;
-        let mut header: &[u8] = &header_buf;
-        let mut magic = [0u8; 4];
-        header.copy_to_slice(&mut magic);
-        if magic != MAGIC {
-            return Err(ArchiveError::BadMagic);
-        }
-        let version = header.get_u16_le();
-        if version != VERSION {
-            return Err(ArchiveError::BadVersion(version));
-        }
-        let _flags = header.get_u16_le();
-        let dir_offset = header.get_u64_le();
-        let dir_len = header.get_u64_le();
-        let total = dir_offset
-            .checked_add(dir_len)
-            .and_then(|v| v.checked_add(4))
-            .filter(|_| dir_offset >= HEADER_LEN);
-        let Some(total_len) = total else {
-            return Err(ArchiveError::Corrupt(
-                "directory offset/length out of range (unfinished archive?)".to_string(),
-            ));
-        };
-        if stream_len < total_len {
-            return Err(ArchiveError::Corrupt(format!(
-                "stream is {stream_len} bytes but the directory needs {total_len}"
-            )));
-        }
-        if stream_len > total_len {
-            return Err(ArchiveError::TrailingBytes {
-                expected: total_len,
-                actual: stream_len,
-            });
-        }
-        source.seek(SeekFrom::Start(dir_offset))?;
-        let mut dir = vec![0u8; dir_len as usize + 4];
-        source.read_exact(&mut dir)?;
-        let crc_stored = u32::from_le_bytes(dir[dir_len as usize..].try_into().unwrap());
-        dir.truncate(dir_len as usize);
-        if crc32(&dir) != crc_stored {
-            return Err(ArchiveError::Corrupt(
-                "directory checksum mismatch".to_string(),
-            ));
-        }
-        let members = crate::chunk::decode_directory(Bytes::from(dir))?;
-        validate_members(&members, dir_offset)?;
+    pub fn new(source: R) -> Result<Self, ArchiveError> {
         Ok(Self {
-            source,
-            members,
-            total_len,
+            inner: Archive::from_source(LockedReader::new(source)?)?,
         })
     }
 
     /// All members, in write order.
     pub fn members(&self) -> &[MemberEntry] {
-        &self.members
+        self.inner.members()
     }
 
     /// Total container length in bytes.
     pub fn total_len(&self) -> u64 {
-        self.total_len
+        self.inner.total_len()
     }
 
     /// Look up a member by name.
     pub fn member(&self, name: &str) -> Result<&MemberEntry, ArchiveError> {
-        self.members
-            .iter()
-            .find(|m| m.name == name)
-            .ok_or_else(|| ArchiveError::MemberNotFound(name.to_string()))
-    }
-
-    /// Bounds-check a `(member, chunk)` index pair from an external caller.
-    fn check_chunk_indices(&self, member_idx: usize, chunk_idx: usize) -> Result<(), ArchiveError> {
-        let Some(m) = self.members.get(member_idx) else {
-            return Err(ArchiveError::BadRequest(format!(
-                "member index {member_idx} out of range ({} members)",
-                self.members.len()
-            )));
-        };
-        if chunk_idx >= m.chunks.len() {
-            return Err(ArchiveError::BadRequest(format!(
-                "chunk index {chunk_idx} out of range for member `{}` ({} chunks)",
-                m.name,
-                m.chunks.len()
-            )));
-        }
-        Ok(())
+        self.inner.member(name)
     }
 
     /// Read and checksum-verify the **stored** (possibly compressed) bytes
-    /// of one chunk, without decoding them.
-    ///
-    /// This is the raw-fetch primitive a serving layer builds on: the seek
-    /// and read happen here (typically under whatever lock serializes the
-    /// underlying source), while the CPU-heavy decode can run elsewhere via
-    /// [`crate::Codec::decode`]. Indices are bounds-checked; the CRC32 of
-    /// the stored bytes is verified before they are returned, so a caller
-    /// can never observe torn or corrupted payloads.
+    /// of one chunk, without decoding them. Indices are bounds-checked;
+    /// the CRC32 of the stored bytes is verified before they are returned,
+    /// so a caller can never observe torn or corrupted payloads.
     pub fn read_chunk_stored(
         &mut self,
         member_idx: usize,
         chunk_idx: usize,
     ) -> Result<Vec<u8>, ArchiveError> {
-        self.check_chunk_indices(member_idx, chunk_idx)?;
-        self.read_chunk_stored_unchecked(member_idx, chunk_idx)
-    }
-
-    /// [`ArchiveReader::read_chunk_stored`] for indices already known to be
-    /// in range (internal read paths iterate validated directories).
-    fn read_chunk_stored_unchecked(
-        &mut self,
-        member_idx: usize,
-        chunk_idx: usize,
-    ) -> Result<Vec<u8>, ArchiveError> {
-        let m = &self.members[member_idx];
-        let c = m.chunks[chunk_idx];
-        let name = m.name.clone();
-        self.source.seek(SeekFrom::Start(c.offset))?;
-        let mut stored = vec![0u8; c.stored_len as usize];
-        self.source
-            .read_exact(&mut stored)
-            .map_err(|_| ArchiveError::TruncatedChunk {
-                member: name.clone(),
-                chunk: chunk_idx,
-            })?;
-        if crc32(&stored) != c.crc32 {
-            return Err(ArchiveError::ChecksumMismatch {
-                member: name,
-                chunk: chunk_idx,
-            });
-        }
-        Ok(stored)
+        Ok(self
+            .inner
+            .read_chunk_stored(member_idx, chunk_idx)?
+            .into_vec())
     }
 
     /// Read, checksum-verify, and decode **all** values of one field chunk
     /// (`chunks[chunk_idx].t_len × values_per_slice` values, time-major).
-    ///
-    /// This is the unit a chunk cache stores: whole decoded chunks keyed by
-    /// `(member, chunk)`, from which any overlapping time-range slice can
-    /// be assembled without touching the source again.
     pub fn read_field_chunk(
         &mut self,
         member_idx: usize,
         chunk_idx: usize,
     ) -> Result<Vec<f64>, ArchiveError> {
-        self.check_chunk_indices(member_idx, chunk_idx)?;
-        self.decode_field_chunk(member_idx, chunk_idx)
-    }
-
-    /// Decode all values of one field chunk (indices already validated).
-    fn decode_field_chunk(
-        &mut self,
-        member_idx: usize,
-        chunk_idx: usize,
-    ) -> Result<Vec<f64>, ArchiveError> {
-        let m = &self.members[member_idx];
-        if m.kind != MemberKind::Field {
-            return Err(ArchiveError::BadRequest(format!(
-                "member `{}` is not a field",
-                m.name
-            )));
-        }
-        let codec = Codec::from_id(m.codec)?;
-        let c = m.chunks[chunk_idx];
-        let n_values = c.t_len as usize * m.values_per_slice as usize;
-        if c.raw_len != (n_values * codec.value_width()) as u64 {
-            return Err(ArchiveError::Corrupt(format!(
-                "chunk {chunk_idx} of `{}` records raw_len {} for {n_values} values",
-                m.name, c.raw_len
-            )));
-        }
-        let stored = self.read_chunk_stored(member_idx, chunk_idx)?;
-        codec.decode(&stored, n_values)
+        self.inner.read_field_chunk(member_idx, chunk_idx)
     }
 
     /// Read time slices `range` of a field member, without touching
@@ -312,99 +97,32 @@ impl<R: Read + Seek> ArchiveReader<R> {
         name: &str,
         range: Range<u64>,
     ) -> Result<Vec<f64>, ArchiveError> {
-        let member_idx = self
-            .members
-            .iter()
-            .position(|m| m.name == name)
-            .ok_or_else(|| ArchiveError::MemberNotFound(name.to_string()))?;
-        let m = &self.members[member_idx];
-        if m.kind != MemberKind::Field {
-            return Err(ArchiveError::BadRequest(format!(
-                "member `{name}` is not a field"
-            )));
-        }
-        if range.start > range.end || range.end > m.t_max {
-            return Err(ArchiveError::BadRequest(format!(
-                "slice range {}..{} out of bounds for {} time steps",
-                range.start, range.end, m.t_max
-            )));
-        }
-        let vps = m.values_per_slice as usize;
-        // Chunks tile the member contiguously (validated at open), so the
-        // overlapping chunks arrive in time order and concatenating their
-        // in-range parts assembles the slice. Growing the buffer from
-        // decoded data (rather than pre-allocating from directory fields)
-        // bounds memory by what the payload actually decodes to.
-        let mut out: Vec<f64> = Vec::new();
-        for chunk_idx in m.chunks_for_range(range.start, range.end) {
-            let c = self.members[member_idx].chunks[chunk_idx];
-            let values = self.decode_field_chunk(member_idx, chunk_idx)?;
-            let lo = range.start.max(c.t0);
-            let hi = range.end.min(c.t0 + u64::from(c.t_len));
-            let a = (lo - c.t0) as usize * vps;
-            let b = (hi - c.t0) as usize * vps;
-            out.extend_from_slice(&values[a..b]);
-        }
-        debug_assert_eq!(out.len(), (range.end - range.start) as usize * vps);
-        Ok(out)
+        self.inner.read_field_slices(name, range)
     }
 
     /// Read every time slice of a field member.
     pub fn read_field_all(&mut self, name: &str) -> Result<Vec<f64>, ArchiveError> {
-        let t_max = self.member(name)?.t_max;
-        self.read_field_slices(name, 0..t_max)
+        self.inner.read_field_all(name)
     }
 
     /// Read a snapshot blob, returning `(schema_version, payload)`.
     pub fn read_snapshot(&mut self, name: &str) -> Result<(u32, Vec<u8>), ArchiveError> {
-        let member_idx = self
-            .members
-            .iter()
-            .position(|m| m.name == name)
-            .ok_or_else(|| ArchiveError::MemberNotFound(name.to_string()))?;
-        let m = &self.members[member_idx];
-        if m.kind != MemberKind::Snapshot {
-            return Err(ArchiveError::BadRequest(format!(
-                "member `{name}` is not a snapshot"
-            )));
-        }
-        let codec = ByteCodec::from_id(m.codec)?;
-        let version = m.snapshot_version;
-        let total = m.t_max as usize;
-        let chunk_count = m.chunks.len();
-        // Grow from decoded chunks; `total` comes from the directory and
-        // is only trusted as a final consistency check.
-        let mut out = Vec::new();
-        for chunk_idx in 0..chunk_count {
-            let c = self.members[member_idx].chunks[chunk_idx];
-            let stored = self.read_chunk_stored(member_idx, chunk_idx)?;
-            let part = codec.decode(&stored, c.raw_len as usize)?;
-            out.extend_from_slice(&part);
-        }
-        if out.len() != total {
-            return Err(ArchiveError::Corrupt(format!(
-                "snapshot `{name}` decodes to {} bytes, directory records {total}",
-                out.len()
-            )));
-        }
-        Ok((version, out))
+        self.inner.read_snapshot(name)
     }
 
     /// Verify every chunk checksum in the archive.
     pub fn verify(&mut self) -> Result<(), ArchiveError> {
-        for member_idx in 0..self.members.len() {
-            for chunk_idx in 0..self.members[member_idx].chunks.len() {
-                self.read_chunk_stored(member_idx, chunk_idx)?;
-            }
-        }
-        Ok(())
+        self.inner.verify()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::archive::validate_members;
     use crate::chunk::FieldMeta;
+    use crate::codec::{ByteCodec, Codec};
+    use crate::format::MemberKind;
     use crate::writer::ArchiveWriter;
     use std::io::Cursor;
 

@@ -1,0 +1,255 @@
+//! Byte sources an archive can be read from.
+//!
+//! [`crate::Archive`] is generic over a [`ChunkSource`]: anything that can
+//! hand out the bytes at `offset .. offset + len` of a finished container.
+//! The trait deliberately takes `&self` — a source that can serve stable
+//! views of its bytes (a memory map, an in-memory buffer) serves
+//! **concurrent readers with no locking and no copying**, returning
+//! [`SourceBytes::Borrowed`] slices; a source that owns a seekable stream
+//! wraps it in [`LockedReader`], whose internal mutex restores the
+//! exclusive seek+read discipline and returns [`SourceBytes::Owned`]
+//! buffers.
+//!
+//! Backends shipped here:
+//!
+//! * [`SharedBytes`] — an immutable in-memory container (zero-copy,
+//!   lock-free),
+//! * [`LockedReader`] — any `Read + Seek` stream behind a mutex (the
+//!   portable fallback),
+//! * [`crate::mmap::Mmap`] — a memory-mapped file (zero-copy, lock-free;
+//!   unix only, see [`crate::mmap`]).
+
+use crate::format::ArchiveError;
+use parking_lot::Mutex;
+use std::io::{Read, Seek, SeekFrom};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Bytes handed out by a [`ChunkSource`]: a borrowed view into the
+/// source's stable storage (zero-copy), or an owned buffer read out of a
+/// stream. Both deref to `&[u8]`; callers that need ownership use
+/// [`SourceBytes::into_vec`], which is free for the owned case.
+#[derive(Debug)]
+pub enum SourceBytes<'a> {
+    /// A view into storage owned by the source (mmap, in-memory bytes).
+    /// Valid for as long as the source is borrowed — the compiler ties the
+    /// lifetime to the archive, so a view can never outlive an unmap.
+    Borrowed(&'a [u8]),
+    /// A buffer copied out of a streamed source.
+    Owned(Vec<u8>),
+}
+
+impl SourceBytes<'_> {
+    /// The bytes, as an owned vector (copies only in the borrowed case).
+    pub fn into_vec(self) -> Vec<u8> {
+        match self {
+            SourceBytes::Borrowed(s) => s.to_vec(),
+            SourceBytes::Owned(v) => v,
+        }
+    }
+
+    /// True when this is a borrowed (zero-copy) view.
+    pub fn is_borrowed(&self) -> bool {
+        matches!(self, SourceBytes::Borrowed(_))
+    }
+}
+
+impl Deref for SourceBytes<'_> {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        match self {
+            SourceBytes::Borrowed(s) => s,
+            SourceBytes::Owned(v) => v,
+        }
+    }
+}
+
+impl AsRef<[u8]> for SourceBytes<'_> {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+/// A finished container's bytes, addressable by `(offset, len)`.
+///
+/// Implementations must serve overlapping `read_at` calls from `&self`;
+/// whether that is lock-free (stable storage) or serialized (an internal
+/// mutex around a seekable stream) is the implementation's choice, visible
+/// through [`ChunkSource::is_zero_copy`].
+pub trait ChunkSource {
+    /// Total length of the container in bytes.
+    fn len(&self) -> u64;
+
+    /// True when the container is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The bytes at `offset .. offset + len`. Must fail (not truncate) if
+    /// the range leaves the container.
+    fn read_at(&self, offset: u64, len: usize) -> Result<SourceBytes<'_>, ArchiveError>;
+
+    /// True when `read_at` returns borrowed views without locking — the
+    /// property the serving layer keys its lock-free fast path on.
+    fn is_zero_copy(&self) -> bool {
+        false
+    }
+
+    /// Short backend label for diagnostics ("mmap", "bytes", "stream").
+    fn backend(&self) -> &'static str;
+}
+
+impl<T: ChunkSource + ?Sized> ChunkSource for Box<T> {
+    fn len(&self) -> u64 {
+        (**self).len()
+    }
+    fn read_at(&self, offset: u64, len: usize) -> Result<SourceBytes<'_>, ArchiveError> {
+        (**self).read_at(offset, len)
+    }
+    fn is_zero_copy(&self) -> bool {
+        (**self).is_zero_copy()
+    }
+    fn backend(&self) -> &'static str {
+        (**self).backend()
+    }
+}
+
+/// Checked `offset .. offset + len` range over a container of `total`
+/// bytes, shared by the slice-backed sources.
+pub(crate) fn checked_range(
+    offset: u64,
+    len: usize,
+    total: u64,
+) -> Result<std::ops::Range<usize>, ArchiveError> {
+    let end = offset.checked_add(len as u64).filter(|&e| e <= total);
+    match end {
+        Some(end) => Ok(offset as usize..end as usize),
+        None => Err(ArchiveError::Corrupt(format!(
+            "read of {len} bytes at offset {offset} leaves the {total}-byte container"
+        ))),
+    }
+}
+
+/// An immutable in-memory container. Reads are borrowed views into the
+/// shared buffer: zero-copy and lock-free, with no platform requirements —
+/// the in-memory analogue of a memory map.
+#[derive(Debug, Clone)]
+pub struct SharedBytes(Arc<[u8]>);
+
+impl SharedBytes {
+    /// Wrap a finished container.
+    pub fn new(bytes: impl Into<Arc<[u8]>>) -> Self {
+        Self(bytes.into())
+    }
+}
+
+impl From<Vec<u8>> for SharedBytes {
+    fn from(bytes: Vec<u8>) -> Self {
+        Self(bytes.into())
+    }
+}
+
+impl ChunkSource for SharedBytes {
+    fn len(&self) -> u64 {
+        self.0.len() as u64
+    }
+    fn read_at(&self, offset: u64, len: usize) -> Result<SourceBytes<'_>, ArchiveError> {
+        let range = checked_range(offset, len, self.len())?;
+        Ok(SourceBytes::Borrowed(&self.0[range]))
+    }
+    fn is_zero_copy(&self) -> bool {
+        true
+    }
+    fn backend(&self) -> &'static str {
+        "bytes"
+    }
+}
+
+/// The portable fallback: any `Read + Seek` stream behind a mutex.
+///
+/// Every `read_at` locks, seeks, and copies into a fresh buffer — exactly
+/// the discipline the pre-mmap serving layer applied, now encapsulated in
+/// the source so the archive above it can stay `&self`. Concurrent readers
+/// of a `LockedReader` archive serialize on this mutex; readers of
+/// zero-copy sources never touch one.
+pub struct LockedReader<R> {
+    stream: Mutex<R>,
+    len: u64,
+}
+
+impl<R> std::fmt::Debug for LockedReader<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockedReader")
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl<R: Read + Seek> LockedReader<R> {
+    /// Wrap a stream, measuring its length once.
+    pub fn new(mut stream: R) -> Result<Self, ArchiveError> {
+        let len = stream.seek(SeekFrom::End(0))?;
+        Ok(Self {
+            stream: Mutex::new(stream),
+            len,
+        })
+    }
+}
+
+impl<R: Read + Seek> ChunkSource for LockedReader<R> {
+    fn len(&self) -> u64 {
+        self.len
+    }
+    fn read_at(&self, offset: u64, len: usize) -> Result<SourceBytes<'_>, ArchiveError> {
+        checked_range(offset, len, self.len)?;
+        let mut stream = self.stream.lock();
+        stream.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        stream.read_exact(&mut buf)?;
+        Ok(SourceBytes::Owned(buf))
+    }
+    fn backend(&self) -> &'static str {
+        "stream"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn shared_bytes_are_borrowed_and_bounds_checked() {
+        let src = SharedBytes::from(vec![1u8, 2, 3, 4, 5]);
+        assert_eq!(src.len(), 5);
+        assert!(src.is_zero_copy());
+        let view = src.read_at(1, 3).unwrap();
+        assert!(view.is_borrowed());
+        assert_eq!(&view[..], &[2, 3, 4]);
+        assert!(src.read_at(3, 3).is_err());
+        assert!(src.read_at(u64::MAX, 2).is_err());
+        // Zero-length read at the end is fine.
+        assert_eq!(src.read_at(5, 0).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn locked_reader_reads_owned_buffers() {
+        let src = LockedReader::new(Cursor::new(vec![9u8, 8, 7, 6])).unwrap();
+        assert_eq!(src.len(), 4);
+        assert!(!src.is_zero_copy());
+        let buf = src.read_at(2, 2).unwrap();
+        assert!(!buf.is_borrowed());
+        assert_eq!(buf.into_vec(), vec![7, 6]);
+        assert!(src.read_at(2, 3).is_err());
+    }
+
+    #[test]
+    fn boxed_sources_delegate() {
+        let boxed: Box<dyn ChunkSource + Send + Sync> =
+            Box::new(SharedBytes::from(vec![1u8, 2, 3]));
+        assert_eq!(boxed.len(), 3);
+        assert!(boxed.is_zero_copy());
+        assert_eq!(boxed.backend(), "bytes");
+        assert_eq!(&boxed.read_at(0, 3).unwrap()[..], &[1, 2, 3]);
+    }
+}

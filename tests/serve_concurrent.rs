@@ -160,6 +160,151 @@ fn coalesced_batch_answers_match_and_dedupe() {
     assert_eq!(stats.chunk_touches, 8 * 2 + 16 * 3);
 }
 
+/// A cross-batch stampede on hot chunks: 8 threads fire the same batch
+/// simultaneously on a cold server. The single-flight reservation map
+/// must collapse all racing misses so each distinct chunk is decoded
+/// **exactly once**, and every response stays bit-identical.
+#[test]
+fn hot_chunk_stampede_decodes_each_chunk_exactly_once() {
+    let bytes = build_archive(Codec::F32Shuffle);
+    let server = server_over(bytes.clone(), 32 << 20, 4);
+    let range = 0..21u64; // chunks 0, 1, 2 of t2m (chunk_t = 7)
+    let unique_chunks = 3;
+    let barrier = std::sync::Barrier::new(8);
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let server = &server;
+            let bytes = &bytes;
+            let barrier = &barrier;
+            let range = range.clone();
+            scope.spawn(move || {
+                barrier.wait();
+                // Separate batches (not one coalesced batch): only the
+                // cache's reservation map can dedup across them.
+                let responses = server.handle_batch(&[slice("t2m", range.clone())]);
+                let Ok(Response::Slice(got)) = &responses[0] else {
+                    panic!("slice failed");
+                };
+                assert_eq!(got.values, expect_slice(bytes, "t2m", range));
+            });
+        }
+    });
+    let stats = server.stats();
+    assert_eq!(
+        stats.chunk_decodes, unique_chunks,
+        "stampede must decode each hot chunk exactly once: {stats:?}"
+    );
+    let cache = server.cache_stats();
+    assert_eq!(
+        cache.flight_leads, unique_chunks,
+        "one leader per distinct chunk: {cache:?}"
+    );
+    // Whatever didn't lead either waited on a flight or arrived late
+    // enough to hit the cache; nothing decoded twice.
+    assert_eq!(
+        cache.hits + cache.flight_waits + cache.flight_leads,
+        8 * unique_chunks,
+        "{cache:?}"
+    );
+}
+
+/// The same concurrent workload served from every byte-source backend —
+/// in-memory (zero-copy), mmap'd file, buffered file (mutex fallback),
+/// and a raw stream — must be bit-identical to sequential reads.
+#[test]
+fn all_byte_source_backends_serve_identical_values() {
+    let bytes = build_archive(Codec::F16Shuffle);
+    let path = std::env::temp_dir().join(format!(
+        "exaclim_serve_backends_{}.eca1",
+        std::process::id()
+    ));
+    std::fs::write(&path, &bytes).unwrap();
+
+    let mut servers: Vec<(&str, Server)> = Vec::new();
+    let mut mem = Catalog::new();
+    mem.open_archive_bytes("a", bytes.clone()).unwrap();
+    servers.push(("bytes", Server::new(mem, ServeConfig::default())));
+    let mut stream = Catalog::new();
+    stream
+        .open_archive("a", Cursor::new(bytes.clone()))
+        .unwrap();
+    servers.push(("stream", Server::new(stream, ServeConfig::default())));
+    let mut mapped = Catalog::new();
+    mapped
+        .open_archive_source("a", exaclim_store::open_file_source(&path, true).unwrap())
+        .unwrap();
+    servers.push((
+        "mmap-or-fallback",
+        Server::new(mapped, ServeConfig::default()),
+    ));
+    let mut buffered = Catalog::new();
+    buffered
+        .open_archive_source("a", exaclim_store::open_file_source(&path, false).unwrap())
+        .unwrap();
+    servers.push((
+        "buffered-file",
+        Server::new(buffered, ServeConfig::default()),
+    ));
+
+    for (label, server) in &servers {
+        std::thread::scope(|scope| {
+            for thread in 0..4u64 {
+                let bytes = &bytes;
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(500 + thread);
+                    for _ in 0..10 {
+                        let member = if rng.gen_bool(0.5) { "t2m" } else { "u10" };
+                        let t0 = rng.gen_range(0..T_MAX - 12);
+                        let range = t0..t0 + 12;
+                        let responses = server.handle_batch(&[slice(member, range.clone())]);
+                        let Ok(Response::Slice(got)) = &responses[0] else {
+                            panic!("slice failed on backend {label}");
+                        };
+                        assert_eq!(
+                            got.values,
+                            expect_slice(bytes, member, range),
+                            "backend {label}"
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(server.stats().errors, 0, "backend {label}");
+    }
+    drop(servers);
+    std::fs::remove_file(&path).ok();
+}
+
+/// Served values are decoded copies (`Arc<[f64]>`): they must stay valid
+/// after the catalog — and with it any memory mapping — is gone. Borrowed
+/// chunk views themselves cannot outlive the catalog at all (the borrow
+/// checker ties their lifetime to it), so dropping the server is the
+/// strongest unmap-safety exercise expressible.
+#[test]
+fn responses_outlive_the_unmapped_catalog() {
+    let bytes = build_archive(Codec::Raw64);
+    let path =
+        std::env::temp_dir().join(format!("exaclim_unmap_safety_{}.eca1", std::process::id()));
+    std::fs::write(&path, &bytes).unwrap();
+    let mut catalog = Catalog::new();
+    catalog
+        .open_archive_source("a", exaclim_store::open_file_source(&path, true).unwrap())
+        .unwrap();
+    let server = Server::new(catalog, ServeConfig::default());
+    let responses = server.handle_batch(&[slice("t2m", 3..40), slice("u10", 0..T_MAX)]);
+    let values: Vec<Vec<f64>> = responses
+        .into_iter()
+        .map(|r| {
+            let Ok(Response::Slice(s)) = r else { panic!() };
+            s.values
+        })
+        .collect();
+    drop(server); // drops the catalog, unmapping the file
+    std::fs::remove_file(&path).ok();
+    assert_eq!(values[0], expect_slice(&bytes, "t2m", 3..40));
+    assert_eq!(values[1], expect_slice(&bytes, "u10", 0..T_MAX));
+}
+
 /// Emulation and metadata served concurrently with slices stay correct
 /// and deterministic.
 #[test]

@@ -10,8 +10,8 @@ use exaclim_climate::io::{
 };
 use exaclim_climate::{SyntheticEra5, SyntheticEra5Config};
 use exaclim_store::{
-    read_snapshot_file, write_snapshot_file, ArchiveError, ArchiveReader, ArchiveWriter, ByteCodec,
-    Codec, FieldMeta, Snapshot,
+    read_snapshot_file, write_snapshot_file, Archive, ArchiveError, ArchiveReader, ArchiveWriter,
+    ByteCodec, Codec, FieldMeta, Snapshot,
 };
 use std::io::Cursor;
 
@@ -85,6 +85,100 @@ fn eca1_sliced_reads_match_full_reads() {
             );
         }
     }
+}
+
+/// Property sweep over the same seeded fixtures: for every codec, a
+/// memory-mapped open, a buffered (mutex-fallback) open, and the exclusive
+/// `ArchiveReader` must produce bit-identical full reads, sliced reads,
+/// and snapshot payloads. This is the guarantee that lets `EXACLIM_MMAP`
+/// switch backends without anyone noticing values change.
+#[test]
+fn mmap_and_buffered_reads_are_bit_identical_across_codecs() {
+    for case in 0..Codec::ALL.len() as u64 {
+        let d = member(case);
+        let codec = Codec::ALL[case as usize];
+        let meta = FieldMeta {
+            ntheta: d.ntheta,
+            nphi: d.nphi,
+            start_year: d.start_year,
+            tau: d.tau,
+        };
+        let mut w = ArchiveWriter::new(Cursor::new(Vec::new())).unwrap();
+        w.add_field("field", codec, meta, d.npoints, 16, &d.data)
+            .unwrap();
+        w.add_snapshot("notes", 2, ByteCodec::Rle, b"backend sweep", 32)
+            .unwrap();
+        let raw = w.finish().unwrap().0.into_inner();
+
+        let path = std::env::temp_dir().join(format!(
+            "exaclim_backend_sweep_{}_{case}.eca1",
+            std::process::id()
+        ));
+        std::fs::write(&path, &raw).unwrap();
+        let mapped = Archive::open_with(&path, true).unwrap();
+        let buffered = Archive::open_with(&path, false).unwrap();
+        let mut reader = ArchiveReader::new(Cursor::new(raw)).unwrap();
+        assert_eq!(buffered.backend(), "stream");
+        if exaclim_store::MMAP_SUPPORTED {
+            assert_eq!(mapped.backend(), "mmap");
+            assert!(mapped.is_zero_copy());
+            assert!(mapped.read_chunk_stored(0, 0).unwrap().is_borrowed());
+        }
+
+        let want = reader.read_field_all("field").unwrap();
+        assert_eq!(mapped.read_field_all("field").unwrap(), want, "case {case}");
+        assert_eq!(
+            buffered.read_field_all("field").unwrap(),
+            want,
+            "case {case}"
+        );
+        let t = d.t_max as u64;
+        for (lo, hi) in [(0, t), (0, 1), (t - 1, t), (t / 3, 2 * t / 3 + 1)] {
+            let want = reader.read_field_slices("field", lo..hi).unwrap();
+            assert_eq!(
+                mapped.read_field_slices("field", lo..hi).unwrap(),
+                want,
+                "case {case} range {lo}..{hi} (mmap)"
+            );
+            assert_eq!(
+                buffered.read_field_slices("field", lo..hi).unwrap(),
+                want,
+                "case {case} range {lo}..{hi} (buffered)"
+            );
+        }
+        assert_eq!(
+            mapped.read_snapshot("notes").unwrap(),
+            buffered.read_snapshot("notes").unwrap()
+        );
+        mapped.verify().unwrap();
+        buffered.verify().unwrap();
+        drop((mapped, buffered));
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// Chunk corruption is caught identically through a mapped source: the
+/// CRC check runs on the borrowed view before anything decodes.
+#[test]
+fn mapped_reads_still_verify_checksums() {
+    let d = member(1);
+    let mut raw = dataset_to_eca1(&d, Codec::F32Shuffle).unwrap().to_vec();
+    let chunk0 = {
+        let r = ArchiveReader::new(Cursor::new(raw.clone())).unwrap();
+        r.member("field").unwrap().chunks[0]
+    };
+    raw[chunk0.offset as usize + 1] ^= 0x04;
+    let path = std::env::temp_dir().join(format!("exaclim_mapped_crc_{}.eca1", std::process::id()));
+    std::fs::write(&path, &raw).unwrap();
+    let mapped = Archive::open_with(&path, true).unwrap();
+    match mapped.read_field_all("field").unwrap_err() {
+        ArchiveError::ChecksumMismatch { member, chunk } => {
+            assert_eq!((member.as_str(), chunk), ("field", 0));
+        }
+        other => panic!("expected checksum mismatch, got {other}"),
+    }
+    drop(mapped);
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]
