@@ -12,9 +12,12 @@
 //! `--batches N` (batches per thread, default 24).
 
 use exaclim_climate::{SyntheticEra5, SyntheticEra5Config};
-use exaclim_serve::{Catalog, Request, Response, ServeConfig, Server, SliceRequest};
+use exaclim_serve::{
+    Catalog, Client, NetConfig, NetServer, Request, Response, ServeConfig, Server, SliceRequest,
+};
 use exaclim_store::{open_file_source, ArchiveWriter, Codec, FieldMeta};
 use std::io::Cursor;
+use std::sync::Arc;
 use std::time::Instant;
 
 const T_MAX: usize = 256;
@@ -66,6 +69,62 @@ fn build_archive_file(path: &std::path::Path) -> (u64, usize) {
     let (cursor, total) = w.finish().unwrap();
     std::fs::write(path, cursor.into_inner()).unwrap();
     (total, data.npoints)
+}
+
+/// Drive the same workload as [`run_scenario`], but through the framed-TCP
+/// wire over loopback: one reused connection per client thread.
+fn run_net_scenario(
+    server: Arc<Server>,
+    threads: usize,
+    batches_per_thread: usize,
+    npoints: usize,
+) -> Scenario {
+    let handle = NetServer::bind("127.0.0.1:0", server, NetConfig::default())
+        .unwrap()
+        .spawn();
+    let addr = handle.addr();
+    let start = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads as u64)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let batch = slice_batch(t);
+                    let mut lat = Vec::with_capacity(batches_per_thread);
+                    for _ in 0..batches_per_thread {
+                        let t0 = Instant::now();
+                        let responses = client.batch(&batch).unwrap();
+                        lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                        for r in &responses {
+                            assert!(matches!(r, Ok(Response::Slice(_))));
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+    handle.shutdown();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+    let requests = (threads * batches_per_thread * BATCH) as u64;
+    let served_mib = requests as f64 * SLICE_T as f64 * npoints as f64 * 8.0 / (1 << 20) as f64;
+    Scenario {
+        name: "serve_net",
+        backend: "mmap",
+        threads,
+        batches_per_thread,
+        elapsed_s,
+        served_mib,
+        requests,
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+    }
 }
 
 fn server_for(path: &std::path::Path, use_mmap: bool, cache_bytes: usize) -> Server {
@@ -150,7 +209,16 @@ fn run_scenario(
 }
 
 fn write_json(path: &str, scenarios: &[Scenario], speedup_cold: f64, stampede: (u64, u64, u64)) {
-    let mut out = String::from("{\n  \"bench\": \"serve\",\n  \"scenarios\": [\n");
+    // Schema version of this file; bump when fields change meaning. The
+    // env block records the matrix leg the run came from, so CI artifacts
+    // from different legs are comparable at the top level.
+    let threads_env = std::env::var("EXACLIM_THREADS").unwrap_or_else(|_| "default".to_string());
+    let mmap_env = std::env::var("EXACLIM_MMAP").unwrap_or_else(|_| "default".to_string());
+    let mut out = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"version\": 2,\n  \
+         \"env\": {{\"EXACLIM_THREADS\": \"{threads_env}\", \"EXACLIM_MMAP\": \"{mmap_env}\"}},\n  \
+         \"scenarios\": [\n"
+    );
     for (i, s) in scenarios.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"backend\": \"{}\", \"threads\": {}, \"batches_per_thread\": {}, \
@@ -227,6 +295,17 @@ fn main() {
         ));
     }
 
+    // Network: the warm-cache workload again, but spoken over the framed
+    // TCP wire on loopback — the delta to "warm" is the protocol cost
+    // (framing, CRC, socket round trip) at this batch size.
+    {
+        let server = Arc::new(server_for(&path, true, 256 << 20));
+        for t in 0..threads as u64 {
+            server.handle_batch(&slice_batch(t));
+        }
+        scenarios.push(run_net_scenario(server, threads, batches, npoints));
+    }
+
     // Stampede: every thread fires the same single-slice batch at a cold
     // server; the single-flight map must hold decodes at one per chunk.
     let stampede = {
@@ -255,12 +334,12 @@ fn main() {
     };
 
     println!(
-        "{:<6} {:<9} {:>10} {:>12} {:>10} {:>10}",
+        "{:<9} {:<9} {:>10} {:>12} {:>10} {:>10}",
         "case", "backend", "MiB/s", "req/s", "p50 µs", "p95 µs"
     );
     for s in &scenarios {
         println!(
-            "{:<6} {:<9} {:>10.1} {:>12.0} {:>10.1} {:>10.1}",
+            "{:<9} {:<9} {:>10.1} {:>12.0} {:>10.1} {:>10.1}",
             s.name,
             s.backend,
             s.mib_per_s(),

@@ -73,7 +73,7 @@ impl SyntheticEra5Config {
 }
 
 /// A generated ensemble: time-major fields plus the geometry.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     /// `data[t · npoints + p]`, kelvin.
     pub data: Vec<f64>,

@@ -12,6 +12,9 @@
 //! * [`pool`] — the shared worker pool for flat data parallelism
 //!   (`parallel_for`, `join`, mutable chunk splits); the rayon shim routes
 //!   every `par_iter`/`par_chunks` call site through it,
+//! * [`sync`] — small shared synchronization primitives (a counting
+//!   semaphore with RAII permits, used to bound accept-side concurrency in
+//!   the serving layer's network front end),
 //! * [`trace`] — per-task timelines, worker utilization, and critical-path
 //!   statistics used by the scaling ablations,
 //! * [`cholesky_par`] — the task-parallel mixed-precision tile Cholesky,
@@ -26,6 +29,7 @@ pub mod distsim;
 pub mod executor;
 pub mod graph;
 pub mod pool;
+pub mod sync;
 pub mod trace;
 
 pub use cholesky_par::parallel_tile_cholesky;
@@ -33,6 +37,7 @@ pub use distsim::{simulate_distribution, ConversionSide, DistConfig, MessageLedg
 pub use executor::{ExecError, Executor, SchedulerKind};
 pub use graph::{cholesky_graph, TaskGraph, TaskId};
 pub use pool::WorkerPool;
+pub use sync::{Permit, Semaphore};
 pub use trace::TraceReport;
 
 /// Serializes the wall-clock speedup tests of this crate: libtest runs

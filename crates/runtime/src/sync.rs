@@ -1,0 +1,164 @@
+//! Small synchronization primitives shared across the workspace.
+//!
+//! The worker pool in [`crate::pool`] bounds *compute* concurrency; this
+//! module provides the complementary primitive for bounding *admission*
+//! concurrency: a counting [`Semaphore`] with RAII permits. The serving
+//! layer's network front end acquires one permit per accepted connection,
+//! so a flood of clients queues at the accept loop instead of exhausting
+//! threads — back-pressure at the door, not a crash in the house.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// A counting semaphore handing out RAII [`Permit`]s.
+///
+/// Cloning the semaphore is cheap (it is an `Arc` internally) and every
+/// clone shares the same permit pool.
+///
+/// ```
+/// use exaclim_runtime::sync::Semaphore;
+///
+/// let sem = Semaphore::new(2);
+/// let a = sem.acquire();
+/// let b = sem.try_acquire().expect("one of two permits left");
+/// assert!(sem.try_acquire().is_none(), "pool exhausted");
+/// drop(a);
+/// assert!(sem.try_acquire().is_some(), "permit returned on drop");
+/// drop(b);
+/// ```
+#[derive(Clone)]
+pub struct Semaphore {
+    inner: Arc<SemInner>,
+}
+
+struct SemInner {
+    available: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl std::fmt::Debug for Semaphore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Semaphore")
+            .field("available", &*self.inner.available.lock())
+            .finish()
+    }
+}
+
+impl Semaphore {
+    /// A semaphore with `permits` permits (clamped to at least 1 — a
+    /// zero-permit semaphore could never admit anyone).
+    pub fn new(permits: usize) -> Self {
+        Self {
+            inner: Arc::new(SemInner {
+                available: Mutex::new(permits.max(1)),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Block until a permit is available and take it.
+    pub fn acquire(&self) -> Permit {
+        let mut n = self.inner.available.lock();
+        while *n == 0 {
+            self.inner.cv.wait(&mut n);
+        }
+        *n -= 1;
+        Permit {
+            sem: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Take a permit if one is available right now.
+    pub fn try_acquire(&self) -> Option<Permit> {
+        let mut n = self.inner.available.lock();
+        if *n == 0 {
+            return None;
+        }
+        *n -= 1;
+        Some(Permit {
+            sem: Arc::clone(&self.inner),
+        })
+    }
+
+    /// Permits currently available (racy by nature; diagnostics only).
+    pub fn available(&self) -> usize {
+        *self.inner.available.lock()
+    }
+}
+
+/// An acquired permit; returns itself to the pool on drop.
+pub struct Permit {
+    sem: Arc<SemInner>,
+}
+
+impl std::fmt::Debug for Permit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Permit")
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut n = self.sem.available.lock();
+        *n += 1;
+        drop(n);
+        self.sem.cv.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn permits_bound_concurrency() {
+        let sem = Semaphore::new(3);
+        let in_flight = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..16 {
+                let sem = &sem;
+                let in_flight = &in_flight;
+                let peak = &peak;
+                scope.spawn(move || {
+                    let _permit = sem.acquire();
+                    let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 3, "semaphore breached");
+        assert_eq!(sem.available(), 3, "all permits returned");
+    }
+
+    #[test]
+    fn try_acquire_never_blocks() {
+        let sem = Semaphore::new(1);
+        let p = sem.try_acquire();
+        assert!(p.is_some());
+        assert!(sem.try_acquire().is_none());
+        drop(p);
+        assert!(sem.try_acquire().is_some());
+    }
+
+    #[test]
+    fn zero_permit_request_clamps_to_one() {
+        let sem = Semaphore::new(0);
+        let p = sem.acquire();
+        assert!(sem.try_acquire().is_none());
+        drop(p);
+    }
+
+    #[test]
+    fn clones_share_the_pool() {
+        let a = Semaphore::new(1);
+        let b = a.clone();
+        let p = a.acquire();
+        assert!(b.try_acquire().is_none());
+        drop(p);
+        assert!(b.try_acquire().is_some());
+    }
+}

@@ -1,4 +1,6 @@
-//! Error type of the serving layer.
+//! Error types of the serving layer: per-request [`ServeError`]s (which
+//! travel over the wire) and transport-level [`WireError`]s (which do
+//! not — they describe the connection itself).
 
 use exaclim::EmulationError;
 use exaclim_store::ArchiveError;
@@ -43,5 +45,109 @@ impl From<ArchiveError> for ServeError {
 impl From<EmulationError> for ServeError {
     fn from(e: EmulationError) -> Self {
         ServeError::Emulation(e.to_string())
+    }
+}
+
+/// Transport-level errors of the framed-TCP wire protocol.
+///
+/// A [`WireError`] means the *connection* failed — framing, checksums,
+/// version negotiation, socket I/O — as opposed to a [`ServeError`],
+/// which is a per-request failure that travels inside a well-formed
+/// response frame. Decode errors are typed so hostile input is rejected,
+/// never trusted: the decoder checks every length against what is
+/// actually present before allocating.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame does not start with the `ECN1` magic.
+    BadMagic([u8; 4]),
+    /// The peer speaks an unsupported protocol version.
+    Version {
+        /// Version the peer sent.
+        got: u8,
+        /// Version this build speaks.
+        want: u8,
+    },
+    /// The frame kind byte is not a known [`crate::wire::FrameKind`].
+    BadFrameKind(u8),
+    /// The header claims a payload larger than the decode cap.
+    FrameTooLarge {
+        /// Claimed payload length.
+        len: u64,
+        /// The cap ([`crate::wire::MAX_FRAME_PAYLOAD`]).
+        max: u64,
+    },
+    /// The stream ended inside a frame (header or payload).
+    Truncated {
+        /// What was being read when the stream ended.
+        context: &'static str,
+    },
+    /// The payload does not match the CRC32 recorded in the header.
+    ChecksumMismatch {
+        /// CRC32 recorded in the frame header.
+        expected: u32,
+        /// CRC32 of the payload actually received.
+        actual: u32,
+    },
+    /// The payload is structurally invalid (unknown tag, length claim
+    /// exceeding the payload, trailing bytes, …).
+    Malformed(String),
+    /// The peer reported a transport-level failure in an error frame.
+    Remote(String),
+    /// A response frame answered a different frame id than the one in
+    /// flight (pipelining protocol violation).
+    IdMismatch {
+        /// Frame id we were waiting for.
+        expected: u64,
+        /// Frame id the peer sent.
+        got: u64,
+    },
+    /// Socket-level I/O failure (message of the `std::io::Error`).
+    Io(String),
+    /// The peer closed the connection cleanly between frames.
+    ConnectionClosed,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "not an ECN1 frame (magic {m:02x?})"),
+            WireError::Version { got, want } => {
+                write!(
+                    f,
+                    "unsupported wire version {got} (this build speaks {want})"
+                )
+            }
+            WireError::BadFrameKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
+            }
+            WireError::Truncated { context } => write!(f, "stream ended inside {context}"),
+            WireError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "frame checksum mismatch (header says {expected:#010x}, payload is {actual:#010x})"
+            ),
+            WireError::Malformed(m) => write!(f, "malformed frame payload: {m}"),
+            WireError::Remote(m) => write!(f, "peer reported: {m}"),
+            WireError::IdMismatch { expected, got } => {
+                write!(
+                    f,
+                    "response frame id {got} does not match request id {expected}"
+                )
+            }
+            WireError::Io(m) => write!(f, "wire I/O error: {m}"),
+            WireError::ConnectionClosed => write!(f, "connection closed by peer"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated { context: "frame" }
+        } else {
+            WireError::Io(e.to_string())
+        }
     }
 }

@@ -29,7 +29,13 @@
 //! * [`server`] — the request/response front end, dispatching chunk
 //!   resolution and response assembly over the
 //!   [`exaclim_runtime::pool`] worker pool (`EXACLIM_THREADS` bounds serve
-//!   concurrency exactly as it bounds compute).
+//!   concurrency exactly as it bounds compute),
+//! * [`wire`] — the dependency-free `ECN1` framed wire protocol:
+//!   versioned 24-byte headers, CRC32-protected length-capped payloads,
+//!   and a full request/response codec whose round trip is bit-identical,
+//! * [`net`] — the TCP front end over [`wire`]: a [`net::NetServer`]
+//!   accept loop with semaphore-bounded admission and graceful shutdown,
+//!   and a blocking [`net::Client`] with connection reuse and pipelining.
 //!
 //! Served bytes are **bit-identical** to sequential
 //! [`exaclim_store::ArchiveReader`] reads at any thread count and any
@@ -74,12 +80,15 @@ pub mod batch;
 pub mod cache;
 pub mod catalog;
 pub mod error;
+pub mod net;
 pub mod server;
+pub mod wire;
 
 pub use batch::{BatchPlan, SliceRequest};
 pub use cache::{CacheStats, ChunkCache, ChunkKey, Fetch, Flight, FlightLead};
 pub use catalog::{ByteSource, Catalog, ServedArchive, ServedEmulator};
-pub use error::ServeError;
+pub use error::{ServeError, WireError};
+pub use net::{Client, NetConfig, NetServer, NetServerHandle, NetStats};
 pub use server::{
     ArchiveInfo, CatalogAnswer, CatalogQuery, EmulatorInfo, MemberInfo, Request, Response,
     ServeConfig, ServeStats, Server, SliceData,

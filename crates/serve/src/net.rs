@@ -1,0 +1,576 @@
+//! The network front end: a framed-TCP server and client over
+//! [`Server::handle_batch`], speaking the [`crate::wire`] protocol.
+//!
+//! ## Connection lifecycle
+//!
+//! [`NetServer::bind`] opens a listener; [`NetServer::spawn`] moves it
+//! onto a dedicated accept thread and returns a [`NetServerHandle`]. The
+//! accept loop admits at most `max_connections` concurrent connections —
+//! it holds one permit of an [`exaclim_runtime::sync::Semaphore`] per
+//! open connection, so a connection flood queues in the listener backlog
+//! (back-pressure at the door) instead of spawning unbounded handler
+//! threads.
+//!
+//! Each connection gets one handler thread running a strict
+//! read-decode-dispatch-write loop: read a request frame, decode the
+//! batch, run it through the in-process [`Server::handle_batch`] (which
+//! fans out over the shared worker pool — `EXACLIM_THREADS` bounds
+//! *compute* concurrency, `max_connections` bounds *admission*), encode
+//! the responses, write the response frame with the request's frame id.
+//! Because reads are buffered and responses are written in arrival
+//! order, a client may **pipeline**: write several request frames before
+//! reading the first response.
+//!
+//! Transport-level failures (bad magic, version mismatch, oversized or
+//! corrupt frames) are answered best-effort with an error frame and then
+//! the connection is closed — once framing is suspect, nothing after the
+//! bad frame can be trusted. Per-request failures (unknown member, bad
+//! range) travel *inside* a well-formed response frame and do not
+//! disturb the connection or the rest of the batch.
+//!
+//! [`NetServerHandle::shutdown`] stops the accept loop, unblocks every
+//! open connection (socket shutdown → handler sees EOF → exits), and
+//! joins all threads before returning — no request already dispatched is
+//! abandoned mid-write.
+//!
+//! ## Example
+//!
+//! ```
+//! use exaclim_serve::net::{Client, NetConfig, NetServer};
+//! use exaclim_serve::{Catalog, Request, Response, ServeConfig, Server, SliceRequest};
+//! use exaclim_store::{ArchiveWriter, Codec, FieldMeta};
+//! use std::io::Cursor;
+//! use std::sync::Arc;
+//!
+//! // An in-memory archive behind an in-process server…
+//! let data: Vec<f64> = (0..4 * 12).map(f64::from).collect();
+//! let mut w = ArchiveWriter::new(Cursor::new(Vec::new())).unwrap();
+//! w.add_field("t2m", Codec::Raw64, FieldMeta::default(), 4, 5, &data).unwrap();
+//! let (cursor, _) = w.finish().unwrap();
+//! let mut catalog = Catalog::new();
+//! catalog.open_archive_bytes("era5", cursor.into_inner()).unwrap();
+//! let server = Arc::new(Server::new(catalog, ServeConfig::default()));
+//!
+//! // …served over loopback.
+//! let handle = NetServer::bind("127.0.0.1:0", server, NetConfig::default())
+//!     .unwrap()
+//!     .spawn();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let responses = client
+//!     .batch(&[Request::Slice(SliceRequest {
+//!         archive: "era5".to_string(),
+//!         member: "t2m".to_string(),
+//!         range: 3..7,
+//!     })])
+//!     .unwrap();
+//! let Ok(Response::Slice(slice)) = &responses[0] else { panic!() };
+//! assert_eq!(slice.values, data[3 * 4..7 * 4]);
+//! drop(client);
+//! handle.shutdown();
+//! ```
+
+use crate::error::{ServeError, WireError};
+use crate::server::{Request, Response, ServeStats, Server};
+use crate::wire::{self, FrameKind, HEADER_LEN};
+use exaclim_runtime::sync::Semaphore;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{
+    IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs,
+};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Tuning knobs of a [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Maximum concurrently open connections; further clients queue in
+    /// the listener backlog until a permit frees up.
+    pub max_connections: usize,
+}
+
+impl Default for NetConfig {
+    /// 64 concurrent connections.
+    fn default() -> Self {
+        Self {
+            max_connections: 64,
+        }
+    }
+}
+
+/// Point-in-time transport counters of a [`NetServer`] (see
+/// [`NetServerHandle::net_stats`]). Complements [`ServeStats`], which
+/// counts requests; these count frames and bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Request frames successfully read and decoded.
+    pub frames_in: u64,
+    /// Response frames written.
+    pub frames_out: u64,
+    /// Bytes received (headers + payloads of well-formed frames).
+    pub bytes_in: u64,
+    /// Bytes sent (headers + payloads).
+    pub bytes_out: u64,
+    /// Requests decoded out of request frames.
+    pub requests: u64,
+    /// Transport-level failures observed (malformed frames, socket
+    /// errors); each also closed its connection.
+    pub wire_errors: u64,
+}
+
+#[derive(Default)]
+struct NetStatCells {
+    connections: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    requests: AtomicU64,
+    wire_errors: AtomicU64,
+}
+
+impl NetStatCells {
+    fn snapshot(&self) -> NetStats {
+        NetStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            wire_errors: self.wire_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// State shared between the accept loop, connection handlers, and the
+/// [`NetServerHandle`].
+struct NetShared {
+    server: Arc<Server>,
+    stats: NetStatCells,
+    /// Set (under the `open_conns` lock) when shutdown begins; the accept
+    /// loop re-checks it under the same lock before registering a
+    /// connection, so no connection can slip past the shutdown drain.
+    shutdown: AtomicBool,
+    /// One `(token, clone)` per open connection, so shutdown can unblock
+    /// handlers parked in a read. Tokens are accept-loop sequence numbers:
+    /// handlers deregister by token, never by address (peer addresses can
+    /// be unreadable on already-reset sockets).
+    open_conns: Mutex<Vec<(u64, TcpStream)>>,
+}
+
+impl NetShared {
+    /// Drop one connection's registry entry when its handler exits.
+    fn forget_conn(&self, token: u64) {
+        let mut conns = self.open_conns.lock();
+        if let Some(i) = conns.iter().position(|(t, _)| *t == token) {
+            conns.swap_remove(i);
+        }
+    }
+}
+
+/// A bound-but-not-yet-serving network front end over a [`Server`].
+pub struct NetServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<NetShared>,
+    config: NetConfig,
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("addr", &self.addr)
+            .field("max_connections", &self.config.max_connections)
+            .finish()
+    }
+}
+
+impl NetServer {
+    /// Bind a listener on `addr` (use port 0 for an ephemeral port) over
+    /// an existing in-process server.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        server: Arc<Server>,
+        config: NetConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Self {
+            listener,
+            addr,
+            shared: Arc::new(NetShared {
+                server,
+                stats: NetStatCells::default(),
+                shutdown: AtomicBool::new(false),
+                open_conns: Mutex::new(Vec::new()),
+            }),
+            config,
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Move the listener onto a dedicated accept thread and return the
+    /// controlling handle.
+    pub fn spawn(self) -> NetServerHandle {
+        let shared = Arc::clone(&self.shared);
+        let addr = self.addr;
+        let accept_thread = std::thread::Builder::new()
+            .name("exaclim-net-accept".to_string())
+            .spawn(move || accept_loop(self.listener, self.shared, self.config))
+            .expect("spawn accept thread");
+        NetServerHandle {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        }
+    }
+}
+
+/// Controlling handle of a running [`NetServer`]: address, transport
+/// stats, graceful shutdown. Dropping the handle shuts the server down.
+pub struct NetServerHandle {
+    addr: SocketAddr,
+    shared: Arc<NetShared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for NetServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServerHandle")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl NetServerHandle {
+    /// Address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The in-process server behind the wire.
+    pub fn server(&self) -> &Arc<Server> {
+        &self.shared.server
+    }
+
+    /// Current transport counters.
+    pub fn net_stats(&self) -> NetStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Stop accepting, unblock and drain every open connection, and join
+    /// all threads. Idempotent; also runs on drop.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let Some(accept_thread) = self.accept_thread.take() else {
+            return;
+        };
+        // Flag and drain under the registry lock: the accept loop
+        // registers new connections under the same lock after re-checking
+        // the flag, so every connection is either drained here or closed
+        // by the loop itself — none can slip between flag and drain and
+        // leave shutdown joining a handler nobody will ever unblock.
+        let drained: Vec<TcpStream> = {
+            let mut conns = self.shared.open_conns.lock();
+            self.shared.shutdown.store(true, Ordering::SeqCst);
+            conns.drain(..).map(|(_, stream)| stream).collect()
+        };
+        // Unblock handlers parked in a frame read: their next read
+        // returns EOF and the handler exits, releasing its permit.
+        for conn in drained {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        // Unblock the accept call itself with a wake-up connection. A
+        // listener bound to an unspecified address (0.0.0.0 / ::) is not
+        // connectable everywhere; aim the wake-up at loopback instead.
+        let wake = if self.addr.ip().is_unspecified() {
+            let ip: IpAddr = match self.addr {
+                SocketAddr::V4(_) => Ipv4Addr::LOCALHOST.into(),
+                SocketAddr::V6(_) => Ipv6Addr::LOCALHOST.into(),
+            };
+            SocketAddr::new(ip, self.addr.port())
+        } else {
+            self.addr
+        };
+        let _ = TcpStream::connect(wake);
+        let _ = accept_thread.join();
+    }
+}
+
+impl Drop for NetServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Accept until shutdown; each accepted connection takes a semaphore
+/// permit and a handler thread.
+fn accept_loop(listener: TcpListener, shared: Arc<NetShared>, config: NetConfig) {
+    let admission = Semaphore::new(config.max_connections);
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut next_token = 0u64;
+    loop {
+        // Hold a permit *before* accepting: when all permits are out the
+        // loop parks here and the kernel backlog queues new clients —
+        // admission back-pressure without a thread per waiter.
+        let permit = admission.acquire();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        let token = next_token;
+        next_token += 1;
+        // Register under the lock that shutdown drains under, re-checking
+        // the flag there: either this connection lands in the registry
+        // before the drain, or shutdown already ran and we close it here.
+        {
+            let mut conns = shared.open_conns.lock();
+            if shared.shutdown.load(Ordering::SeqCst) {
+                drop(conns);
+                let _ = stream.shutdown(Shutdown::Both);
+                break; // often the wake-up connection from shutdown()
+            }
+            if let Ok(clone) = stream.try_clone() {
+                conns.push((token, clone));
+            }
+        }
+        shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+        handlers.retain(|h| !h.is_finished());
+        let conn_shared = Arc::clone(&shared);
+        let handler = std::thread::Builder::new()
+            .name("exaclim-net-conn".to_string())
+            .spawn(move || {
+                handle_connection(&conn_shared, stream, token);
+                drop(permit);
+            })
+            .expect("spawn connection handler");
+        handlers.push(handler);
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+/// Serve one connection until EOF, socket error, or a transport-level
+/// protocol violation.
+fn handle_connection(shared: &NetShared, stream: TcpStream, token: u64) {
+    // Frames are explicit flush points; Nagle only adds latency here.
+    let _ = stream.set_nodelay(true);
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            shared.forget_conn(token);
+            return;
+        }
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let mut writer = BufWriter::new(stream);
+    let stats = &shared.stats;
+    loop {
+        match wire::read_frame(&mut reader) {
+            Ok((header, payload)) if header.kind == FrameKind::Request => {
+                stats.frames_in.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .bytes_in
+                    .fetch_add((HEADER_LEN + payload.len()) as u64, Ordering::Relaxed);
+                match wire::decode_request_batch(&payload) {
+                    Ok(requests) => {
+                        stats
+                            .requests
+                            .fetch_add(requests.len() as u64, Ordering::Relaxed);
+                        let responses = shared.server.handle_batch(&requests);
+                        let out = wire::encode_response_batch(&responses);
+                        if write_reply(&mut writer, FrameKind::Response, header.id, &out).is_err() {
+                            break;
+                        }
+                        stats.frames_out.fetch_add(1, Ordering::Relaxed);
+                        stats
+                            .bytes_out
+                            .fetch_add((HEADER_LEN + out.len()) as u64, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        // The framing was intact but the payload wasn't:
+                        // report and close — the stream may be desynced.
+                        stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+                        let _ = write_reply(
+                            &mut writer,
+                            FrameKind::Error,
+                            header.id,
+                            &wire::encode_error_payload(&e.to_string()),
+                        );
+                        break;
+                    }
+                }
+            }
+            Ok((header, _)) => {
+                // A client must only send request frames.
+                stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_reply(
+                    &mut writer,
+                    FrameKind::Error,
+                    header.id,
+                    &wire::encode_error_payload(&format!(
+                        "unexpected frame kind {} from client",
+                        header.kind.id()
+                    )),
+                );
+                break;
+            }
+            Err(WireError::ConnectionClosed) => break,
+            Err(e) => {
+                // Bad magic, version mismatch, oversized claim, checksum
+                // failure, truncation, socket error: best-effort report,
+                // then close.
+                stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_reply(
+                    &mut writer,
+                    FrameKind::Error,
+                    0,
+                    &wire::encode_error_payload(&e.to_string()),
+                );
+                break;
+            }
+        }
+    }
+    shared.forget_conn(token);
+}
+
+fn write_reply(
+    writer: &mut BufWriter<TcpStream>,
+    kind: FrameKind,
+    id: u64,
+    payload: &[u8],
+) -> Result<(), WireError> {
+    wire::write_frame(writer, kind, id, payload)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// A blocking client over one reused connection.
+///
+/// [`Client::batch`] is the wire twin of [`Server::handle_batch`]: same
+/// request slice in, same `Vec<Result<Response, ServeError>>` out,
+/// bit-identical responses. For pipelining, [`Client::send`] and
+/// [`Client::recv`] split the round trip: several batches may be in
+/// flight on the connection at once, and responses arrive in send order.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+    in_flight: VecDeque<u64>,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("next_id", &self.next_id)
+            .field("in_flight", &self.in_flight.len())
+            .finish()
+    }
+}
+
+impl Client {
+    /// Connect to a [`NetServer`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
+        let stream = TcpStream::connect(addr).map_err(WireError::from)?;
+        let _ = stream.set_nodelay(true);
+        let reader_stream = stream.try_clone().map_err(WireError::from)?;
+        Ok(Self {
+            reader: BufReader::new(reader_stream),
+            writer: BufWriter::new(stream),
+            next_id: 1,
+            in_flight: VecDeque::new(),
+        })
+    }
+
+    /// Send one request batch and return its frame id without waiting
+    /// for the response — the pipelining half of [`Client::batch`].
+    pub fn send(&mut self, requests: &[Request]) -> Result<u64, WireError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let payload = wire::encode_request_batch(requests);
+        wire::write_frame(&mut self.writer, FrameKind::Request, id, &payload)?;
+        self.writer.flush().map_err(WireError::from)?;
+        self.in_flight.push_back(id);
+        Ok(id)
+    }
+
+    /// Receive the response batch for the oldest in-flight [`Client::send`].
+    pub fn recv(&mut self) -> Result<Vec<Result<Response, ServeError>>, WireError> {
+        let expected = self
+            .in_flight
+            .pop_front()
+            .ok_or_else(|| WireError::Malformed("recv with no request in flight".to_string()))?;
+        let (header, payload) = wire::read_frame(&mut self.reader)?;
+        match header.kind {
+            FrameKind::Response => {
+                if header.id != expected {
+                    return Err(WireError::IdMismatch {
+                        expected,
+                        got: header.id,
+                    });
+                }
+                wire::decode_response_batch(&payload)
+            }
+            FrameKind::Error => Err(WireError::Remote(wire::decode_error_payload(&payload)?)),
+            FrameKind::Request => Err(WireError::Malformed(
+                "server sent a request frame".to_string(),
+            )),
+        }
+    }
+
+    /// Submit one batch and wait for its responses — the network twin of
+    /// [`Server::handle_batch`].
+    pub fn batch(
+        &mut self,
+        requests: &[Request],
+    ) -> Result<Vec<Result<Response, ServeError>>, WireError> {
+        self.send(requests)?;
+        self.recv()
+    }
+
+    /// Submit one request and wait for its response. The outer error is
+    /// the transport, the inner the request itself.
+    pub fn request(
+        &mut self,
+        request: &Request,
+    ) -> Result<Result<Response, ServeError>, WireError> {
+        let mut responses = self.batch(std::slice::from_ref(request))?;
+        match responses.len() {
+            1 => Ok(responses.pop().expect("one response")),
+            n => Err(WireError::Malformed(format!(
+                "{n} responses to a 1-request batch"
+            ))),
+        }
+    }
+
+    /// Fetch the server's serving counters over the wire.
+    pub fn stats(&mut self) -> Result<ServeStats, WireError> {
+        match self.request(&Request::Stats)? {
+            Ok(Response::Stats(stats)) => Ok(stats),
+            Ok(other) => Err(WireError::Malformed(format!(
+                "stats request answered with {other:?}"
+            ))),
+            Err(e) => Err(WireError::Remote(e.to_string())),
+        }
+    }
+}

@@ -68,6 +68,10 @@ pub enum Request {
     },
     /// Query the catalog.
     Catalog(CatalogQuery),
+    /// Snapshot the server's serving counters ([`ServeStats`]). Over the
+    /// network front end this is the monitoring op: cheap, read-only, and
+    /// answered from atomics without touching any archive.
+    Stats,
 }
 
 /// Metadata queries against the catalog.
@@ -166,7 +170,7 @@ pub enum CatalogAnswer {
 }
 
 /// A serving response.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// Reply to [`Request::Slice`].
     Slice(SliceData),
@@ -174,6 +178,8 @@ pub enum Response {
     Emulate(Dataset),
     /// Reply to [`Request::Catalog`].
     Catalog(CatalogAnswer),
+    /// Reply to [`Request::Stats`]: the counters at answer time.
+    Stats(ServeStats),
 }
 
 /// Point-in-time serving counters (see [`Server::stats`]).
@@ -371,6 +377,7 @@ impl Server {
                         seed,
                     } => self.answer_emulate(emulator, *t_max, *seed),
                     Request::Catalog(query) => self.answer_catalog(query),
+                    Request::Stats => Ok(Response::Stats(self.stats())),
                 });
             });
         }
@@ -384,7 +391,7 @@ impl Server {
             let cell = match r {
                 Ok(Response::Slice(_)) => &self.stats.slices,
                 Ok(Response::Emulate(_)) => &self.stats.emulations,
-                Ok(Response::Catalog(_)) => &self.stats.catalog_queries,
+                Ok(Response::Catalog(_)) | Ok(Response::Stats(_)) => &self.stats.catalog_queries,
                 Err(_) => &self.stats.errors,
             };
             cell.fetch_add(1, Ordering::Relaxed);

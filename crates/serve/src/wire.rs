@@ -1,0 +1,1317 @@
+//! The ECN1 wire protocol: framed, checksummed, versioned request/response
+//! encoding for the network front end.
+//!
+//! The protocol is deliberately dependency-free (plain `std`, no serde on
+//! the wire) and mirrors the hostile-input discipline of the `ECA1`
+//! container in `exaclim-store`: every frame is length-prefixed **and**
+//! capped ([`MAX_FRAME_PAYLOAD`]), every payload is CRC32-protected (the
+//! same slice-by-8 [`exaclim_store::crc32`] the archives use), and the
+//! decoder validates every length claim against the bytes actually
+//! present *before* allocating — a hostile peer can waste its own
+//! bandwidth, not this process's memory.
+//!
+//! ## Frame layout
+//!
+//! Every message is one frame; all integers are little-endian:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic, the literal bytes "ECN1"
+//! 4       1     protocol version (currently 1)
+//! 5       1     frame kind: 1 = request batch, 2 = response batch, 3 = error
+//! 6       2     reserved, must be zero
+//! 8       8     frame id (echoed verbatim in the matching response)
+//! 16      4     payload length in bytes (≤ MAX_FRAME_PAYLOAD)
+//! 20      4     CRC32 of the payload bytes
+//! 24      …     payload
+//! ```
+//!
+//! A **request** frame's payload is a batch: a `u32` count followed by
+//! that many encoded [`Request`]s. The matching **response** frame echoes
+//! the frame id and carries one encoded `Result<Response, ServeError>`
+//! per request, in request order — the wire analogue of
+//! [`crate::Server::handle_batch`]. An **error** frame reports a
+//! transport-level failure (malformed frame, version mismatch) and is
+//! terminal for the connection.
+//!
+//! Frame ids are chosen by the client (monotonically increasing in
+//! [`crate::net::Client`]) and let requests pipeline: a client may write
+//! several request frames before reading the first response; the server
+//! answers in arrival order.
+//!
+//! ## Example
+//!
+//! A request batch survives an encode/decode round trip bit-identically:
+//!
+//! ```
+//! use exaclim_serve::wire::{self, FrameKind};
+//! use exaclim_serve::{Request, SliceRequest};
+//!
+//! let batch = vec![
+//!     Request::Slice(SliceRequest {
+//!         archive: "era5".to_string(),
+//!         member: "t2m".to_string(),
+//!         range: 10..20,
+//!     }),
+//!     Request::Stats,
+//! ];
+//! let frame = wire::encode_frame(FrameKind::Request, 7, &wire::encode_request_batch(&batch)).unwrap();
+//! let (header, payload) = wire::decode_frame(&frame).unwrap();
+//! assert_eq!((header.kind, header.id), (FrameKind::Request, 7));
+//! assert_eq!(wire::decode_request_batch(payload).unwrap(), batch);
+//! ```
+
+use crate::error::{ServeError, WireError};
+use crate::server::{
+    ArchiveInfo, CatalogAnswer, CatalogQuery, EmulatorInfo, MemberInfo, Request, Response,
+    ServeStats, SliceData,
+};
+use crate::SliceRequest;
+use exaclim_climate::Dataset;
+use exaclim_store::{crc32, ArchiveError, MemberKind};
+use std::io::{Read, Write};
+
+/// Frame magic: the literal bytes `ECN1` at offset 0 of every frame.
+pub const MAGIC: [u8; 4] = *b"ECN1";
+
+/// Protocol version this build speaks (header byte 4).
+pub const VERSION: u8 = 1;
+
+/// Fixed frame-header size in bytes.
+pub const HEADER_LEN: usize = 24;
+
+/// Upper bound on one frame's payload (1 GiB), mirroring the archive
+/// decode cap [`exaclim_store::format::MAX_CHUNK_RAW_LEN`]: the reader
+/// rejects larger length claims *before* allocating or reading, which
+/// bounds what a hostile peer can make this process buffer.
+pub const MAX_FRAME_PAYLOAD: u32 = 1 << 30;
+
+/// Cap on one length-prefixed string (64 KiB) — names on the wire are
+/// archive/member/emulator names and error messages, never bulk data.
+/// The decoder rejects longer claims; the encoder clips longer inputs to
+/// this many bytes at a char boundary, so an over-long name degrades to
+/// a harmless prefix instead of a connection-fatal transport error.
+pub const MAX_STR_LEN: u32 = 1 << 16;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A batch of [`Request`]s (client → server).
+    Request,
+    /// The batch's `Result<Response, ServeError>`s (server → client).
+    Response,
+    /// A terminal transport-level error report (either direction).
+    Error,
+}
+
+impl FrameKind {
+    /// Wire id of this kind (header byte 5).
+    pub fn id(self) -> u8 {
+        match self {
+            FrameKind::Request => 1,
+            FrameKind::Response => 2,
+            FrameKind::Error => 3,
+        }
+    }
+
+    /// Parse a wire id.
+    pub fn from_id(id: u8) -> Result<Self, WireError> {
+        match id {
+            1 => Ok(FrameKind::Request),
+            2 => Ok(FrameKind::Response),
+            3 => Ok(FrameKind::Error),
+            other => Err(WireError::BadFrameKind(other)),
+        }
+    }
+}
+
+/// The decoded fixed-size frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Frame kind.
+    pub kind: FrameKind,
+    /// Frame id, echoed in the matching response.
+    pub id: u64,
+    /// Payload length in bytes.
+    pub len: u32,
+    /// CRC32 of the payload.
+    pub crc: u32,
+}
+
+impl FrameHeader {
+    /// Serialize to the fixed 24-byte wire form.
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut h = [0u8; HEADER_LEN];
+        h[0..4].copy_from_slice(&MAGIC);
+        h[4] = VERSION;
+        h[5] = self.kind.id();
+        // bytes 6..8 reserved, zero
+        h[8..16].copy_from_slice(&self.id.to_le_bytes());
+        h[16..20].copy_from_slice(&self.len.to_le_bytes());
+        h[20..24].copy_from_slice(&self.crc.to_le_bytes());
+        h
+    }
+
+    /// Parse and validate the fixed 24-byte wire form: magic, version,
+    /// kind, reserved bytes, and the [`MAX_FRAME_PAYLOAD`] cap.
+    pub fn decode(bytes: &[u8; HEADER_LEN]) -> Result<Self, WireError> {
+        if bytes[0..4] != MAGIC {
+            return Err(WireError::BadMagic([
+                bytes[0], bytes[1], bytes[2], bytes[3],
+            ]));
+        }
+        if bytes[4] != VERSION {
+            return Err(WireError::Version {
+                got: bytes[4],
+                want: VERSION,
+            });
+        }
+        let kind = FrameKind::from_id(bytes[5])?;
+        if bytes[6] != 0 || bytes[7] != 0 {
+            return Err(WireError::Malformed(format!(
+                "reserved header bytes are {:#04x}{:#04x}, want zero",
+                bytes[6], bytes[7]
+            )));
+        }
+        let id = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let len = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(WireError::FrameTooLarge {
+                len: u64::from(len),
+                max: u64::from(MAX_FRAME_PAYLOAD),
+            });
+        }
+        let crc = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
+        Ok(Self { kind, id, len, crc })
+    }
+}
+
+/// Assemble one complete frame (header + payload) in memory.
+///
+/// Fails with [`WireError::FrameTooLarge`] if `payload` exceeds
+/// [`MAX_FRAME_PAYLOAD`] — the sender enforces the same cap the receiver
+/// does, so an over-long batch is rejected before it ties up the socket.
+pub fn encode_frame(kind: FrameKind, id: u64, payload: &[u8]) -> Result<Vec<u8>, WireError> {
+    if payload.len() as u64 > u64::from(MAX_FRAME_PAYLOAD) {
+        return Err(WireError::FrameTooLarge {
+            len: payload.len() as u64,
+            max: u64::from(MAX_FRAME_PAYLOAD),
+        });
+    }
+    let header = FrameHeader {
+        kind,
+        id,
+        len: payload.len() as u32,
+        crc: crc32(payload),
+    };
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    frame.extend_from_slice(&header.encode());
+    frame.extend_from_slice(payload);
+    Ok(frame)
+}
+
+/// Decode one complete frame from a byte buffer, returning the header and
+/// a borrowed view of the checksum-verified payload. Trailing bytes after
+/// the payload are an error — a frame is exactly as long as it claims.
+pub fn decode_frame(bytes: &[u8]) -> Result<(FrameHeader, &[u8]), WireError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(WireError::Truncated {
+            context: "frame header",
+        });
+    }
+    let header = FrameHeader::decode(bytes[..HEADER_LEN].try_into().expect("header slice"))?;
+    let want = HEADER_LEN
+        .checked_add(header.len as usize)
+        .ok_or(WireError::FrameTooLarge {
+            len: u64::from(header.len),
+            max: u64::from(MAX_FRAME_PAYLOAD),
+        })?;
+    if bytes.len() < want {
+        return Err(WireError::Truncated {
+            context: "frame payload",
+        });
+    }
+    if bytes.len() > want {
+        return Err(WireError::Malformed(format!(
+            "{} trailing bytes after frame end",
+            bytes.len() - want
+        )));
+    }
+    let payload = &bytes[HEADER_LEN..want];
+    let actual = crc32(payload);
+    if actual != header.crc {
+        return Err(WireError::ChecksumMismatch {
+            expected: header.crc,
+            actual,
+        });
+    }
+    Ok((header, payload))
+}
+
+/// Write one frame to a stream (header, then payload). The caller is
+/// responsible for flushing.
+pub fn write_frame(
+    w: &mut impl Write,
+    kind: FrameKind,
+    id: u64,
+    payload: &[u8],
+) -> Result<(), WireError> {
+    if payload.len() as u64 > u64::from(MAX_FRAME_PAYLOAD) {
+        return Err(WireError::FrameTooLarge {
+            len: payload.len() as u64,
+            max: u64::from(MAX_FRAME_PAYLOAD),
+        });
+    }
+    let header = FrameHeader {
+        kind,
+        id,
+        len: payload.len() as u32,
+        crc: crc32(payload),
+    };
+    w.write_all(&header.encode())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Read one frame from a stream: header, validation (magic, version,
+/// kind, payload cap — rejected **before** the payload is read or
+/// buffered), then the checksum-verified payload.
+///
+/// A clean EOF before the first header byte is
+/// [`WireError::ConnectionClosed`]; EOF anywhere inside the frame is
+/// [`WireError::Truncated`].
+pub fn read_frame(r: &mut impl Read) -> Result<(FrameHeader, Vec<u8>), WireError> {
+    let mut header_bytes = [0u8; HEADER_LEN];
+    let mut filled = 0usize;
+    while filled < HEADER_LEN {
+        let n = r
+            .read(&mut header_bytes[filled..])
+            .map_err(WireError::from)?;
+        if n == 0 {
+            return if filled == 0 {
+                Err(WireError::ConnectionClosed)
+            } else {
+                Err(WireError::Truncated {
+                    context: "frame header",
+                })
+            };
+        }
+        filled += n;
+    }
+    let header = FrameHeader::decode(&header_bytes)?;
+    // Grow the payload buffer as bytes actually arrive (`take` +
+    // `read_to_end` doubles from a small capacity) rather than
+    // zero-filling the claimed length up front — a peer that claims
+    // 1 GiB but trickles bytes ties up only the memory it has sent.
+    let len = header.len as usize;
+    let mut payload = Vec::new();
+    let got = r
+        .by_ref()
+        .take(len as u64)
+        .read_to_end(&mut payload)
+        .map_err(WireError::from)?;
+    if got < len {
+        return Err(WireError::Truncated {
+            context: "frame payload",
+        });
+    }
+    let actual = crc32(&payload);
+    if actual != header.crc {
+        return Err(WireError::ChecksumMismatch {
+            expected: header.crc,
+            actual,
+        });
+    }
+    Ok((header, payload))
+}
+
+// ---------------------------------------------------------------------------
+// Payload primitives
+// ---------------------------------------------------------------------------
+
+/// Append-only payload encoder (little-endian throughout).
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    /// Length-prefixed string, clipped to [`MAX_STR_LEN`] at a char
+    /// boundary: names and messages past the cap degrade to their prefix
+    /// (an over-long archive name simply won't match the catalog) rather
+    /// than producing a payload the peer must reject — which would
+    /// escalate one bad field into a connection-fatal transport error.
+    fn str(&mut self, s: &str) {
+        let mut end = (MAX_STR_LEN as usize).min(s.len());
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        let s = &s[..end];
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn f64s(&mut self, values: &[f64]) {
+        self.u64(values.len() as u64);
+        for v in values {
+            self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+}
+
+/// Checked payload decoder: every read validates its length claim against
+/// the bytes actually remaining before touching (or allocating for) them.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, context: &str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Malformed(format!(
+                "{context}: need {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, context: &str) -> Result<u8, WireError> {
+        Ok(self.take(1, context)?[0])
+    }
+    fn u16(&mut self, context: &str) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, context)?.try_into().expect("2 bytes"),
+        ))
+    }
+    fn u32(&mut self, context: &str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, context)?.try_into().expect("4 bytes"),
+        ))
+    }
+    fn u64(&mut self, context: &str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, context)?.try_into().expect("8 bytes"),
+        ))
+    }
+    fn i64(&mut self, context: &str) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(
+            self.take(8, context)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// `usize` from a `u64` field, rejecting values that cannot index
+    /// memory on this target.
+    fn usize(&mut self, context: &str) -> Result<usize, WireError> {
+        let v = self.u64(context)?;
+        usize::try_from(v)
+            .map_err(|_| WireError::Malformed(format!("{context}: {v} exceeds address space")))
+    }
+
+    fn str(&mut self, context: &str) -> Result<String, WireError> {
+        let len = self.u32(context)?;
+        if len > MAX_STR_LEN {
+            return Err(WireError::Malformed(format!(
+                "{context}: string of {len} bytes exceeds the {MAX_STR_LEN}-byte cap"
+            )));
+        }
+        let bytes = self.take(len as usize, context)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Malformed(format!("{context}: invalid UTF-8")))
+    }
+
+    fn f64s(&mut self, context: &str) -> Result<Vec<f64>, WireError> {
+        let count = self.u64(context)?;
+        // The claim must fit in the bytes that are actually here — this is
+        // the allocation guard: a hostile count of 2^60 is rejected before
+        // any buffer is sized from it.
+        let need = count
+            .checked_mul(8)
+            .ok_or_else(|| WireError::Malformed(format!("{context}: value count overflows")))?;
+        if need > self.remaining() as u64 {
+            return Err(WireError::Malformed(format!(
+                "{context}: {count} values claimed, {} bytes remain",
+                self.remaining()
+            )));
+        }
+        let raw = self.take(need as usize, context)?;
+        let mut values = Vec::with_capacity(count as usize);
+        for chunk in raw.chunks_exact(8) {
+            values.push(f64::from_bits(u64::from_le_bytes(
+                chunk.try_into().expect("8 bytes"),
+            )));
+        }
+        Ok(values)
+    }
+
+    /// Assert the payload was consumed exactly.
+    fn finish(self, context: &str) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::Malformed(format!(
+                "{context}: {} trailing payload bytes",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+const REQ_SLICE: u8 = 1;
+const REQ_EMULATE: u8 = 2;
+const REQ_CATALOG: u8 = 3;
+const REQ_STATS: u8 = 4;
+
+const CQ_LIST_ARCHIVES: u8 = 1;
+const CQ_LIST_MEMBERS: u8 = 2;
+const CQ_MEMBER_INFO: u8 = 3;
+const CQ_LIST_EMULATORS: u8 = 4;
+
+fn encode_request(e: &mut Enc, req: &Request) {
+    match req {
+        Request::Slice(s) => {
+            e.u8(REQ_SLICE);
+            e.str(&s.archive);
+            e.str(&s.member);
+            e.u64(s.range.start);
+            e.u64(s.range.end);
+        }
+        Request::Emulate {
+            emulator,
+            t_max,
+            seed,
+        } => {
+            e.u8(REQ_EMULATE);
+            e.str(emulator);
+            e.u64(*t_max as u64);
+            e.u64(*seed);
+        }
+        Request::Catalog(q) => {
+            e.u8(REQ_CATALOG);
+            match q {
+                CatalogQuery::ListArchives => e.u8(CQ_LIST_ARCHIVES),
+                CatalogQuery::ListMembers { archive } => {
+                    e.u8(CQ_LIST_MEMBERS);
+                    e.str(archive);
+                }
+                CatalogQuery::MemberInfo { archive, member } => {
+                    e.u8(CQ_MEMBER_INFO);
+                    e.str(archive);
+                    e.str(member);
+                }
+                CatalogQuery::ListEmulators => e.u8(CQ_LIST_EMULATORS),
+            }
+        }
+        Request::Stats => e.u8(REQ_STATS),
+    }
+}
+
+fn decode_request(d: &mut Dec) -> Result<Request, WireError> {
+    match d.u8("request tag")? {
+        REQ_SLICE => Ok(Request::Slice(SliceRequest {
+            archive: d.str("slice archive")?,
+            member: d.str("slice member")?,
+            range: {
+                let start = d.u64("slice range start")?;
+                let end = d.u64("slice range end")?;
+                start..end
+            },
+        })),
+        REQ_EMULATE => Ok(Request::Emulate {
+            emulator: d.str("emulate name")?,
+            t_max: d.usize("emulate t_max")?,
+            seed: d.u64("emulate seed")?,
+        }),
+        REQ_CATALOG => {
+            let q = match d.u8("catalog query tag")? {
+                CQ_LIST_ARCHIVES => CatalogQuery::ListArchives,
+                CQ_LIST_MEMBERS => CatalogQuery::ListMembers {
+                    archive: d.str("list-members archive")?,
+                },
+                CQ_MEMBER_INFO => CatalogQuery::MemberInfo {
+                    archive: d.str("member-info archive")?,
+                    member: d.str("member-info member")?,
+                },
+                CQ_LIST_EMULATORS => CatalogQuery::ListEmulators,
+                other => {
+                    return Err(WireError::Malformed(format!(
+                        "unknown catalog query tag {other}"
+                    )))
+                }
+            };
+            Ok(Request::Catalog(q))
+        }
+        REQ_STATS => Ok(Request::Stats),
+        other => Err(WireError::Malformed(format!("unknown request tag {other}"))),
+    }
+}
+
+/// Encode a batch of requests as a request-frame payload.
+pub fn encode_request_batch(requests: &[Request]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u32(requests.len() as u32);
+    for r in requests {
+        encode_request(&mut e, r);
+    }
+    e.buf
+}
+
+/// Decode a request-frame payload. The whole payload must be consumed —
+/// trailing bytes are malformed, mirroring the container's
+/// no-trailing-garbage rule.
+pub fn decode_request_batch(payload: &[u8]) -> Result<Vec<Request>, WireError> {
+    let mut d = Dec::new(payload);
+    let count = d.u32("request count")? as usize;
+    // Every request is at least one tag byte; a count beyond the
+    // remaining bytes is a lie and is rejected before any allocation
+    // is sized from it.
+    if count > d.remaining() {
+        return Err(WireError::Malformed(format!(
+            "{count} requests claimed in a {}-byte payload",
+            d.remaining()
+        )));
+    }
+    let mut requests = Vec::with_capacity(count);
+    for _ in 0..count {
+        requests.push(decode_request(&mut d)?);
+    }
+    d.finish("request batch")?;
+    Ok(requests)
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+const RESP_SLICE: u8 = 1;
+const RESP_EMULATE: u8 = 2;
+const RESP_CATALOG: u8 = 3;
+const RESP_STATS: u8 = 4;
+
+const CA_ARCHIVES: u8 = 1;
+const CA_MEMBERS: u8 = 2;
+const CA_MEMBER: u8 = 3;
+const CA_EMULATORS: u8 = 4;
+
+fn encode_member_info(e: &mut Enc, m: &MemberInfo) {
+    e.str(&m.name);
+    e.u8(m.kind.id());
+    e.u8(m.codec);
+    e.u64(m.t_max);
+    e.u64(m.values_per_slice);
+    e.u64(m.chunks as u64);
+    e.u32(m.snapshot_version);
+}
+
+fn decode_member_info(d: &mut Dec) -> Result<MemberInfo, WireError> {
+    Ok(MemberInfo {
+        name: d.str("member name")?,
+        kind: match d.u8("member kind")? {
+            0 => MemberKind::Field,
+            1 => MemberKind::Snapshot,
+            other => return Err(WireError::Malformed(format!("unknown member kind {other}"))),
+        },
+        codec: d.u8("member codec")?,
+        t_max: d.u64("member t_max")?,
+        values_per_slice: d.u64("member values_per_slice")?,
+        chunks: d.usize("member chunk count")?,
+        snapshot_version: d.u32("member snapshot version")?,
+    })
+}
+
+fn encode_response(e: &mut Enc, resp: &Response) {
+    match resp {
+        Response::Slice(s) => {
+            e.u8(RESP_SLICE);
+            e.str(&s.archive);
+            e.str(&s.member);
+            e.u64(s.range.start);
+            e.u64(s.range.end);
+            e.u64(s.values_per_slice);
+            e.f64s(&s.values);
+        }
+        Response::Emulate(ds) => {
+            e.u8(RESP_EMULATE);
+            e.u64(ds.t_max as u64);
+            e.u64(ds.npoints as u64);
+            e.u64(ds.ntheta as u64);
+            e.u64(ds.nphi as u64);
+            e.i64(ds.start_year);
+            e.u64(ds.tau as u64);
+            e.f64s(&ds.data);
+        }
+        Response::Catalog(a) => {
+            e.u8(RESP_CATALOG);
+            match a {
+                CatalogAnswer::Archives(list) => {
+                    e.u8(CA_ARCHIVES);
+                    e.u32(list.len() as u32);
+                    for a in list {
+                        e.str(&a.name);
+                        e.u64(a.members as u64);
+                        e.u64(a.total_len);
+                    }
+                }
+                CatalogAnswer::Members(list) => {
+                    e.u8(CA_MEMBERS);
+                    e.u32(list.len() as u32);
+                    for m in list {
+                        encode_member_info(e, m);
+                    }
+                }
+                CatalogAnswer::Member(m) => {
+                    e.u8(CA_MEMBER);
+                    encode_member_info(e, m);
+                }
+                CatalogAnswer::Emulators(list) => {
+                    e.u8(CA_EMULATORS);
+                    e.u32(list.len() as u32);
+                    for em in list {
+                        e.str(&em.name);
+                        e.u64(em.lmax as u64);
+                        e.u64(em.grid.0 as u64);
+                        e.u64(em.grid.1 as u64);
+                        e.u64(em.parameter_bytes as u64);
+                    }
+                }
+            }
+        }
+        Response::Stats(s) => {
+            e.u8(RESP_STATS);
+            e.u64(s.slices);
+            e.u64(s.emulations);
+            e.u64(s.catalog_queries);
+            e.u64(s.errors);
+            e.u64(s.batches);
+            e.u64(s.chunk_touches);
+            e.u64(s.chunk_fetches);
+            e.u64(s.chunk_decodes);
+            e.u64(s.busy_nanos);
+        }
+    }
+}
+
+/// Guard a `u32` element count against the bytes remaining: each element
+/// encodes to at least `min_bytes`, so any larger claim is hostile.
+fn check_count(d: &Dec, count: u32, min_bytes: usize, context: &str) -> Result<usize, WireError> {
+    let need = (count as u64).saturating_mul(min_bytes as u64);
+    if need > d.remaining() as u64 {
+        return Err(WireError::Malformed(format!(
+            "{context}: {count} elements claimed, {} bytes remain",
+            d.remaining()
+        )));
+    }
+    Ok(count as usize)
+}
+
+fn decode_response(d: &mut Dec) -> Result<Response, WireError> {
+    match d.u8("response tag")? {
+        RESP_SLICE => {
+            let archive = d.str("slice archive")?;
+            let member = d.str("slice member")?;
+            let start = d.u64("slice range start")?;
+            let end = d.u64("slice range end")?;
+            let values_per_slice = d.u64("slice values_per_slice")?;
+            let values = d.f64s("slice values")?;
+            Ok(Response::Slice(SliceData {
+                archive,
+                member,
+                range: start..end,
+                values_per_slice,
+                values,
+            }))
+        }
+        RESP_EMULATE => {
+            let t_max = d.usize("dataset t_max")?;
+            let npoints = d.usize("dataset npoints")?;
+            let ntheta = d.usize("dataset ntheta")?;
+            let nphi = d.usize("dataset nphi")?;
+            let start_year = d.i64("dataset start_year")?;
+            let tau = d.usize("dataset tau")?;
+            let data = d.f64s("dataset values")?;
+            let expect = t_max
+                .checked_mul(npoints)
+                .ok_or_else(|| WireError::Malformed("dataset geometry overflows".to_string()))?;
+            if data.len() != expect {
+                return Err(WireError::Malformed(format!(
+                    "dataset carries {} values for {t_max}×{npoints} geometry",
+                    data.len()
+                )));
+            }
+            Ok(Response::Emulate(Dataset {
+                data,
+                t_max,
+                npoints,
+                ntheta,
+                nphi,
+                start_year,
+                tau,
+            }))
+        }
+        RESP_CATALOG => {
+            let answer = match d.u8("catalog answer tag")? {
+                CA_ARCHIVES => {
+                    let count = d.u32("archive count")?;
+                    let count = check_count(d, count, 4 + 8 + 8, "archive list")?;
+                    let mut list = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        list.push(ArchiveInfo {
+                            name: d.str("archive name")?,
+                            members: d.usize("archive member count")?,
+                            total_len: d.u64("archive total_len")?,
+                        });
+                    }
+                    CatalogAnswer::Archives(list)
+                }
+                CA_MEMBERS => {
+                    let count = d.u32("member count")?;
+                    let count = check_count(d, count, 4 + 2 + 8 * 3 + 4, "member list")?;
+                    let mut list = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        list.push(decode_member_info(d)?);
+                    }
+                    CatalogAnswer::Members(list)
+                }
+                CA_MEMBER => CatalogAnswer::Member(decode_member_info(d)?),
+                CA_EMULATORS => {
+                    let count = d.u32("emulator count")?;
+                    let count = check_count(d, count, 4 + 8 * 4, "emulator list")?;
+                    let mut list = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        list.push(EmulatorInfo {
+                            name: d.str("emulator name")?,
+                            lmax: d.usize("emulator lmax")?,
+                            grid: (d.usize("emulator ntheta")?, d.usize("emulator nphi")?),
+                            parameter_bytes: d.usize("emulator parameter bytes")?,
+                        });
+                    }
+                    CatalogAnswer::Emulators(list)
+                }
+                other => {
+                    return Err(WireError::Malformed(format!(
+                        "unknown catalog answer tag {other}"
+                    )))
+                }
+            };
+            Ok(Response::Catalog(answer))
+        }
+        RESP_STATS => Ok(Response::Stats(ServeStats {
+            slices: d.u64("stats slices")?,
+            emulations: d.u64("stats emulations")?,
+            catalog_queries: d.u64("stats catalog_queries")?,
+            errors: d.u64("stats errors")?,
+            batches: d.u64("stats batches")?,
+            chunk_touches: d.u64("stats chunk_touches")?,
+            chunk_fetches: d.u64("stats chunk_fetches")?,
+            chunk_decodes: d.u64("stats chunk_decodes")?,
+            busy_nanos: d.u64("stats busy_nanos")?,
+        })),
+        other => Err(WireError::Malformed(format!(
+            "unknown response tag {other}"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors on the wire
+// ---------------------------------------------------------------------------
+
+const SE_ARCHIVE: u8 = 1;
+const SE_EMULATION: u8 = 2;
+const SE_UNKNOWN_ARCHIVE: u8 = 3;
+const SE_UNKNOWN_EMULATOR: u8 = 4;
+const SE_BAD_REQUEST: u8 = 5;
+
+const AE_IO: u8 = 1;
+const AE_BAD_MAGIC: u8 = 2;
+const AE_BAD_VERSION: u8 = 3;
+const AE_CORRUPT: u8 = 4;
+const AE_TRAILING: u8 = 5;
+const AE_TRUNCATED_CHUNK: u8 = 6;
+const AE_CHECKSUM: u8 = 7;
+const AE_UNKNOWN_CODEC: u8 = 8;
+const AE_MEMBER_NOT_FOUND: u8 = 9;
+const AE_DUPLICATE_MEMBER: u8 = 10;
+const AE_BAD_REQUEST: u8 = 11;
+
+fn encode_archive_error(e: &mut Enc, err: &ArchiveError) {
+    match err {
+        ArchiveError::Io(m) => {
+            e.u8(AE_IO);
+            e.str(m);
+        }
+        ArchiveError::BadMagic => e.u8(AE_BAD_MAGIC),
+        ArchiveError::BadVersion(v) => {
+            e.u8(AE_BAD_VERSION);
+            e.u16(*v);
+        }
+        ArchiveError::Corrupt(m) => {
+            e.u8(AE_CORRUPT);
+            e.str(m);
+        }
+        ArchiveError::TrailingBytes { expected, actual } => {
+            e.u8(AE_TRAILING);
+            e.u64(*expected);
+            e.u64(*actual);
+        }
+        ArchiveError::TruncatedChunk { member, chunk } => {
+            e.u8(AE_TRUNCATED_CHUNK);
+            e.str(member);
+            e.u64(*chunk as u64);
+        }
+        ArchiveError::ChecksumMismatch { member, chunk } => {
+            e.u8(AE_CHECKSUM);
+            e.str(member);
+            e.u64(*chunk as u64);
+        }
+        ArchiveError::UnknownCodec(id) => {
+            e.u8(AE_UNKNOWN_CODEC);
+            e.u8(*id);
+        }
+        ArchiveError::MemberNotFound(n) => {
+            e.u8(AE_MEMBER_NOT_FOUND);
+            e.str(n);
+        }
+        ArchiveError::DuplicateMember(n) => {
+            e.u8(AE_DUPLICATE_MEMBER);
+            e.str(n);
+        }
+        ArchiveError::BadRequest(m) => {
+            e.u8(AE_BAD_REQUEST);
+            e.str(m);
+        }
+    }
+}
+
+fn decode_archive_error(d: &mut Dec) -> Result<ArchiveError, WireError> {
+    Ok(match d.u8("archive error tag")? {
+        AE_IO => ArchiveError::Io(d.str("io message")?),
+        AE_BAD_MAGIC => ArchiveError::BadMagic,
+        AE_BAD_VERSION => ArchiveError::BadVersion(d.u16("bad version")?),
+        AE_CORRUPT => ArchiveError::Corrupt(d.str("corrupt message")?),
+        AE_TRAILING => ArchiveError::TrailingBytes {
+            expected: d.u64("trailing expected")?,
+            actual: d.u64("trailing actual")?,
+        },
+        AE_TRUNCATED_CHUNK => ArchiveError::TruncatedChunk {
+            member: d.str("truncated member")?,
+            chunk: d.usize("truncated chunk")?,
+        },
+        AE_CHECKSUM => ArchiveError::ChecksumMismatch {
+            member: d.str("checksum member")?,
+            chunk: d.usize("checksum chunk")?,
+        },
+        AE_UNKNOWN_CODEC => ArchiveError::UnknownCodec(d.u8("codec id")?),
+        AE_MEMBER_NOT_FOUND => ArchiveError::MemberNotFound(d.str("missing member")?),
+        AE_DUPLICATE_MEMBER => ArchiveError::DuplicateMember(d.str("duplicate member")?),
+        AE_BAD_REQUEST => ArchiveError::BadRequest(d.str("bad request message")?),
+        other => {
+            return Err(WireError::Malformed(format!(
+                "unknown archive error tag {other}"
+            )))
+        }
+    })
+}
+
+fn encode_serve_error(e: &mut Enc, err: &ServeError) {
+    match err {
+        ServeError::Archive(inner) => {
+            e.u8(SE_ARCHIVE);
+            encode_archive_error(e, inner);
+        }
+        ServeError::Emulation(m) => {
+            e.u8(SE_EMULATION);
+            e.str(m);
+        }
+        ServeError::UnknownArchive(n) => {
+            e.u8(SE_UNKNOWN_ARCHIVE);
+            e.str(n);
+        }
+        ServeError::UnknownEmulator(n) => {
+            e.u8(SE_UNKNOWN_EMULATOR);
+            e.str(n);
+        }
+        ServeError::BadRequest(m) => {
+            e.u8(SE_BAD_REQUEST);
+            e.str(m);
+        }
+    }
+}
+
+fn decode_serve_error(d: &mut Dec) -> Result<ServeError, WireError> {
+    Ok(match d.u8("serve error tag")? {
+        SE_ARCHIVE => ServeError::Archive(decode_archive_error(d)?),
+        SE_EMULATION => ServeError::Emulation(d.str("emulation message")?),
+        SE_UNKNOWN_ARCHIVE => ServeError::UnknownArchive(d.str("unknown archive")?),
+        SE_UNKNOWN_EMULATOR => ServeError::UnknownEmulator(d.str("unknown emulator")?),
+        SE_BAD_REQUEST => ServeError::BadRequest(d.str("bad request message")?),
+        other => {
+            return Err(WireError::Malformed(format!(
+                "unknown serve error tag {other}"
+            )))
+        }
+    })
+}
+
+/// Encode a batch's responses as a response-frame payload: one
+/// `Result<Response, ServeError>` per request, in request order.
+pub fn encode_response_batch(responses: &[Result<Response, ServeError>]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u32(responses.len() as u32);
+    for r in responses {
+        match r {
+            Ok(resp) => {
+                e.u8(1);
+                encode_response(&mut e, resp);
+            }
+            Err(err) => {
+                e.u8(0);
+                encode_serve_error(&mut e, err);
+            }
+        }
+    }
+    e.buf
+}
+
+/// Decode a response-frame payload (exact inverse of
+/// [`encode_response_batch`]; the round trip is bit-identical, errors
+/// included).
+pub fn decode_response_batch(
+    payload: &[u8],
+) -> Result<Vec<Result<Response, ServeError>>, WireError> {
+    let mut d = Dec::new(payload);
+    let count = d.u32("response count")? as usize;
+    if count > d.remaining() {
+        return Err(WireError::Malformed(format!(
+            "{count} responses claimed in a {}-byte payload",
+            d.remaining()
+        )));
+    }
+    let mut responses = Vec::with_capacity(count);
+    for _ in 0..count {
+        match d.u8("result tag")? {
+            1 => responses.push(Ok(decode_response(&mut d)?)),
+            0 => responses.push(Err(decode_serve_error(&mut d)?)),
+            other => return Err(WireError::Malformed(format!("unknown result tag {other}"))),
+        }
+    }
+    d.finish("response batch")?;
+    Ok(responses)
+}
+
+/// Encode an error-frame payload: the transport failure's display text
+/// (clipped to [`MAX_STR_LEN`] at a char boundary).
+pub fn encode_error_payload(message: &str) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.str(message);
+    e.buf
+}
+
+/// Decode an error-frame payload back to its message.
+pub fn decode_error_payload(payload: &[u8]) -> Result<String, WireError> {
+    let mut d = Dec::new(payload);
+    let msg = d.str("error message")?;
+    d.finish("error payload")?;
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Slice(SliceRequest {
+                archive: "era5".to_string(),
+                member: "t2m".to_string(),
+                range: 3..17,
+            }),
+            Request::Emulate {
+                emulator: "sst-model".to_string(),
+                t_max: 365,
+                seed: 0xDEAD_BEEF,
+            },
+            Request::Catalog(CatalogQuery::ListArchives),
+            Request::Catalog(CatalogQuery::ListMembers {
+                archive: "era5".to_string(),
+            }),
+            Request::Catalog(CatalogQuery::MemberInfo {
+                archive: "era5".to_string(),
+                member: "t2m".to_string(),
+            }),
+            Request::Catalog(CatalogQuery::ListEmulators),
+            Request::Stats,
+        ]
+    }
+
+    fn sample_responses() -> Vec<Result<Response, ServeError>> {
+        vec![
+            Ok(Response::Slice(SliceData {
+                archive: "era5".to_string(),
+                member: "t2m".to_string(),
+                range: 3..17,
+                values_per_slice: 4,
+                values: (0..56).map(|i| 260.0 + f64::from(i) * 0.25).collect(),
+            })),
+            Ok(Response::Emulate(Dataset {
+                data: vec![1.5, -2.5, f64::MIN_POSITIVE, 0.0, -0.0, f64::MAX],
+                t_max: 3,
+                npoints: 2,
+                ntheta: 1,
+                nphi: 2,
+                start_year: -44,
+                tau: 365,
+            })),
+            Ok(Response::Catalog(CatalogAnswer::Archives(vec![
+                ArchiveInfo {
+                    name: "era5".to_string(),
+                    members: 2,
+                    total_len: 12345,
+                },
+            ]))),
+            Ok(Response::Catalog(CatalogAnswer::Member(MemberInfo {
+                name: "t2m".to_string(),
+                kind: MemberKind::Field,
+                codec: 3,
+                t_max: 100,
+                values_per_slice: 64,
+                chunks: 7,
+                snapshot_version: 0,
+            }))),
+            Ok(Response::Catalog(CatalogAnswer::Emulators(vec![
+                EmulatorInfo {
+                    name: "sst-model".to_string(),
+                    lmax: 31,
+                    grid: (32, 64),
+                    parameter_bytes: 8192,
+                },
+            ]))),
+            Ok(Response::Stats(ServeStats {
+                slices: 1,
+                emulations: 2,
+                catalog_queries: 3,
+                errors: 4,
+                batches: 5,
+                chunk_touches: 6,
+                chunk_fetches: 7,
+                chunk_decodes: 8,
+                busy_nanos: 9,
+            })),
+            Err(ServeError::UnknownArchive("gone".to_string())),
+            Err(ServeError::Archive(ArchiveError::ChecksumMismatch {
+                member: "t2m".to_string(),
+                chunk: 3,
+            })),
+            Err(ServeError::Archive(ArchiveError::TrailingBytes {
+                expected: 100,
+                actual: 120,
+            })),
+            Err(ServeError::Emulation("singular matrix".to_string())),
+            Err(ServeError::BadRequest("no".to_string())),
+        ]
+    }
+
+    #[test]
+    fn request_batch_round_trips() {
+        let batch = sample_requests();
+        let payload = encode_request_batch(&batch);
+        assert_eq!(decode_request_batch(&payload).unwrap(), batch);
+    }
+
+    #[test]
+    fn response_batch_round_trips_bit_identically() {
+        let batch = sample_responses();
+        let payload = encode_response_batch(&batch);
+        assert_eq!(decode_response_batch(&payload).unwrap(), batch);
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let payload = encode_request_batch(&sample_requests());
+        let frame = encode_frame(FrameKind::Request, 42, &payload).unwrap();
+        assert_eq!(frame.len(), HEADER_LEN + payload.len());
+        let (header, got) = decode_frame(&frame).unwrap();
+        assert_eq!(header.kind, FrameKind::Request);
+        assert_eq!(header.id, 42);
+        assert_eq!(got, &payload[..]);
+
+        // And through a stream.
+        let mut cursor = std::io::Cursor::new(frame);
+        let (header2, got2) = read_frame(&mut cursor).unwrap();
+        assert_eq!(header2, header);
+        assert_eq!(got2, payload);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut frame = encode_frame(FrameKind::Request, 0, b"xy").unwrap();
+        frame[0] = b'X';
+        assert!(matches!(decode_frame(&frame), Err(WireError::BadMagic(_))));
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut frame = encode_frame(FrameKind::Request, 0, b"xy").unwrap();
+        frame[4] = VERSION + 1;
+        assert_eq!(
+            decode_frame(&frame).unwrap_err(),
+            WireError::Version {
+                got: VERSION + 1,
+                want: VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn oversized_length_claim_is_rejected_before_reading() {
+        let mut header = FrameHeader {
+            kind: FrameKind::Request,
+            id: 0,
+            len: 0,
+            crc: 0,
+        }
+        .encode();
+        header[16..20].copy_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+        // read_frame sees only the header — the reject happens without the
+        // (absent) payload ever being requested or allocated.
+        let mut cursor = std::io::Cursor::new(header.to_vec());
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_bit_fails_the_checksum() {
+        let payload = encode_request_batch(&sample_requests());
+        let mut frame = encode_frame(FrameKind::Request, 9, &payload).unwrap();
+        let last = frame.len() - 1;
+        frame[last] ^= 0x40;
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_is_typed() {
+        let payload = encode_request_batch(&sample_requests());
+        let frame = encode_frame(FrameKind::Request, 1, &payload).unwrap();
+        for cut in 0..frame.len() {
+            let err = decode_frame(&frame[..cut]).unwrap_err();
+            assert!(
+                matches!(err, WireError::Truncated { .. }),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_value_count_is_rejected_without_allocation() {
+        // A slice response claiming 2^56 values in a tiny payload: the
+        // decoder must fail on the length check, not size a buffer from
+        // the claim.
+        let mut e = Enc::new();
+        e.u32(1); // one response
+        e.u8(1); // ok
+        e.u8(RESP_SLICE);
+        e.str("a");
+        e.str("m");
+        e.u64(0);
+        e.u64(1);
+        e.u64(1);
+        e.u64(1 << 56); // hostile count, then no values at all
+        let err = decode_response_batch(&e.buf).unwrap_err();
+        assert!(matches!(err, WireError::Malformed(_)), "{err:?}");
+    }
+
+    #[test]
+    fn trailing_payload_bytes_are_malformed() {
+        let mut payload = encode_request_batch(&sample_requests());
+        payload.push(0);
+        assert!(matches!(
+            decode_request_batch(&payload),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn dataset_geometry_must_match_its_values() {
+        let mut e = Enc::new();
+        e.u8(RESP_EMULATE);
+        e.u64(10); // t_max
+        e.u64(10); // npoints — claims 100 values
+        e.u64(2);
+        e.u64(5);
+        e.i64(2000);
+        e.u64(365);
+        e.f64s(&[1.0, 2.0]); // … but carries 2
+        let mut d = Dec::new(&e.buf);
+        assert!(matches!(
+            decode_response(&mut d),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn over_long_strings_clip_at_a_char_boundary_instead_of_poisoning() {
+        // 65535 ASCII bytes then a multi-byte char straddling the cap: the
+        // encoder must clip below the cap without splitting the char, and
+        // the result must still decode (to the prefix) on the other side.
+        let name = "x".repeat((MAX_STR_LEN - 1) as usize) + "éé";
+        let batch = vec![Request::Emulate {
+            emulator: name.clone(),
+            t_max: 1,
+            seed: 0,
+        }];
+        let decoded = decode_request_batch(&encode_request_batch(&batch)).unwrap();
+        let Request::Emulate { emulator, .. } = &decoded[0] else {
+            panic!()
+        };
+        assert_eq!(emulator.as_str(), &name[..(MAX_STR_LEN - 1) as usize]);
+
+        // Error-frame messages clip the same way.
+        let msg = "m".repeat(MAX_STR_LEN as usize + 100);
+        let decoded = decode_error_payload(&encode_error_payload(&msg)).unwrap();
+        assert_eq!(decoded.len(), MAX_STR_LEN as usize);
+    }
+
+    #[test]
+    fn error_payload_round_trips() {
+        let payload = encode_error_payload("unsupported wire version 3");
+        assert_eq!(
+            decode_error_payload(&payload).unwrap(),
+            "unsupported wire version 3"
+        );
+    }
+}

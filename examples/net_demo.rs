@@ -1,0 +1,176 @@
+//! Network serving demo: a framed-TCP `NetServer` over loopback under
+//! concurrent clients.
+//!
+//! ```text
+//! cargo run --release --example net_demo [-- --threads N --batches N]
+//! ```
+//!
+//! Spawns an in-process [`exaclim_serve::Server`] over a synthetic ERA5
+//! archive, fronts it with [`exaclim_serve::NetServer`] on an ephemeral
+//! loopback port, and drives it from N client threads, each on its own
+//! reused connection, mixing slice reads, catalog queries, and stats
+//! polls. Every slice response is verified bit-identical to the
+//! in-process `handle_batch` answer for the same request, then the demo
+//! reports throughput, latency percentiles, and the transport counters.
+
+use exaclim_climate::{SyntheticEra5, SyntheticEra5Config};
+use exaclim_serve::{
+    CatalogQuery, Client, NetConfig, NetServer, Request, Response, ServeConfig, Server,
+    SliceRequest,
+};
+use exaclim_store::{ArchiveWriter, Codec, FieldMeta};
+use std::io::Cursor;
+use std::sync::Arc;
+use std::time::Instant;
+
+const T_MAX: usize = 128;
+const CHUNK_T: usize = 16;
+const SLICE_T: u64 = 32;
+const BATCH: usize = 16;
+
+fn build_server() -> Arc<Server> {
+    let generator = SyntheticEra5::new(SyntheticEra5Config::small_daily(12));
+    let data = generator.generate_member(0, T_MAX);
+    let meta = FieldMeta {
+        ntheta: data.ntheta,
+        nphi: data.nphi,
+        start_year: data.start_year,
+        tau: data.tau,
+    };
+    let mut w = ArchiveWriter::new(Cursor::new(Vec::new())).unwrap();
+    w.add_field(
+        "t2m",
+        Codec::F32Shuffle,
+        meta,
+        data.npoints,
+        CHUNK_T,
+        &data.data,
+    )
+    .unwrap();
+    let (cursor, _) = w.finish().unwrap();
+    let mut catalog = exaclim_serve::Catalog::new();
+    catalog
+        .open_archive_bytes("era5", cursor.into_inner())
+        .unwrap();
+    Arc::new(Server::new(catalog, ServeConfig::default()))
+}
+
+/// The per-thread workload: mostly slices, a sprinkle of catalog and
+/// stats ops, phase-shifted per thread.
+fn batch_for(thread: u64, round: u64) -> Vec<Request> {
+    let mut requests: Vec<Request> = (0..BATCH as u64)
+        .map(|i| {
+            let t0 = (thread * 17 + round * 5 + i * 7) % (T_MAX as u64 - SLICE_T);
+            Request::Slice(SliceRequest {
+                archive: "era5".to_string(),
+                member: "t2m".to_string(),
+                range: t0..t0 + SLICE_T,
+            })
+        })
+        .collect();
+    if round.is_multiple_of(4) {
+        requests.push(Request::Catalog(CatalogQuery::ListArchives));
+    }
+    if round.is_multiple_of(8) {
+        requests.push(Request::Stats);
+    }
+    requests
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str, default: usize| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let threads = flag("--threads", 4);
+    let batches = flag("--batches", 20);
+
+    let server = build_server();
+    let handle = NetServer::bind("127.0.0.1:0", Arc::clone(&server), NetConfig::default())
+        .unwrap()
+        .spawn();
+    let addr = handle.addr();
+    println!("serving on {addr} — {threads} client threads × {batches} batches of {BATCH} slices");
+
+    let start = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads as u64)
+            .map(|t| {
+                let server = &server;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let mut lat = Vec::with_capacity(batches);
+                    for round in 0..batches as u64 {
+                        let batch = batch_for(t, round);
+                        let t0 = Instant::now();
+                        let responses = client.batch(&batch).unwrap();
+                        lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                        // Every wire answer must be bit-identical to the
+                        // in-process answer for the same request.
+                        for (req, resp) in batch.iter().zip(&responses) {
+                            match (req, resp) {
+                                (Request::Slice(_), Ok(Response::Slice(got))) => {
+                                    let Ok(Response::Slice(want)) = server.handle(req) else {
+                                        panic!("in-process slice failed");
+                                    };
+                                    assert_eq!(got.values, want.values, "wire diverged");
+                                }
+                                (Request::Catalog(_), Ok(Response::Catalog(_))) => {}
+                                (Request::Stats, Ok(Response::Stats(_))) => {}
+                                (req, resp) => panic!("unexpected answer {resp:?} to {req:?}"),
+                            }
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+    let total_batches = (threads * batches) as f64;
+    let requests = server.stats().slices + server.stats().catalog_queries;
+
+    println!(
+        "\n{requests} requests in {elapsed:.3} s ({:.0} req/s)",
+        requests as f64 / elapsed
+    );
+    println!(
+        "batch latency over the wire: p50 {:.0} µs, p95 {:.0} µs, p99 {:.0} µs ({:.0} batches/s)",
+        pct(0.50),
+        pct(0.95),
+        pct(0.99),
+        total_batches / elapsed
+    );
+
+    let net = handle.net_stats();
+    println!(
+        "transport: {} connections, {} frames in / {} out, {:.2} MiB in / {:.2} MiB out, {} wire errors",
+        net.connections,
+        net.frames_in,
+        net.frames_out,
+        net.bytes_in as f64 / (1 << 20) as f64,
+        net.bytes_out as f64 / (1 << 20) as f64,
+        net.wire_errors
+    );
+    let cache = server.cache_stats();
+    println!(
+        "serve: {} chunk decodes, cache {} hits / {} misses",
+        server.stats().chunk_decodes,
+        cache.hits,
+        cache.misses
+    );
+
+    handle.shutdown();
+    println!("shut down cleanly");
+}

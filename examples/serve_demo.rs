@@ -159,7 +159,7 @@ fn main() {
             match response {
                 Ok(Response::Slice(_)) => latencies_us[0].push(batch_us),
                 Ok(Response::Emulate(_)) => latencies_us[1].push(batch_us),
-                Ok(Response::Catalog(_)) => latencies_us[2].push(batch_us),
+                Ok(Response::Catalog(_)) | Ok(Response::Stats(_)) => latencies_us[2].push(batch_us),
                 Err(e) => panic!("request failed in round {round}: {e}"),
             }
         }
