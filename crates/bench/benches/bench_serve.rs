@@ -37,6 +37,7 @@ fn build_server(codec: Codec, cache_bytes: usize) -> Server {
         ServeConfig {
             cache_bytes,
             cache_shards: 8,
+            ..ServeConfig::default()
         },
     )
 }
@@ -132,6 +133,7 @@ fn bench_serve(c: &mut Criterion) {
             ServeConfig {
                 cache_bytes: 0,
                 cache_shards: 8,
+                ..ServeConfig::default()
             },
         );
         group.bench_with_input(

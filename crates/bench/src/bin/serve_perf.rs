@@ -1,6 +1,8 @@
 //! Serving-path performance report: multi-threaded cold/warm slice reads
 //! over the mutexed (buffered-file) and zero-copy (mmap) byte-source
-//! backends, plus a hot-chunk stampede showing single-flight dedup.
+//! backends, a scenario-engine workload (ensemble fan-out + derived
+//! statistics through the product cache), plus a hot-chunk stampede
+//! showing single-flight dedup.
 //!
 //! ```text
 //! cargo run --release -p exaclim-bench --bin serve_perf [-- --json]
@@ -11,9 +13,11 @@
 //! recorded PR over PR. Knobs: `--threads N` (client threads, default 8),
 //! `--batches N` (batches per thread, default 24).
 
+use exaclim::{ClimateEmulator, EmulatorConfig};
 use exaclim_climate::{SyntheticEra5, SyntheticEra5Config};
 use exaclim_serve::{
-    Catalog, Client, NetConfig, NetServer, Request, Response, ServeConfig, Server, SliceRequest,
+    Catalog, Client, NetConfig, NetServer, ProductDescriptor, ProductSource, ProductStat, Request,
+    Response, ScenarioSpec, ServeConfig, Server, SliceRequest,
 };
 use exaclim_store::{open_file_source, ArchiveWriter, Codec, FieldMeta};
 use std::io::Cursor;
@@ -24,6 +28,10 @@ const T_MAX: usize = 256;
 const CHUNK_T: usize = 16;
 const SLICE_T: u64 = 48;
 const BATCH: usize = 32;
+
+/// Scenario-engine workload shape: ensemble size and horizon per request.
+const ENS_T: u64 = 64;
+const ENS_R: u32 = 4;
 
 /// One measured scenario.
 struct Scenario {
@@ -137,8 +145,24 @@ fn server_for(path: &std::path::Path, use_mmap: bool, cache_bytes: usize) -> Ser
         ServeConfig {
             cache_bytes,
             cache_shards: 8,
+            ..ServeConfig::default()
         },
     )
+}
+
+/// Like [`server_for`], but with a trained emulator registered so the
+/// scenario engine has an ensemble source.
+fn scenario_server_for(path: &std::path::Path) -> Server {
+    let mut catalog = Catalog::new();
+    catalog
+        .open_archive_source("a", open_file_source(path, true).unwrap())
+        .unwrap();
+    let generator = SyntheticEra5::new(SyntheticEra5Config::small_daily(12));
+    let training = generator.generate_member(0, 2 * 365);
+    let emulator = ClimateEmulator::train(&training, EmulatorConfig::small(8))
+        .expect("training succeeds at bench scale");
+    catalog.register_emulator("em", emulator).unwrap();
+    Server::new(catalog, ServeConfig::default())
 }
 
 /// A batch of overlapping slice reads, phase-shifted per thread so the
@@ -154,6 +178,98 @@ fn slice_batch(thread: u64) -> Vec<Request> {
             })
         })
         .collect()
+}
+
+/// One scenario-engine batch: an ensemble fan-out plus derived
+/// statistics over the archive and over fresh ensemble output. Seeds and
+/// windows are phase-shifted per thread so threads share some product
+/// descriptors (exercising the product cache) without all colliding.
+fn product_batch(thread: u64) -> Vec<Request> {
+    let t0 = (thread * 11) % (T_MAX as u64 - SLICE_T);
+    let spec = |seed: u64| ScenarioSpec {
+        emulator: "em".to_string(),
+        t_max: ENS_T,
+        seed,
+        realizations: ENS_R,
+    };
+    vec![
+        Request::Ensemble(spec(thread % 2)),
+        Request::Product(ProductDescriptor {
+            source: ProductSource::Member {
+                archive: "a".to_string(),
+                member: "t2m".to_string(),
+            },
+            stat: ProductStat::MeanStd,
+            time: Some(t0..t0 + SLICE_T),
+            space: None,
+        }),
+        Request::Product(ProductDescriptor {
+            source: ProductSource::Ensemble(spec(7)),
+            stat: ProductStat::TukeyExtremes { tail_per_mille: 25 },
+            time: None,
+            space: None,
+        }),
+        Request::Product(ProductDescriptor {
+            source: ProductSource::Member {
+                archive: "a".to_string(),
+                member: "t2m".to_string(),
+            },
+            stat: ProductStat::Anomaly {
+                archive: "a".to_string(),
+                member: "t2m".to_string(),
+            },
+            time: Some(t0..t0 + SLICE_T),
+            space: None,
+        }),
+    ]
+}
+
+/// Drive the scenario-engine workload: `threads × batches_per_thread`
+/// mixed ensemble + derived-statistic batches against one server, so
+/// repeat descriptors hit the product cache.
+fn run_scenario_products(server: &Server, threads: usize, batches_per_thread: usize) -> Scenario {
+    let start = Instant::now();
+    let per_thread: Vec<(Vec<f64>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads as u64)
+            .map(|t| {
+                scope.spawn(move || {
+                    let batch = product_batch(t);
+                    let mut lat = Vec::with_capacity(batches_per_thread);
+                    let mut values = 0u64;
+                    for _ in 0..batches_per_thread {
+                        let t0 = Instant::now();
+                        let responses = server.handle_batch(&batch);
+                        lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                        for r in &responses {
+                            match r {
+                                Ok(Response::Product(p)) => values += p.values.len() as u64,
+                                other => panic!("product request failed: {other:?}"),
+                            }
+                        }
+                    }
+                    (lat, values)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let mut latencies: Vec<f64> = per_thread.iter().flat_map(|(l, _)| l.clone()).collect();
+    let values: u64 = per_thread.iter().map(|(_, v)| v).sum();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+    let requests = (threads * batches_per_thread * product_batch(0).len()) as u64;
+    Scenario {
+        name: "serve_scenario",
+        backend: "mmap",
+        threads,
+        batches_per_thread,
+        elapsed_s,
+        served_mib: values as f64 * 8.0 / (1 << 20) as f64,
+        requests,
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+    }
 }
 
 /// Drive `threads × batches_per_thread` batches and collect wall time +
@@ -208,14 +324,30 @@ fn run_scenario(
     }
 }
 
-fn write_json(path: &str, scenarios: &[Scenario], speedup_cold: f64, stampede: (u64, u64, u64)) {
+/// Product-cache counters recorded from the scenario-engine workload:
+/// hits, misses, flight leads, coalesced waits, and computed products.
+struct ProductCounters {
+    hits: u64,
+    misses: u64,
+    flight_leads: u64,
+    flight_waits: u64,
+    computes: u64,
+}
+
+fn write_json(
+    path: &str,
+    scenarios: &[Scenario],
+    speedup_cold: f64,
+    stampede: (u64, u64, u64),
+    product: &ProductCounters,
+) {
     // Schema version of this file; bump when fields change meaning. The
     // env block records the matrix leg the run came from, so CI artifacts
     // from different legs are comparable at the top level.
     let threads_env = std::env::var("EXACLIM_THREADS").unwrap_or_else(|_| "default".to_string());
     let mmap_env = std::env::var("EXACLIM_MMAP").unwrap_or_else(|_| "default".to_string());
     let mut out = format!(
-        "{{\n  \"bench\": \"serve\",\n  \"version\": 2,\n  \
+        "{{\n  \"bench\": \"serve\",\n  \"version\": 3,\n  \
          \"env\": {{\"EXACLIM_THREADS\": \"{threads_env}\", \"EXACLIM_MMAP\": \"{mmap_env}\"}},\n  \
          \"scenarios\": [\n"
     );
@@ -240,7 +372,9 @@ fn write_json(path: &str, scenarios: &[Scenario], speedup_cold: f64, stampede: (
     let (decodes, leads, waits) = stampede;
     out.push_str(&format!(
         "  ],\n  \"cold_mmap_over_mutexed_speedup\": {speedup_cold:.3},\n  \
-         \"stampede\": {{\"chunk_decodes\": {decodes}, \"flight_leads\": {leads}, \"flight_waits\": {waits}}}\n}}\n"
+         \"stampede\": {{\"chunk_decodes\": {decodes}, \"flight_leads\": {leads}, \"flight_waits\": {waits}}},\n  \
+         \"product_cache\": {{\"hits\": {}, \"misses\": {}, \"flight_leads\": {}, \"flight_waits\": {}, \"computes\": {}}}\n}}\n",
+        product.hits, product.misses, product.flight_leads, product.flight_waits, product.computes
     ));
     std::fs::write(path, out).unwrap();
     println!("wrote {path}");
@@ -306,6 +440,24 @@ fn main() {
         scenarios.push(run_net_scenario(server, threads, batches, npoints));
     }
 
+    // Scenario engine: mixed ensemble fan-out + derived statistics; the
+    // repeat descriptors across batches land in the product cache, so
+    // throughput here is the cached-product serve rate after the first
+    // round computes each distinct product once.
+    let product = {
+        let server = scenario_server_for(&path);
+        let scenario = run_scenario_products(&server, threads, batches);
+        scenarios.push(scenario);
+        let cache = server.product_cache_stats();
+        ProductCounters {
+            hits: cache.hits,
+            misses: cache.misses,
+            flight_leads: cache.flight_leads,
+            flight_waits: cache.flight_waits,
+            computes: server.stats().product_computes,
+        }
+    };
+
     // Stampede: every thread fires the same single-slice batch at a cold
     // server; the single-flight map must hold decodes at one per chunk.
     let stampede = {
@@ -354,9 +506,19 @@ fn main() {
         "stampede over {} unique chunks: {decodes} decodes, {leads} leads, {waits} coalesced waits",
         SLICE_T.div_ceil(CHUNK_T as u64)
     );
+    println!(
+        "product cache: {} hits, {} misses, {} leads, {} coalesced waits, {} computed products",
+        product.hits, product.misses, product.flight_leads, product.flight_waits, product.computes
+    );
 
     if json {
-        write_json("BENCH_serve.json", &scenarios, speedup_cold, stampede);
+        write_json(
+            "BENCH_serve.json",
+            &scenarios,
+            speedup_cold,
+            stampede,
+            &product,
+        );
     }
     std::fs::remove_file(&path).ok();
 }

@@ -1,37 +1,53 @@
-//! Sharded LRU cache of decoded field chunks.
+//! Sharded LRU caches of decoded values: chunks and derived products.
 //!
-//! The cache holds whole decoded chunks — the unit
-//! [`exaclim_store::ArchiveReader::read_field_chunk`] produces — keyed by
-//! `(archive, member, chunk)`. Entries are immutable `Arc<[f64]>` values:
-//! a hit hands out another reference to bytes that can never change, so
-//! readers can never observe a torn or partially evicted chunk, and
-//! eviction merely drops the cache's own reference while in-flight
-//! requests keep theirs alive.
+//! [`ValueCache`] is generic over its key ([`CacheKey`]) and stores
+//! immutable `Arc<[f64]>` blocks: a hit hands out another reference to
+//! bytes that can never change, so readers can never observe a torn or
+//! partially evicted entry, and eviction merely drops the cache's own
+//! reference while in-flight requests keep theirs alive. Two
+//! instantiations serve the server:
+//!
+//! * [`ChunkCache`] — whole decoded chunks, the unit
+//!   [`exaclim_store::ArchiveReader::read_field_chunk`] produces, keyed
+//!   by `(archive, member, chunk)` indices ([`ChunkKey`]),
+//! * [`ProductCache`] — evaluated derived products of the scenario
+//!   engine, keyed by the canonical descriptor hash
+//!   ([`crate::product::ProductKey`]).
 //!
 //! **Eviction** is byte-budgeted LRU per shard: the configured budget is
 //! split evenly across shards, and an insert that would overflow its shard
-//! evicts least-recently-used entries until the new chunk fits. A chunk
+//! evicts least-recently-used entries until the new value fits. A value
 //! larger than one shard's budget is served but never cached. Keys are
-//! spread across shards by a fixed multiplicative hash, so two requests
-//! for different chunks almost always lock different shards.
+//! spread across shards by a fixed multiplicative hash of
+//! [`CacheKey::pack`], so two requests for different entries almost
+//! always lock different shards.
 //!
-//! **Single-flight decode.** Concurrent misses on the same chunk from
-//! *different* batches (the batcher already dedups within one) coalesce
-//! through a reservation map: the first fetcher becomes the **leader**
-//! ([`Fetch::Lead`]) and decodes; every racer gets a [`Fetch::Wait`]
-//! handle and parks on the leader's [`Flight`] instead of redecoding. The
-//! leader publishes its result (inserting into the cache first, removing
-//! the reservation second — under the reservation lock — so a key is
-//! always either cached or reserved once a decode has started), and a
-//! dropped leader fails its waiters rather than hanging them. The
-//! reservation lock is only ever touched on a cache miss; hits stay on
-//! the lock-free shard fast path.
+//! **Single-flight.** Concurrent misses on the same key from *different*
+//! batches (the batcher already dedups within one) coalesce through a
+//! reservation map: the first fetcher becomes the **leader**
+//! ([`Fetch::Lead`]) and computes; every racer gets a [`Fetch::Wait`]
+//! handle and parks on the leader's [`Flight`] instead of recomputing.
+//! The leader publishes its result (inserting into the cache first,
+//! removing the reservation second — under the reservation lock — so a
+//! key is always either cached or reserved once a computation has
+//! started), and a dropped leader fails its waiters rather than hanging
+//! them. The reservation lock is only ever touched on a cache miss; hits
+//! stay on the lock-free shard fast path.
 
 use crate::error::ServeError;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// A cache key: small, copyable, and reducible to a well-mixed `u64` for
+/// shard selection.
+pub trait CacheKey: Copy + Eq + std::hash::Hash + Send + Sync + std::fmt::Debug + 'static {
+    /// Pack the key into one `u64`; the cache spreads shards by a
+    /// multiplicative hash of this value, so distinct keys should pack
+    /// distinctly (collisions cost shard balance, never correctness).
+    fn pack(&self) -> u64;
+}
 
 /// Identity of one decoded chunk in the cache.
 ///
@@ -49,7 +65,19 @@ pub struct ChunkKey {
     pub chunk: u32,
 }
 
-/// One cached chunk with its LRU stamp.
+impl CacheKey for ChunkKey {
+    fn pack(&self) -> u64 {
+        (u64::from(self.archive) << 44) ^ (u64::from(self.member) << 22) ^ u64::from(self.chunk)
+    }
+}
+
+impl CacheKey for crate::product::ProductKey {
+    fn pack(&self) -> u64 {
+        self.hi ^ self.lo.rotate_left(32)
+    }
+}
+
+/// One cached value block with its LRU stamp.
 struct Entry {
     values: Arc<[f64]>,
     /// Last-touch tick; smallest stamp in a shard is the LRU entry.
@@ -57,33 +85,35 @@ struct Entry {
 }
 
 /// Entries and bookkeeping of one shard, guarded by one mutex.
-struct Shard {
-    map: HashMap<ChunkKey, Entry>,
+struct Shard<K> {
+    map: HashMap<K, Entry>,
     /// Decoded bytes currently held (8 × values).
     bytes: usize,
     /// Monotonic touch counter feeding the stamps.
     tick: u64,
 }
 
-/// Point-in-time counters of a [`ChunkCache`].
+/// Point-in-time counters of one [`ValueCache`] instance. The chunk and
+/// product caches each keep their own, so chunk traffic and product
+/// traffic never mix in one set of counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Lookups that found the chunk.
+    /// Lookups that found the entry.
     pub hits: u64,
     /// Lookups that missed.
     pub misses: u64,
     /// Entries evicted to make room.
     pub evictions: u64,
-    /// Inserts rejected because the chunk alone exceeds a shard budget.
+    /// Inserts rejected because the value alone exceeds a shard budget.
     pub oversize_rejects: u64,
     /// Decoded bytes currently resident.
     pub resident_bytes: u64,
-    /// Chunks currently resident.
+    /// Entries currently resident.
     pub resident_chunks: u64,
-    /// Misses that became single-flight leaders (decoded the chunk).
+    /// Misses that became single-flight leaders (computed the value).
     pub flight_leads: u64,
-    /// Misses that coalesced onto an in-flight decode instead of
-    /// redecoding — cross-batch stampede work the reservation map saved.
+    /// Misses that coalesced onto an in-flight computation instead of
+    /// recomputing — cross-batch stampede work the reservation map saved.
     pub flight_waits: u64,
 }
 
@@ -99,7 +129,8 @@ impl CacheStats {
     }
 }
 
-/// Sharded, byte-budgeted LRU cache of decoded chunks.
+/// Sharded, byte-budgeted LRU cache of immutable `Arc<[f64]>` blocks
+/// with single-flight stampede protection, generic over its key.
 ///
 /// ```
 /// use exaclim_serve::cache::{ChunkCache, ChunkKey};
@@ -113,15 +144,15 @@ impl CacheStats {
 /// let stats = cache.stats();
 /// assert_eq!((stats.hits, stats.misses), (1, 1));
 /// ```
-pub struct ChunkCache {
-    shards: Vec<Mutex<Shard>>,
+pub struct ValueCache<K: CacheKey> {
+    shards: Vec<Mutex<Shard<K>>>,
     /// Byte budget of each shard (total budget / shard count).
     shard_budget: usize,
-    /// Reservations of chunks currently being decoded, keyed like the
+    /// Reservations of values currently being computed, keyed like the
     /// cache. Touched only on misses; completion removes the entry under
     /// this lock *after* the cache insert, so post-completion fetchers
     /// always find the cached value.
-    inflight: Mutex<HashMap<ChunkKey, Arc<Flight>>>,
+    inflight: Mutex<HashMap<K, Arc<Flight>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -130,14 +161,21 @@ pub struct ChunkCache {
     flight_waits: AtomicU64,
 }
 
-/// One in-flight chunk decode, shared between its leader and waiters.
+/// The cache of decoded field chunks, keyed by [`ChunkKey`].
+pub type ChunkCache = ValueCache<ChunkKey>;
+
+/// The cache of evaluated derived products, keyed by
+/// [`crate::product::ProductKey`].
+pub type ProductCache = ValueCache<crate::product::ProductKey>;
+
+/// One in-flight computation, shared between its leader and waiters.
 pub struct Flight {
     state: Mutex<FlightState>,
     done: Condvar,
 }
 
 enum FlightState {
-    /// The leader is still decoding.
+    /// The leader is still computing.
     Pending,
     /// The leader published its result (waiters clone it).
     Done(Result<Arc<[f64]>, ServeError>),
@@ -163,7 +201,7 @@ impl Flight {
     }
 
     /// Block until the leader publishes, then return its result. The
-    /// leader is always another thread actively decoding on its own
+    /// leader is always another thread actively computing on its own
     /// worker (never queued behind this one), so waiting cannot deadlock;
     /// a leader that dies publishes an error from its guard's `Drop`.
     pub fn wait(&self) -> Result<Arc<[f64]>, ServeError> {
@@ -182,45 +220,45 @@ impl Flight {
     }
 }
 
-/// Outcome of [`ChunkCache::begin_fetch`].
+/// Outcome of [`ValueCache::begin_fetch`].
 #[derive(Debug)]
-pub enum Fetch<'a> {
-    /// Cache hit: the decoded chunk.
+pub enum Fetch<'a, K: CacheKey> {
+    /// Cache hit: the stored values.
     Ready(Arc<[f64]>),
-    /// Cache miss with no decode in flight: the caller is the leader and
-    /// **must** resolve the guard via [`FlightLead::finish`] (dropping it
-    /// fails the flight, so waiters never hang).
-    Lead(FlightLead<'a>),
-    /// Another fetch is already decoding this chunk: park on it via
+    /// Cache miss with no computation in flight: the caller is the leader
+    /// and **must** resolve the guard via [`FlightLead::finish`]
+    /// (dropping it fails the flight, so waiters never hang).
+    Lead(FlightLead<'a, K>),
+    /// Another fetch is already computing this value: park on it via
     /// [`Flight::wait`].
     Wait(Arc<Flight>),
 }
 
-/// Leadership of one in-flight decode; ties the reservation to the cache
-/// it was made in.
+/// Leadership of one in-flight computation; ties the reservation to the
+/// cache it was made in.
 #[derive(Debug)]
-pub struct FlightLead<'a> {
-    cache: &'a ChunkCache,
-    key: ChunkKey,
+pub struct FlightLead<'a, K: CacheKey> {
+    cache: &'a ValueCache<K>,
+    key: K,
     flight: Arc<Flight>,
     resolved: bool,
 }
 
-impl FlightLead<'_> {
-    /// Publish the decode result: a success is inserted into the cache
-    /// (before the reservation is released) and handed to every waiter;
-    /// an error is handed to the waiters as-is.
+impl<K: CacheKey> FlightLead<'_, K> {
+    /// Publish the result: a success is inserted into the cache (before
+    /// the reservation is released) and handed to every waiter; an error
+    /// is handed to the waiters as-is.
     pub fn finish(mut self, result: Result<Arc<[f64]>, ServeError>) {
         self.resolved = true;
         self.cache.complete_flight(self.key, &self.flight, result);
     }
 }
 
-impl Drop for FlightLead<'_> {
+impl<K: CacheKey> Drop for FlightLead<'_, K> {
     fn drop(&mut self) {
         if !self.resolved {
-            // The leader unwound (panic in decode) — fail the waiters
-            // instead of leaving them parked forever.
+            // The leader unwound (panic mid-computation) — fail the
+            // waiters instead of leaving them parked forever.
             self.cache.complete_flight(
                 self.key,
                 &self.flight,
@@ -232,27 +270,27 @@ impl Drop for FlightLead<'_> {
     }
 }
 
-impl std::fmt::Debug for ChunkCache {
+impl<K: CacheKey> std::fmt::Debug for ValueCache<K> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ChunkCache")
+        f.debug_struct("ValueCache")
             .field("shards", &self.shards.len())
             .field("shard_budget", &self.shard_budget)
             .finish()
     }
 }
 
-impl ChunkCache {
+impl<K: CacheKey> ValueCache<K> {
     /// Bytes of budget below which a shard is not worth its lock: the
     /// shard count is reduced until every shard holds at least this much
     /// (or one shard remains), so small budgets degrade to fewer shards
-    /// instead of shards too small to fit any chunk.
+    /// instead of shards too small to fit any entry.
     pub const MIN_SHARD_BUDGET: usize = 8 << 20;
 
     /// Build a cache holding at most `budget_bytes` of decoded values,
     /// split evenly across up to `shards` independently locked shards
     /// (clamped to `1..=1024`, and reduced so each shard gets at least
-    /// [`ChunkCache::MIN_SHARD_BUDGET`] — a tiny budget becomes one
-    /// shard, never many useless ones). A chunk larger than one shard's
+    /// [`ValueCache::MIN_SHARD_BUDGET`] — a tiny budget becomes one
+    /// shard, never many useless ones). A value larger than one shard's
     /// share is served but not cached. A budget of 0 disables caching:
     /// every `get` misses and every `insert` is dropped, which is the
     /// "cold" configuration the benches compare against.
@@ -282,16 +320,14 @@ impl ChunkCache {
     }
 
     /// Shard owning `key` (fixed multiplicative hash of the packed key).
-    fn shard_of(&self, key: ChunkKey) -> &Mutex<Shard> {
-        let packed =
-            (u64::from(key.archive) << 44) ^ (u64::from(key.member) << 22) ^ u64::from(key.chunk);
-        let h = packed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    fn shard_of(&self, key: K) -> &Mutex<Shard<K>> {
+        let h = key.pack().wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let idx = (h >> 32) as usize % self.shards.len();
         &self.shards[idx]
     }
 
-    /// Look up a chunk, refreshing its LRU position on a hit.
-    pub fn get(&self, key: ChunkKey) -> Option<Arc<[f64]>> {
+    /// Look up an entry, refreshing its LRU position on a hit.
+    pub fn get(&self, key: K) -> Option<Arc<[f64]>> {
         let mut shard = self.shard_of(key).lock();
         shard.tick += 1;
         let tick = shard.tick;
@@ -311,30 +347,30 @@ impl ChunkCache {
         }
     }
 
-    /// Look up a chunk without touching the hit/miss counters or the LRU
-    /// stamp — the double-check inside [`ChunkCache::begin_fetch`], whose
+    /// Look up an entry without touching the hit/miss counters or the LRU
+    /// stamp — the double-check inside [`ValueCache::begin_fetch`], whose
     /// first (counted) lookup already classified this fetch.
-    fn peek(&self, key: ChunkKey) -> Option<Arc<[f64]>> {
+    fn peek(&self, key: K) -> Option<Arc<[f64]>> {
         let shard = self.shard_of(key).lock();
         shard.map.get(&key).map(|e| Arc::clone(&e.values))
     }
 
-    /// Start resolving a chunk with cross-batch stampede protection.
+    /// Start resolving a value with cross-batch stampede protection.
     ///
     /// * [`Fetch::Ready`] — cached; nothing to do.
-    /// * [`Fetch::Lead`] — this caller owns the (single) decode; it must
-    ///   call [`FlightLead::finish`] with the outcome.
-    /// * [`Fetch::Wait`] — some other caller is decoding this very chunk;
-    ///   [`Flight::wait`] returns its published result.
+    /// * [`Fetch::Lead`] — this caller owns the (single) computation; it
+    ///   must call [`FlightLead::finish`] with the outcome.
+    /// * [`Fetch::Wait`] — some other caller is computing this very
+    ///   value; [`Flight::wait`] returns its published result.
     ///
     /// The fast path is one counted cache lookup — identical to
-    /// [`ChunkCache::get`] — so hits never touch the reservation lock.
+    /// [`ValueCache::get`] — so hits never touch the reservation lock.
     /// On a miss, the reservation map is consulted (and the cache
     /// re-checked) under the reservation lock; because a completing
     /// leader inserts into the cache *before* releasing its reservation,
     /// every fetch lands in exactly one of the three arms and at most one
-    /// decode per chunk can be in flight.
-    pub fn begin_fetch(&self, key: ChunkKey) -> Fetch<'_> {
+    /// computation per key can be in flight.
+    pub fn begin_fetch(&self, key: K) -> Fetch<'_, K> {
         if let Some(values) = self.get(key) {
             return Fetch::Ready(values);
         }
@@ -369,10 +405,10 @@ impl ChunkCache {
     /// guaranteed to find the value cached by its double-check. The
     /// insert itself (shard lock + possible LRU eviction loop) runs
     /// *outside* the reservation lock so leaders completing unrelated
-    /// chunks never serialize on it.
+    /// keys never serialize on it.
     fn complete_flight(
         &self,
-        key: ChunkKey,
+        key: K,
         flight: &Arc<Flight>,
         result: Result<Arc<[f64]>, ServeError>,
     ) {
@@ -383,12 +419,12 @@ impl ChunkCache {
         flight.publish(result);
     }
 
-    /// Insert a decoded chunk, evicting LRU entries of its shard until it
-    /// fits. Re-inserting an existing key refreshes the value (the bytes
-    /// are identical by construction — both sides decoded the same
-    /// checksummed chunk). Chunks larger than one shard's budget are not
-    /// cached.
-    pub fn insert(&self, key: ChunkKey, values: Arc<[f64]>) {
+    /// Insert a value, evicting LRU entries of its shard until it fits.
+    /// Re-inserting an existing key refreshes the value (the bytes are
+    /// identical by construction — both sides computed the same
+    /// deterministic function of the same inputs). Values larger than one
+    /// shard's budget are not cached.
+    pub fn insert(&self, key: K, values: Arc<[f64]>) {
         let cost = std::mem::size_of_val(values.as_ref());
         if cost > self.shard_budget {
             self.oversize_rejects.fetch_add(1, Ordering::Relaxed);
@@ -675,5 +711,30 @@ mod tests {
         let _ = cache.get(key(1));
         let _ = cache.get(key(2));
         assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_cache_instantiates_independently() {
+        use crate::product::{ProductDescriptor, ProductSource, ProductStat};
+        let products = ProductCache::new(1 << 16, 2);
+        let d = ProductDescriptor {
+            source: ProductSource::Member {
+                archive: "a".to_string(),
+                member: "m".to_string(),
+            },
+            stat: ProductStat::MeanStd,
+            time: None,
+            space: None,
+        };
+        let Fetch::Lead(lead) = products.begin_fetch(d.key()) else {
+            panic!("first product fetch must lead");
+        };
+        lead.finish(Ok(chunk_of(2, 3.5)));
+        let Fetch::Ready(v) = products.begin_fetch(d.key()) else {
+            panic!("product must be cached");
+        };
+        assert_eq!(v.as_ref(), &[3.5; 2]);
+        let s = products.stats();
+        assert_eq!((s.hits, s.misses, s.flight_leads), (1, 1, 1));
     }
 }

@@ -8,7 +8,11 @@
 //!   from whole decoded chunks,
 //! * **emulation runs** — a registered [`exaclim::TrainedEmulator`] run
 //!   forward for `(t_max, seed)`,
-//! * **catalog queries** — archive, member, and emulator metadata.
+//! * **catalog queries** — archive, member, and emulator metadata,
+//! * **derived products** — the scenario engine: ensemble fan-out and
+//!   server-side statistics (anomaly, mean/std, trend, persistence,
+//!   Tukey extremes) over archive members or fresh ensemble output,
+//!   described by a [`ProductDescriptor`] and cached by content hash.
 //!
 //! The architecture is the one `exaclim-store`'s chunk granularity was
 //! designed for:
@@ -26,6 +30,11 @@
 //!   one decode,
 //! * [`batch`] — request coalescing: a batch's slice requests are planned
 //!   together and each distinct chunk is fetched and decoded once,
+//! * [`product`] / [`scenario`] — the scenario engine: canonical
+//!   [`ProductDescriptor`]s hash to [`ProductKey`]s, and evaluation
+//!   (ensemble fan-out with decorrelated per-realization seeds, then a
+//!   statistic kernel) flows through a product-level single-flight cache
+//!   so a stampede on one descriptor computes it exactly once,
 //! * [`server`] — the request/response front end, dispatching chunk
 //!   resolution and response assembly over the
 //!   [`exaclim_runtime::pool`] worker pool (`EXACLIM_THREADS` bounds serve
@@ -81,14 +90,21 @@ pub mod cache;
 pub mod catalog;
 pub mod error;
 pub mod net;
+pub mod product;
+pub mod scenario;
 pub mod server;
 pub mod wire;
 
 pub use batch::{BatchPlan, SliceRequest};
-pub use cache::{CacheStats, ChunkCache, ChunkKey, Fetch, Flight, FlightLead};
+pub use cache::{
+    CacheKey, CacheStats, ChunkCache, ChunkKey, Fetch, Flight, FlightLead, ProductCache, ValueCache,
+};
 pub use catalog::{ByteSource, Catalog, ServedArchive, ServedEmulator};
 pub use error::{ServeError, WireError};
 pub use net::{Client, NetConfig, NetServer, NetServerHandle, NetStats};
+pub use product::{
+    ProductData, ProductDescriptor, ProductKey, ProductSource, ProductStat, ScenarioSpec,
+};
 pub use server::{
     ArchiveInfo, CatalogAnswer, CatalogQuery, EmulatorInfo, MemberInfo, Request, Response,
     ServeConfig, ServeStats, Server, SliceData,

@@ -70,6 +70,7 @@
 //! ```
 
 use crate::error::{ServeError, WireError};
+use crate::product::{ProductData, ProductDescriptor, ScenarioSpec};
 use crate::server::{Request, Response, ServeStats, Server};
 use crate::wire::{self, FrameKind, HEADER_LEN};
 use exaclim_runtime::sync::Semaphore;
@@ -383,7 +384,10 @@ fn handle_connection(shared: &NetShared, stream: TcpStream, token: u64) {
         }
     };
     let mut reader = BufReader::new(reader_stream);
-    let mut writer = BufWriter::new(stream);
+    // Responses go straight to the socket via a gathered write — one
+    // `writev` per frame — so there is no BufWriter (and no flush) on
+    // the response path.
+    let mut writer = stream;
     let stats = &shared.stats;
     loop {
         match wire::read_frame(&mut reader) {
@@ -454,15 +458,16 @@ fn handle_connection(shared: &NetShared, stream: TcpStream, token: u64) {
     shared.forget_conn(token);
 }
 
+/// Write one response frame with a single gathered syscall: header and
+/// payload leave in one `writev` instead of two buffered writes plus a
+/// flush, so a response never waits on a half-flushed header.
 fn write_reply(
-    writer: &mut BufWriter<TcpStream>,
+    writer: &mut TcpStream,
     kind: FrameKind,
     id: u64,
     payload: &[u8],
 ) -> Result<(), WireError> {
-    wire::write_frame(writer, kind, id, payload)?;
-    writer.flush()?;
-    Ok(())
+    wire::write_frame_vectored(writer, kind, id, payload)
 }
 
 /// A blocking client over one reused connection.
@@ -569,6 +574,34 @@ impl Client {
             Ok(Response::Stats(stats)) => Ok(stats),
             Ok(other) => Err(WireError::Malformed(format!(
                 "stats request answered with {other:?}"
+            ))),
+            Err(e) => Err(WireError::Remote(e.to_string())),
+        }
+    }
+
+    /// Evaluate one derived product server-side — the network twin of a
+    /// [`Request::Product`] through [`Server::handle_batch`]. The result
+    /// is bit-identical to the in-process evaluation of the same
+    /// descriptor.
+    pub fn scenario(&mut self, descriptor: &ProductDescriptor) -> Result<ProductData, WireError> {
+        match self.request(&Request::Product(descriptor.clone()))? {
+            Ok(Response::Product(data)) => Ok(data),
+            Ok(other) => Err(WireError::Malformed(format!(
+                "product request answered with {other:?}"
+            ))),
+            Err(e) => Err(WireError::Remote(e.to_string())),
+        }
+    }
+
+    /// Run a stochastic ensemble server-side: `spec.realizations`
+    /// emulator runs with decorrelated per-realization seeds, returned
+    /// as one raw [`ProductData`] block (the network twin of
+    /// [`Request::Ensemble`]).
+    pub fn ensemble(&mut self, spec: &ScenarioSpec) -> Result<ProductData, WireError> {
+        match self.request(&Request::Ensemble(spec.clone()))? {
+            Ok(Response::Product(data)) => Ok(data),
+            Ok(other) => Err(WireError::Malformed(format!(
+                "ensemble request answered with {other:?}"
             ))),
             Err(e) => Err(WireError::Remote(e.to_string())),
         }

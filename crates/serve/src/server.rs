@@ -24,9 +24,10 @@
 //! caller thread, bit-identically to the concurrent configuration.
 
 use crate::batch::{BatchPlan, SliceRequest};
-use crate::cache::{CacheStats, ChunkCache, ChunkKey, Fetch};
+use crate::cache::{CacheStats, ChunkCache, ChunkKey, Fetch, ProductCache};
 use crate::catalog::Catalog;
 use crate::error::ServeError;
+use crate::product::{ProductData, ProductDescriptor, ScenarioSpec};
 use exaclim_climate::Dataset;
 use exaclim_store::{Codec, MemberKind};
 use std::ops::Range;
@@ -40,14 +41,18 @@ pub struct ServeConfig {
     pub cache_bytes: usize,
     /// Number of independently locked cache shards.
     pub cache_shards: usize,
+    /// Byte budget of the derived-product cache (0 disables it); products
+    /// share the chunk cache's shard count.
+    pub product_cache_bytes: usize,
 }
 
 impl Default for ServeConfig {
-    /// 256 MiB of cache across 16 shards.
+    /// 256 MiB of chunk cache across 16 shards, 64 MiB of product cache.
     fn default() -> Self {
         Self {
             cache_bytes: 256 << 20,
             cache_shards: 16,
+            product_cache_bytes: 64 << 20,
         }
     }
 }
@@ -72,6 +77,17 @@ pub enum Request {
     /// network front end this is the monitoring op: cheap, read-only, and
     /// answered from atomics without touching any archive.
     Stats,
+    /// Evaluate a derived climate product server-side (scenario engine):
+    /// windowed raw values, anomalies, ensemble mean/spread, trend,
+    /// persistence, or Tukey tail extremes over an archive member or a
+    /// fresh emulated ensemble. Results are cached by canonical
+    /// descriptor hash with single-flight stampede protection.
+    Product(ProductDescriptor),
+    /// Emulate an ensemble of stochastic realizations in one request,
+    /// fanned over the worker pool with per-realization seeds. Sugar for
+    /// a [`Request::Product`] with [`crate::product::ProductStat::Raw`]
+    /// and no windows — both forms share one cache entry.
+    Ensemble(ScenarioSpec),
 }
 
 /// Metadata queries against the catalog.
@@ -180,6 +196,9 @@ pub enum Response {
     Catalog(CatalogAnswer),
     /// Reply to [`Request::Stats`]: the counters at answer time.
     Stats(ServeStats),
+    /// Reply to [`Request::Product`] and [`Request::Ensemble`]: the
+    /// evaluated product block.
+    Product(ProductData),
 }
 
 /// Point-in-time serving counters (see [`Server::stats`]).
@@ -205,12 +224,19 @@ pub struct ServeStats {
     /// collapses cross-batch stampedes. Under a hot-chunk stampede this
     /// counts exactly one decode per distinct chunk.
     pub chunk_decodes: u64,
+    /// Derived-product requests answered successfully
+    /// ([`Request::Product`] and [`Request::Ensemble`]).
+    pub products: u64,
+    /// Products actually evaluated — what remains after the product
+    /// cache absorbs hits and its single-flight map collapses stampedes.
+    /// A stampede on one descriptor counts exactly one compute.
+    pub product_computes: u64,
     /// Wall-clock nanoseconds spent inside `handle_batch`.
     pub busy_nanos: u64,
 }
 
 #[derive(Default)]
-struct StatCells {
+pub(crate) struct StatCells {
     slices: AtomicU64,
     emulations: AtomicU64,
     catalog_queries: AtomicU64,
@@ -219,6 +245,8 @@ struct StatCells {
     chunk_touches: AtomicU64,
     chunk_fetches: AtomicU64,
     chunk_decodes: AtomicU64,
+    products: AtomicU64,
+    pub(crate) product_computes: AtomicU64,
     busy_nanos: AtomicU64,
 }
 
@@ -251,9 +279,10 @@ struct StatCells {
 /// assert_eq!(server.stats().slices, 1);
 /// ```
 pub struct Server {
-    catalog: Catalog,
-    cache: ChunkCache,
-    stats: StatCells,
+    pub(crate) catalog: Catalog,
+    pub(crate) cache: ChunkCache,
+    pub(crate) product_cache: ProductCache,
+    pub(crate) stats: StatCells,
 }
 
 impl std::fmt::Debug for Server {
@@ -272,6 +301,7 @@ impl Server {
         Self {
             catalog,
             cache: ChunkCache::new(config.cache_bytes, config.cache_shards),
+            product_cache: ProductCache::new(config.product_cache_bytes, config.cache_shards),
             stats: StatCells::default(),
         }
     }
@@ -286,10 +316,17 @@ impl Server {
         self.cache.stats()
     }
 
-    /// Drop every cached chunk (counters survive). Benches use this to
-    /// re-measure cold reads on a warmed server.
+    /// Current derived-product cache counters, separate from the chunk
+    /// counters so bench reports can tell the two apart.
+    pub fn product_cache_stats(&self) -> CacheStats {
+        self.product_cache.stats()
+    }
+
+    /// Drop every cached chunk and product (counters survive). Benches
+    /// use this to re-measure cold reads on a warmed server.
     pub fn clear_cache(&self) {
         self.cache.clear();
+        self.product_cache.clear();
     }
 
     /// Current serving counters.
@@ -303,6 +340,8 @@ impl Server {
             chunk_touches: self.stats.chunk_touches.load(Ordering::Relaxed),
             chunk_fetches: self.stats.chunk_fetches.load(Ordering::Relaxed),
             chunk_decodes: self.stats.chunk_decodes.load(Ordering::Relaxed),
+            products: self.stats.products.load(Ordering::Relaxed),
+            product_computes: self.stats.product_computes.load(Ordering::Relaxed),
             busy_nanos: self.stats.busy_nanos.load(Ordering::Relaxed),
         }
     }
@@ -378,6 +417,10 @@ impl Server {
                     } => self.answer_emulate(emulator, *t_max, *seed),
                     Request::Catalog(query) => self.answer_catalog(query),
                     Request::Stats => Ok(Response::Stats(self.stats())),
+                    Request::Product(descriptor) => self.answer_product(descriptor),
+                    Request::Ensemble(spec) => {
+                        self.answer_product(&crate::scenario::ensemble_descriptor(spec))
+                    }
                 });
             });
         }
@@ -392,6 +435,7 @@ impl Server {
                 Ok(Response::Slice(_)) => &self.stats.slices,
                 Ok(Response::Emulate(_)) => &self.stats.emulations,
                 Ok(Response::Catalog(_)) | Ok(Response::Stats(_)) => &self.stats.catalog_queries,
+                Ok(Response::Product(_)) => &self.stats.products,
                 Err(_) => &self.stats.errors,
             };
             cell.fetch_add(1, Ordering::Relaxed);
@@ -411,7 +455,7 @@ impl Server {
 
     /// Resolve one chunk: cache hit, single-flight wait, or lead the
     /// (exactly one) decode.
-    fn resolve_chunk(&self, key: ChunkKey) -> Result<Arc<[f64]>, ServeError> {
+    pub(crate) fn resolve_chunk(&self, key: ChunkKey) -> Result<Arc<[f64]>, ServeError> {
         match self.cache.begin_fetch(key) {
             Fetch::Ready(values) => Ok(values),
             // Another worker (possibly in a different batch) is decoding
@@ -554,6 +598,7 @@ mod tests {
                 ServeConfig {
                     cache_bytes,
                     cache_shards: 4,
+                    ..ServeConfig::default()
                 },
             ),
             bytes,

@@ -17,7 +17,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic, the literal bytes "ECN1"
-//! 4       1     protocol version (currently 1)
+//! 4       1     protocol version (currently 2)
 //! 5       1     frame kind: 1 = request batch, 2 = response batch, 3 = error
 //! 6       2     reserved, must be zero
 //! 8       8     frame id (echoed verbatim in the matching response)
@@ -25,6 +25,12 @@
 //! 20      4     CRC32 of the payload bytes
 //! 24      …     payload
 //! ```
+//!
+//! Version 2 added the scenario-engine ops — product and ensemble
+//! requests ([`crate::ProductDescriptor`], [`crate::ScenarioSpec`]) and
+//! the product response block — plus the product-cache counters in the
+//! stats reply. Versions must match exactly: a version-1 peer is
+//! rejected with [`WireError::Version`] before any payload is read.
 //!
 //! A **request** frame's payload is a batch: a `u32` count followed by
 //! that many encoded [`Request`]s. The matching **response** frame echoes
@@ -62,6 +68,7 @@
 //! ```
 
 use crate::error::{ServeError, WireError};
+use crate::product::{ProductData, ProductDescriptor, ProductSource, ProductStat, ScenarioSpec};
 use crate::server::{
     ArchiveInfo, CatalogAnswer, CatalogQuery, EmulatorInfo, MemberInfo, Request, Response,
     ServeStats, SliceData,
@@ -69,13 +76,14 @@ use crate::server::{
 use crate::SliceRequest;
 use exaclim_climate::Dataset;
 use exaclim_store::{crc32, ArchiveError, MemberKind};
-use std::io::{Read, Write};
+use std::io::{IoSlice, Read, Write};
 
 /// Frame magic: the literal bytes `ECN1` at offset 0 of every frame.
 pub const MAGIC: [u8; 4] = *b"ECN1";
 
-/// Protocol version this build speaks (header byte 4).
-pub const VERSION: u8 = 1;
+/// Protocol version this build speaks (header byte 4). Version 2 added
+/// the scenario-engine ops.
+pub const VERSION: u8 = 2;
 
 /// Fixed frame-header size in bytes.
 pub const HEADER_LEN: usize = 24;
@@ -270,6 +278,60 @@ pub fn write_frame(
     };
     w.write_all(&header.encode())?;
     w.write_all(payload)?;
+    Ok(())
+}
+
+/// Write one frame with a single gathered syscall where the stream
+/// supports it: header and payload go out through `write_vectored`
+/// instead of two sequential writes, so a small response frame reaches
+/// the socket in one `writev` and never straddles two TCP segments just
+/// because the header was flushed alone.
+///
+/// Byte-for-byte identical on the wire to [`write_frame`]; partial
+/// vectored writes are resumed until the header is fully out, then any
+/// payload remainder is completed with `write_all`.
+pub fn write_frame_vectored(
+    w: &mut impl Write,
+    kind: FrameKind,
+    id: u64,
+    payload: &[u8],
+) -> Result<(), WireError> {
+    if payload.len() as u64 > u64::from(MAX_FRAME_PAYLOAD) {
+        return Err(WireError::FrameTooLarge {
+            len: payload.len() as u64,
+            max: u64::from(MAX_FRAME_PAYLOAD),
+        });
+    }
+    let header = FrameHeader {
+        kind,
+        id,
+        len: payload.len() as u32,
+        crc: crc32(payload),
+    }
+    .encode();
+    // `write_all_vectored` is unstable, so resume partial writes by hand:
+    // while any header byte is unwritten, gather the header tail and the
+    // whole payload; once the cursor passes the header, finish the
+    // payload tail with plain `write_all`.
+    let mut written = 0usize;
+    while written < HEADER_LEN {
+        let bufs = [IoSlice::new(&header[written..]), IoSlice::new(payload)];
+        match w.write_vectored(&bufs) {
+            Ok(0) => {
+                return Err(WireError::from(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "frame write made no progress",
+                )))
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::from(e)),
+        }
+    }
+    let payload_written = written - HEADER_LEN;
+    if payload_written < payload.len() {
+        w.write_all(&payload[payload_written..])?;
+    }
     Ok(())
 }
 
@@ -491,11 +553,145 @@ const REQ_SLICE: u8 = 1;
 const REQ_EMULATE: u8 = 2;
 const REQ_CATALOG: u8 = 3;
 const REQ_STATS: u8 = 4;
+const REQ_PRODUCT: u8 = 5;
+const REQ_ENSEMBLE: u8 = 6;
 
 const CQ_LIST_ARCHIVES: u8 = 1;
 const CQ_LIST_MEMBERS: u8 = 2;
 const CQ_MEMBER_INFO: u8 = 3;
 const CQ_LIST_EMULATORS: u8 = 4;
+
+// Scenario-engine tags (wire version 2): product sources and statistics.
+const PS_MEMBER: u8 = 1;
+const PS_ENSEMBLE: u8 = 2;
+
+const ST_RAW: u8 = 1;
+const ST_ANOMALY: u8 = 2;
+const ST_MEAN_STD: u8 = 3;
+const ST_TREND: u8 = 4;
+const ST_PERSISTENCE: u8 = 5;
+const ST_TUKEY: u8 = 6;
+
+fn encode_scenario_spec(e: &mut Enc, spec: &ScenarioSpec) {
+    e.str(&spec.emulator);
+    e.u64(spec.t_max);
+    e.u64(spec.seed);
+    e.u32(spec.realizations);
+}
+
+fn decode_scenario_spec(d: &mut Dec) -> Result<ScenarioSpec, WireError> {
+    Ok(ScenarioSpec {
+        emulator: d.str("scenario emulator")?,
+        t_max: d.u64("scenario t_max")?,
+        seed: d.u64("scenario seed")?,
+        realizations: d.u32("scenario realizations")?,
+    })
+}
+
+/// Optional half-open window: a presence byte, then `start`/`end` when
+/// present. The presence byte must be exactly 0 or 1 so every descriptor
+/// has one canonical wire form.
+fn encode_window(e: &mut Enc, window: &Option<std::ops::Range<u64>>) {
+    match window {
+        Some(r) => {
+            e.u8(1);
+            e.u64(r.start);
+            e.u64(r.end);
+        }
+        None => e.u8(0),
+    }
+}
+
+fn decode_window(d: &mut Dec, context: &str) -> Result<Option<std::ops::Range<u64>>, WireError> {
+    match d.u8(context)? {
+        0 => Ok(None),
+        1 => {
+            let start = d.u64(context)?;
+            let end = d.u64(context)?;
+            Ok(Some(start..end))
+        }
+        other => Err(WireError::Malformed(format!(
+            "{context}: presence byte is {other}, want 0 or 1"
+        ))),
+    }
+}
+
+fn encode_product_descriptor(e: &mut Enc, desc: &ProductDescriptor) {
+    match &desc.source {
+        ProductSource::Member { archive, member } => {
+            e.u8(PS_MEMBER);
+            e.str(archive);
+            e.str(member);
+        }
+        ProductSource::Ensemble(spec) => {
+            e.u8(PS_ENSEMBLE);
+            encode_scenario_spec(e, spec);
+        }
+    }
+    match &desc.stat {
+        ProductStat::Raw => e.u8(ST_RAW),
+        ProductStat::Anomaly { archive, member } => {
+            e.u8(ST_ANOMALY);
+            e.str(archive);
+            e.str(member);
+        }
+        ProductStat::MeanStd => e.u8(ST_MEAN_STD),
+        ProductStat::Trend => e.u8(ST_TREND),
+        ProductStat::Persistence { order } => {
+            e.u8(ST_PERSISTENCE);
+            e.u32(*order);
+        }
+        ProductStat::TukeyExtremes { tail_per_mille } => {
+            e.u8(ST_TUKEY);
+            e.u32(*tail_per_mille);
+        }
+    }
+    encode_window(e, &desc.time);
+    encode_window(e, &desc.space);
+}
+
+fn decode_product_descriptor(d: &mut Dec) -> Result<ProductDescriptor, WireError> {
+    let source = match d.u8("product source tag")? {
+        PS_MEMBER => ProductSource::Member {
+            archive: d.str("product archive")?,
+            member: d.str("product member")?,
+        },
+        PS_ENSEMBLE => ProductSource::Ensemble(decode_scenario_spec(d)?),
+        other => {
+            return Err(WireError::Malformed(format!(
+                "unknown product source tag {other}"
+            )))
+        }
+    };
+    let stat = match d.u8("product stat tag")? {
+        ST_RAW => ProductStat::Raw,
+        ST_ANOMALY => ProductStat::Anomaly {
+            archive: d.str("anomaly baseline archive")?,
+            member: d.str("anomaly baseline member")?,
+        },
+        ST_MEAN_STD => ProductStat::MeanStd,
+        ST_TREND => ProductStat::Trend,
+        ST_PERSISTENCE => ProductStat::Persistence {
+            order: d.u32("persistence order")?,
+        },
+        ST_TUKEY => ProductStat::TukeyExtremes {
+            tail_per_mille: d.u32("tukey tail_per_mille")?,
+        },
+        other => {
+            return Err(WireError::Malformed(format!(
+                "unknown product stat tag {other}"
+            )))
+        }
+    };
+    let time = decode_window(d, "product time window")?;
+    let space = decode_window(d, "product space window")?;
+    Ok(ProductDescriptor {
+        source,
+        stat,
+        time,
+        space,
+    })
+}
 
 fn encode_request(e: &mut Enc, req: &Request) {
     match req {
@@ -533,6 +729,14 @@ fn encode_request(e: &mut Enc, req: &Request) {
             }
         }
         Request::Stats => e.u8(REQ_STATS),
+        Request::Product(desc) => {
+            e.u8(REQ_PRODUCT);
+            encode_product_descriptor(e, desc);
+        }
+        Request::Ensemble(spec) => {
+            e.u8(REQ_ENSEMBLE);
+            encode_scenario_spec(e, spec);
+        }
     }
 }
 
@@ -572,6 +776,8 @@ fn decode_request(d: &mut Dec) -> Result<Request, WireError> {
             Ok(Request::Catalog(q))
         }
         REQ_STATS => Ok(Request::Stats),
+        REQ_PRODUCT => Ok(Request::Product(decode_product_descriptor(d)?)),
+        REQ_ENSEMBLE => Ok(Request::Ensemble(decode_scenario_spec(d)?)),
         other => Err(WireError::Malformed(format!("unknown request tag {other}"))),
     }
 }
@@ -617,6 +823,7 @@ const RESP_SLICE: u8 = 1;
 const RESP_EMULATE: u8 = 2;
 const RESP_CATALOG: u8 = 3;
 const RESP_STATS: u8 = 4;
+const RESP_PRODUCT: u8 = 5;
 
 const CA_ARCHIVES: u8 = 1;
 const CA_MEMBERS: u8 = 2;
@@ -716,7 +923,16 @@ fn encode_response(e: &mut Enc, resp: &Response) {
             e.u64(s.chunk_touches);
             e.u64(s.chunk_fetches);
             e.u64(s.chunk_decodes);
+            e.u64(s.products);
+            e.u64(s.product_computes);
             e.u64(s.busy_nanos);
+        }
+        Response::Product(p) => {
+            e.u8(RESP_PRODUCT);
+            e.u32(p.realizations);
+            e.u64(p.rows);
+            e.u64(p.values_per_row);
+            e.f64s(&p.values);
         }
     }
 }
@@ -834,8 +1050,32 @@ fn decode_response(d: &mut Dec) -> Result<Response, WireError> {
             chunk_touches: d.u64("stats chunk_touches")?,
             chunk_fetches: d.u64("stats chunk_fetches")?,
             chunk_decodes: d.u64("stats chunk_decodes")?,
+            products: d.u64("stats products")?,
+            product_computes: d.u64("stats product_computes")?,
             busy_nanos: d.u64("stats busy_nanos")?,
         })),
+        RESP_PRODUCT => {
+            let realizations = d.u32("product realizations")?;
+            let rows = d.u64("product rows")?;
+            let values_per_row = d.u64("product values_per_row")?;
+            let values = d.f64s("product values")?;
+            let expect = u64::from(realizations)
+                .checked_mul(rows)
+                .and_then(|v| v.checked_mul(values_per_row))
+                .ok_or_else(|| WireError::Malformed("product geometry overflows".to_string()))?;
+            if values.len() as u64 != expect {
+                return Err(WireError::Malformed(format!(
+                    "product carries {} values for {realizations}×{rows}×{values_per_row} geometry",
+                    values.len()
+                )));
+            }
+            Ok(Response::Product(ProductData {
+                realizations,
+                rows,
+                values_per_row,
+                values,
+            }))
+        }
         other => Err(WireError::Malformed(format!(
             "unknown response tag {other}"
         ))),
@@ -1071,6 +1311,64 @@ mod tests {
             }),
             Request::Catalog(CatalogQuery::ListEmulators),
             Request::Stats,
+            Request::Product(ProductDescriptor {
+                source: ProductSource::Member {
+                    archive: "era5".to_string(),
+                    member: "t2m".to_string(),
+                },
+                stat: ProductStat::Anomaly {
+                    archive: "era5".to_string(),
+                    member: "t2m-baseline".to_string(),
+                },
+                time: Some(10..50),
+                space: None,
+            }),
+            Request::Product(ProductDescriptor {
+                source: ProductSource::Ensemble(ScenarioSpec {
+                    emulator: "sst-model".to_string(),
+                    t_max: 730,
+                    seed: 7,
+                    realizations: 16,
+                }),
+                stat: ProductStat::Trend,
+                time: None,
+                space: Some(3..9),
+            }),
+            Request::Product(ProductDescriptor {
+                source: ProductSource::Member {
+                    archive: "era5".to_string(),
+                    member: "t2m".to_string(),
+                },
+                stat: ProductStat::Persistence { order: 3 },
+                time: Some(0..64),
+                space: Some(0..4),
+            }),
+            Request::Product(ProductDescriptor {
+                source: ProductSource::Ensemble(ScenarioSpec {
+                    emulator: "sst-model".to_string(),
+                    t_max: 365,
+                    seed: 0,
+                    realizations: 4,
+                }),
+                stat: ProductStat::TukeyExtremes { tail_per_mille: 25 },
+                time: None,
+                space: None,
+            }),
+            Request::Product(ProductDescriptor {
+                source: ProductSource::Member {
+                    archive: "era5".to_string(),
+                    member: "t2m".to_string(),
+                },
+                stat: ProductStat::MeanStd,
+                time: None,
+                space: None,
+            }),
+            Request::Ensemble(ScenarioSpec {
+                emulator: "sst-model".to_string(),
+                t_max: 365,
+                seed: 0xC0FFEE,
+                realizations: 32,
+            }),
         ]
     }
 
@@ -1125,7 +1423,15 @@ mod tests {
                 chunk_touches: 6,
                 chunk_fetches: 7,
                 chunk_decodes: 8,
-                busy_nanos: 9,
+                products: 9,
+                product_computes: 10,
+                busy_nanos: 11,
+            })),
+            Ok(Response::Product(ProductData {
+                realizations: 2,
+                rows: 3,
+                values_per_row: 2,
+                values: (0..12).map(|i| f64::from(i) * 0.5 - 1.0).collect(),
             })),
             Err(ServeError::UnknownArchive("gone".to_string())),
             Err(ServeError::Archive(ArchiveError::ChecksumMismatch {
@@ -1304,6 +1610,120 @@ mod tests {
         let msg = "m".repeat(MAX_STR_LEN as usize + 100);
         let decoded = decode_error_payload(&encode_error_payload(&msg)).unwrap();
         assert_eq!(decoded.len(), MAX_STR_LEN as usize);
+    }
+
+    #[test]
+    fn product_geometry_must_match_its_values() {
+        let mut e = Enc::new();
+        e.u8(RESP_PRODUCT);
+        e.u32(4); // realizations
+        e.u64(5); // rows — claims 4×5×2 = 40 values
+        e.u64(2); // values_per_row
+        e.f64s(&[1.0, 2.0, 3.0]); // … but carries 3
+        let mut d = Dec::new(&e.buf);
+        assert!(matches!(
+            decode_response(&mut d),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn product_geometry_overflow_is_rejected() {
+        let mut e = Enc::new();
+        e.u8(RESP_PRODUCT);
+        e.u32(u32::MAX);
+        e.u64(u64::MAX); // realizations × rows overflows u64
+        e.u64(2);
+        e.f64s(&[]);
+        let mut d = Dec::new(&e.buf);
+        assert!(matches!(
+            decode_response(&mut d),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn window_presence_byte_must_be_canonical() {
+        // A descriptor whose time-window presence byte is 2: exactly one
+        // wire form per descriptor, so anything but 0/1 is malformed.
+        let mut e = Enc::new();
+        e.u32(1);
+        e.u8(REQ_PRODUCT);
+        e.u8(PS_MEMBER);
+        e.str("a");
+        e.str("m");
+        e.u8(ST_RAW);
+        e.u8(2); // hostile presence byte
+        let err = decode_request_batch(&e.buf).unwrap_err();
+        assert!(matches!(err, WireError::Malformed(_)), "{err:?}");
+    }
+
+    #[test]
+    fn unknown_product_tags_are_typed_errors() {
+        for (source_tag, stat_tag) in [(9, ST_RAW), (PS_MEMBER, 9)] {
+            let mut e = Enc::new();
+            e.u32(1);
+            e.u8(REQ_PRODUCT);
+            e.u8(source_tag);
+            e.str("a");
+            e.str("m");
+            e.u8(stat_tag);
+            e.u8(0);
+            e.u8(0);
+            assert!(matches!(
+                decode_request_batch(&e.buf),
+                Err(WireError::Malformed(_))
+            ));
+        }
+    }
+
+    /// Writer that accepts at most one byte per call, forcing
+    /// `write_frame_vectored` through every partial-write resume path.
+    struct TrickleWriter(Vec<u8>);
+
+    impl Write for TrickleWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if buf.is_empty() {
+                return Ok(0);
+            }
+            self.0.push(buf[0]);
+            Ok(1)
+        }
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> std::io::Result<usize> {
+            for b in bufs {
+                if !b.is_empty() {
+                    return self.write(b);
+                }
+            }
+            Ok(0)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn vectored_write_is_byte_identical_to_sequential() {
+        let payload = encode_response_batch(&sample_responses());
+        let mut sequential = Vec::new();
+        write_frame(&mut sequential, FrameKind::Response, 77, &payload).unwrap();
+
+        // Vec<u8> takes the whole gather in one call…
+        let mut gathered = Vec::new();
+        write_frame_vectored(&mut gathered, FrameKind::Response, 77, &payload).unwrap();
+        assert_eq!(gathered, sequential);
+
+        // …and a one-byte-at-a-time writer exercises every resume point.
+        let mut trickle = TrickleWriter(Vec::new());
+        write_frame_vectored(&mut trickle, FrameKind::Response, 77, &payload).unwrap();
+        assert_eq!(trickle.0, sequential);
+
+        // An empty payload must not index past the header.
+        let mut empty = Vec::new();
+        write_frame_vectored(&mut empty, FrameKind::Request, 1, &[]).unwrap();
+        let mut expect = Vec::new();
+        write_frame(&mut expect, FrameKind::Request, 1, &[]).unwrap();
+        assert_eq!(empty, expect);
     }
 
     #[test]

@@ -6,17 +6,22 @@
 //! ```
 //!
 //! Spawns an in-process [`exaclim_serve::Server`] over a synthetic ERA5
-//! archive, fronts it with [`exaclim_serve::NetServer`] on an ephemeral
-//! loopback port, and drives it from N client threads, each on its own
-//! reused connection, mixing slice reads, catalog queries, and stats
-//! polls. Every slice response is verified bit-identical to the
-//! in-process `handle_batch` answer for the same request, then the demo
-//! reports throughput, latency percentiles, and the transport counters.
+//! archive and a trained emulator, fronts it with
+//! [`exaclim_serve::NetServer`] on an ephemeral loopback port, and drives
+//! it from N client threads, each on its own reused connection, mixing
+//! slice reads, catalog queries, and stats polls. Every slice response is
+//! verified bit-identical to the in-process `handle_batch` answer for the
+//! same request. A derived-products section then exercises the scenario
+//! engine — [`Client::ensemble`] fan-out and [`Client::scenario`]
+//! statistics — verifying the wire answers against in-process
+//! evaluation, before the demo reports throughput, latency percentiles,
+//! and the transport counters.
 
+use exaclim::{ClimateEmulator, EmulatorConfig};
 use exaclim_climate::{SyntheticEra5, SyntheticEra5Config};
 use exaclim_serve::{
-    CatalogQuery, Client, NetConfig, NetServer, Request, Response, ServeConfig, Server,
-    SliceRequest,
+    CatalogQuery, Client, NetConfig, NetServer, ProductDescriptor, ProductSource, ProductStat,
+    Request, Response, ScenarioSpec, ServeConfig, Server, SliceRequest,
 };
 use exaclim_store::{ArchiveWriter, Codec, FieldMeta};
 use std::io::Cursor;
@@ -52,7 +57,79 @@ fn build_server() -> Arc<Server> {
     catalog
         .open_archive_bytes("era5", cursor.into_inner())
         .unwrap();
+    let training = generator.generate_member(1, 2 * 365);
+    let emulator = ClimateEmulator::train(&training, EmulatorConfig::small(8))
+        .expect("training succeeds at demo scale");
+    catalog.register_emulator("em", emulator).unwrap();
     Arc::new(Server::new(catalog, ServeConfig::default()))
+}
+
+/// Exercise the scenario engine over the wire: an ensemble fan-out and a
+/// set of derived statistics, each checked bit-identical against the
+/// in-process evaluation of the same descriptor.
+fn derived_products_demo(server: &Server, addr: std::net::SocketAddr) {
+    let mut client = Client::connect(addr).unwrap();
+
+    let spec = ScenarioSpec {
+        emulator: "em".to_string(),
+        t_max: 60,
+        seed: 42,
+        realizations: 8,
+    };
+    let ensemble = client.ensemble(&spec).unwrap();
+    let Ok(Response::Product(want)) = server.handle(&Request::Ensemble(spec.clone())) else {
+        panic!("in-process ensemble failed");
+    };
+    assert_eq!(ensemble, want, "ensemble diverged over the wire");
+    println!(
+        "\nderived products: ensemble of {} realizations × {} steps × {} points ok",
+        ensemble.realizations, ensemble.rows, ensemble.values_per_row
+    );
+
+    let stats: [(&str, ProductStat); 3] = [
+        ("mean/std", ProductStat::MeanStd),
+        ("trend", ProductStat::Trend),
+        (
+            "tukey extremes",
+            ProductStat::TukeyExtremes { tail_per_mille: 25 },
+        ),
+    ];
+    for (label, stat) in stats {
+        let descriptor = ProductDescriptor {
+            source: ProductSource::Ensemble(spec.clone()),
+            stat,
+            time: None,
+            space: None,
+        };
+        let product = client.scenario(&descriptor).unwrap();
+        let Ok(Response::Product(want)) = server.handle(&Request::Product(descriptor)) else {
+            panic!("in-process {label} failed");
+        };
+        assert_eq!(product, want, "{label} diverged over the wire");
+        println!(
+            "derived products: {label} → {} plane(s) × {} points ok",
+            product.rows, product.values_per_row
+        );
+    }
+
+    // An anomaly of the archive member against itself must be all zeros —
+    // a quick semantic check, not just a round-trip one.
+    let anomaly = client
+        .scenario(&ProductDescriptor {
+            source: ProductSource::Member {
+                archive: "era5".to_string(),
+                member: "t2m".to_string(),
+            },
+            stat: ProductStat::Anomaly {
+                archive: "era5".to_string(),
+                member: "t2m".to_string(),
+            },
+            time: Some(0..32),
+            space: None,
+        })
+        .unwrap();
+    assert!(anomaly.values.iter().all(|v| *v == 0.0));
+    println!("derived products: self-anomaly is identically zero ok");
 }
 
 /// The per-thread workload: mostly slices, a sprinkle of catalog and
@@ -169,6 +246,16 @@ fn main() {
         server.stats().chunk_decodes,
         cache.hits,
         cache.misses
+    );
+
+    derived_products_demo(&server, addr);
+    let products = server.product_cache_stats();
+    println!(
+        "serve: {} products served ({} computed), product cache {} hits / {} misses",
+        server.stats().products,
+        server.stats().product_computes,
+        products.hits,
+        products.misses
     );
 
     handle.shutdown();

@@ -104,6 +104,7 @@ fn main() {
         ServeConfig {
             cache_bytes: 32 << 20,
             cache_shards: 16,
+            ..ServeConfig::default()
         },
     );
 
@@ -160,6 +161,7 @@ fn main() {
                 Ok(Response::Slice(_)) => latencies_us[0].push(batch_us),
                 Ok(Response::Emulate(_)) => latencies_us[1].push(batch_us),
                 Ok(Response::Catalog(_)) | Ok(Response::Stats(_)) => latencies_us[2].push(batch_us),
+                Ok(Response::Product(_)) => unreachable!("demo sends no product requests"),
                 Err(e) => panic!("request failed in round {round}: {e}"),
             }
         }

@@ -36,6 +36,7 @@ fn server_over(bytes: Vec<u8>, cache_bytes: usize, cache_shards: usize) -> Serve
         ServeConfig {
             cache_bytes,
             cache_shards,
+            ..ServeConfig::default()
         },
     )
 }
