@@ -11,7 +11,8 @@
 //! With `--json`, machine-readable results land in `BENCH_serve.json` in
 //! the current directory, so the serving layer's perf trajectory is
 //! recorded PR over PR. Knobs: `--threads N` (client threads, default 8),
-//! `--batches N` (batches per thread, default 24).
+//! `--batches N` (batches per thread, default 24), `--idle N` (standing
+//! keep-alive connections in the `serve_net_idle` scenario, default 300).
 
 use exaclim::{ClimateEmulator, EmulatorConfig};
 use exaclim_climate::{SyntheticEra5, SyntheticEra5Config};
@@ -22,7 +23,7 @@ use exaclim_serve::{
 use exaclim_store::{open_file_source, ArchiveWriter, Codec, FieldMeta};
 use std::io::Cursor;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const T_MAX: usize = 256;
 const CHUNK_T: usize = 16;
@@ -133,6 +134,102 @@ fn run_net_scenario(
         p50_us: pct(0.50),
         p95_us: pct(0.95),
     }
+}
+
+/// Connection-level gauges captured from the `serve_net_idle` scenario:
+/// what a standing keep-alive fleet costs and how the reaper handles it.
+struct NetCounters {
+    open_connections: u64,
+    peak_connections: u64,
+    reactor_wakeups: u64,
+    reaped_idle: u64,
+}
+
+/// The wire workload again, but with a fleet of idle keep-alive
+/// connections standing alongside the hot clients — the "millions of
+/// users" shape: most connections do nothing most of the time. Hot
+/// throughput is measured with the fleet standing; then the server's
+/// idle deadline reaps the fleet while the bench watches the gauges.
+fn run_net_idle_scenario(
+    server: Arc<Server>,
+    threads: usize,
+    batches_per_thread: usize,
+    npoints: usize,
+    idle_conns: usize,
+) -> (Scenario, NetCounters) {
+    let idle_timeout = Duration::from_millis(750);
+    let config = NetConfig {
+        max_connections: (idle_conns + threads + 16).max(1024),
+        idle_timeout: Some(idle_timeout),
+        ..NetConfig::default()
+    };
+    let handle = NetServer::bind("127.0.0.1:0", server, config)
+        .unwrap()
+        .spawn();
+    let addr = handle.addr();
+    let idle: Vec<Client> = (0..idle_conns)
+        .map(|i| Client::connect(addr).unwrap_or_else(|e| panic!("idle connect {i}: {e}")))
+        .collect();
+    let start = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads as u64)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let batch = slice_batch(t);
+                    let mut lat = Vec::with_capacity(batches_per_thread);
+                    for _ in 0..batches_per_thread {
+                        let t0 = Instant::now();
+                        let responses = client.batch(&batch).unwrap();
+                        lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                        for r in &responses {
+                            assert!(matches!(r, Ok(Response::Slice(_))));
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+    // The fleet sent nothing the whole run: give the idle deadline a
+    // chance to reap all of it (bounded wait) so the artifact records
+    // the reaper actually working, then count what's left.
+    let reap_deadline = Instant::now() + Duration::from_secs(15);
+    while handle.net_stats().reaped_idle < idle_conns as u64 && Instant::now() < reap_deadline {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let stats = handle.net_stats();
+    let counters = NetCounters {
+        open_connections: stats.open_connections,
+        peak_connections: stats.peak_connections,
+        reactor_wakeups: stats.reactor_wakeups,
+        reaped_idle: stats.reaped_idle,
+    };
+    drop(idle);
+    handle.shutdown();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+    let requests = (threads * batches_per_thread * BATCH) as u64;
+    let served_mib = requests as f64 * SLICE_T as f64 * npoints as f64 * 8.0 / (1 << 20) as f64;
+    (
+        Scenario {
+            name: "serve_net_idle",
+            backend: "mmap",
+            threads,
+            batches_per_thread,
+            elapsed_s,
+            served_mib,
+            requests,
+            p50_us: pct(0.50),
+            p95_us: pct(0.95),
+        },
+        counters,
+    )
 }
 
 fn server_for(path: &std::path::Path, use_mmap: bool, cache_bytes: usize) -> Server {
@@ -340,6 +437,7 @@ fn write_json(
     speedup_cold: f64,
     stampede: (u64, u64, u64),
     product: &ProductCounters,
+    net: &NetCounters,
 ) {
     // Schema version of this file; bump when fields change meaning. The
     // env block records the matrix leg the run came from, so CI artifacts
@@ -347,7 +445,7 @@ fn write_json(
     let threads_env = std::env::var("EXACLIM_THREADS").unwrap_or_else(|_| "default".to_string());
     let mmap_env = std::env::var("EXACLIM_MMAP").unwrap_or_else(|_| "default".to_string());
     let mut out = format!(
-        "{{\n  \"bench\": \"serve\",\n  \"version\": 3,\n  \
+        "{{\n  \"bench\": \"serve\",\n  \"version\": 4,\n  \
          \"env\": {{\"EXACLIM_THREADS\": \"{threads_env}\", \"EXACLIM_MMAP\": \"{mmap_env}\"}},\n  \
          \"scenarios\": [\n"
     );
@@ -373,8 +471,10 @@ fn write_json(
     out.push_str(&format!(
         "  ],\n  \"cold_mmap_over_mutexed_speedup\": {speedup_cold:.3},\n  \
          \"stampede\": {{\"chunk_decodes\": {decodes}, \"flight_leads\": {leads}, \"flight_waits\": {waits}}},\n  \
-         \"product_cache\": {{\"hits\": {}, \"misses\": {}, \"flight_leads\": {}, \"flight_waits\": {}, \"computes\": {}}}\n}}\n",
-        product.hits, product.misses, product.flight_leads, product.flight_waits, product.computes
+         \"product_cache\": {{\"hits\": {}, \"misses\": {}, \"flight_leads\": {}, \"flight_waits\": {}, \"computes\": {}}},\n  \
+         \"net\": {{\"open_connections\": {}, \"peak_connections\": {}, \"reactor_wakeups\": {}, \"reaped_idle\": {}}}\n}}\n",
+        product.hits, product.misses, product.flight_leads, product.flight_waits, product.computes,
+        net.open_connections, net.peak_connections, net.reactor_wakeups, net.reaped_idle
     ));
     std::fs::write(path, out).unwrap();
     println!("wrote {path}");
@@ -392,6 +492,7 @@ fn main() {
     };
     let threads = flag("--threads", 8);
     let batches = flag("--batches", 24);
+    let idle_conns = flag("--idle", 300);
 
     let path = std::env::temp_dir().join(format!("exaclim_serve_perf_{}.eca1", std::process::id()));
     let (total, npoints) = build_archive_file(&path);
@@ -439,6 +540,21 @@ fn main() {
         }
         scenarios.push(run_net_scenario(server, threads, batches, npoints));
     }
+
+    // Network with a standing idle fleet: the same hot workload while
+    // hundreds of keep-alive connections sit registered on the reactor —
+    // the delta to "serve_net" is what an idle fleet costs the hot path
+    // (the refactor's answer: a registration and a deadline, not a
+    // thread), and the net gauges record the reaper clearing the fleet.
+    let net = {
+        let server = Arc::new(server_for(&path, true, 256 << 20));
+        for t in 0..threads as u64 {
+            server.handle_batch(&slice_batch(t));
+        }
+        let (scenario, net) = run_net_idle_scenario(server, threads, batches, npoints, idle_conns);
+        scenarios.push(scenario);
+        net
+    };
 
     // Scenario engine: mixed ensemble fan-out + derived statistics; the
     // repeat descriptors across batches land in the product cache, so
@@ -510,6 +626,10 @@ fn main() {
         "product cache: {} hits, {} misses, {} leads, {} coalesced waits, {} computed products",
         product.hits, product.misses, product.flight_leads, product.flight_waits, product.computes
     );
+    println!(
+        "net ({idle_conns} idle + {threads} hot conns): peak {}, open at end {}, {} reactor wakeups, {} reaped idle",
+        net.peak_connections, net.open_connections, net.reactor_wakeups, net.reaped_idle
+    );
 
     if json {
         write_json(
@@ -518,6 +638,7 @@ fn main() {
             speedup_cold,
             stampede,
             &product,
+            &net,
         );
     }
     std::fs::remove_file(&path).ok();

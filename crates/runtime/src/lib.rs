@@ -12,6 +12,11 @@
 //! * [`pool`] — the shared worker pool for flat data parallelism
 //!   (`parallel_for`, `join`, mutable chunk splits); the rayon shim routes
 //!   every `par_iter`/`par_chunks` call site through it,
+//! * [`reactor`] — a dependency-free readiness reactor (raw
+//!   `epoll`/`poll(2)` FFI, unix-gated, in the spirit of the raw-mmap FFI
+//!   in `exaclim-store`) with token-based registration, a deadline wheel,
+//!   and a cross-thread wakeup fd; the serving layer multiplexes its
+//!   nonblocking connection state machines over it,
 //! * [`sync`] — small shared synchronization primitives (a counting
 //!   semaphore with RAII permits, used to bound accept-side concurrency in
 //!   the serving layer's network front end),
@@ -29,6 +34,7 @@ pub mod distsim;
 pub mod executor;
 pub mod graph;
 pub mod pool;
+pub mod reactor;
 pub mod sync;
 pub mod trace;
 
@@ -37,6 +43,9 @@ pub use distsim::{simulate_distribution, ConversionSide, DistConfig, MessageLedg
 pub use executor::{ExecError, Executor, SchedulerKind};
 pub use graph::{cholesky_graph, TaskGraph, TaskId};
 pub use pool::WorkerPool;
+pub use reactor::{reactor_enabled, Event, Interest, Mode, Token, REACTOR_SUPPORTED};
+#[cfg(unix)]
+pub use reactor::{Backend, Reactor, Waker};
 pub use sync::{Permit, Semaphore};
 pub use trace::TraceReport;
 

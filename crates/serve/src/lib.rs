@@ -43,8 +43,12 @@
 //!   versioned 24-byte headers, CRC32-protected length-capped payloads,
 //!   and a full request/response codec whose round trip is bit-identical,
 //! * [`net`] — the TCP front end over [`wire`]: a [`net::NetServer`]
-//!   accept loop with semaphore-bounded admission and graceful shutdown,
-//!   and a blocking [`net::Client`] with connection reuse and pipelining.
+//!   whose connections are nonblocking frame state machines multiplexed
+//!   over the [`exaclim_runtime::reactor`] (thread count constant in the
+//!   connection count, per-connection back-pressure, idle reaping,
+//!   graceful drain via the wakeup fd — with a thread-per-connection
+//!   fallback off unix or under `EXACLIM_REACTOR=0`), and a blocking
+//!   [`net::Client`] with connection reuse and pipelining.
 //!
 //! Served bytes are **bit-identical** to sequential
 //! [`exaclim_store::ArchiveReader`] reads at any thread count and any

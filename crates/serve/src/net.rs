@@ -1,25 +1,41 @@
 //! The network front end: a framed-TCP server and client over
 //! [`Server::handle_batch`], speaking the [`crate::wire`] protocol.
 //!
-//! ## Connection lifecycle
+//! ## Connection lifecycle (event-driven path)
 //!
-//! [`NetServer::bind`] opens a listener; [`NetServer::spawn`] moves it
-//! onto a dedicated accept thread and returns a [`NetServerHandle`]. The
-//! accept loop admits at most `max_connections` concurrent connections —
-//! it holds one permit of an [`exaclim_runtime::sync::Semaphore`] per
-//! open connection, so a connection flood queues in the listener backlog
-//! (back-pressure at the door) instead of spawning unbounded handler
-//! threads.
+//! [`NetServer::bind`] opens a listener; [`NetServer::spawn`] starts the
+//! server and returns a [`NetServerHandle`]. On unix (unless
+//! `EXACLIM_REACTOR=0` — see [`exaclim_runtime::reactor::reactor_enabled`]
+//! — or [`NetConfig::reactor`] opts out) the server is **event-driven**:
+//! one reactor thread multiplexes every connection as a nonblocking
+//! frame state machine over an [`exaclim_runtime::reactor::Reactor`]
+//! (raw `epoll`/`poll(2)` FFI, no dependencies):
 //!
-//! Each connection gets one handler thread running a strict
-//! read-decode-dispatch-write loop: read a request frame, decode the
-//! batch, run it through the in-process [`Server::handle_batch`] (which
-//! fans out over the shared worker pool — `EXACLIM_THREADS` bounds
-//! *compute* concurrency, `max_connections` bounds *admission*), encode
-//! the responses, write the response frame with the request's frame id.
-//! Because reads are buffered and responses are written in arrival
-//! order, a client may **pipeline**: write several request frames before
-//! reading the first response.
+//! * **header-scan** — bytes accumulate until the fixed 24-byte `ECN1`
+//!   header is present and valid (bad magic/version/kind/cap frames are
+//!   rejected from the header alone, before any payload is buffered),
+//! * **payload-accumulate** — the checksummed payload fills,
+//! * **dispatch** — the decoded batch is queued to a small fixed set of
+//!   dispatch workers ([`NetConfig::dispatch_threads`]) that run the
+//!   in-process [`Server::handle_batch`] (which fans out over the shared
+//!   worker pool — `EXACLIM_THREADS` still bounds *compute*) and hand
+//!   the encoded response back through the reactor's wakeup fd,
+//! * **write-drain** — the response frame drains through nonblocking
+//!   writes; at most **one in-flight response is buffered per
+//!   connection**, and read interest stays off until it drains, so a
+//!   slow consumer back-pressures its own socket instead of ballooning
+//!   server memory.
+//!
+//! Thread count is a constant (reactor + dispatch workers + the shared
+//! pool), not a function of connection count: mostly-idle keep-alive
+//! fleets cost a registration and a deadline each, nothing more. Idle,
+//! half-open, and slowloris connections are reaped when
+//! [`NetConfig::idle_timeout`] passes without a complete frame (counted
+//! in [`NetStats::reaped_idle`]); connections queued past
+//! [`NetConfig::max_connections`] wait in the listener backlog exactly
+//! as before. Because buffered bytes are re-parsed each time a response
+//! finishes, a client may **pipeline**: write several request frames
+//! before reading the first response — responses come back in order.
 //!
 //! Transport-level failures (bad magic, version mismatch, oversized or
 //! corrupt frames) are answered best-effort with an error frame and then
@@ -28,10 +44,23 @@
 //! range) travel *inside* a well-formed response frame and do not
 //! disturb the connection or the rest of the batch.
 //!
-//! [`NetServerHandle::shutdown`] stops the accept loop, unblocks every
-//! open connection (socket shutdown → handler sees EOF → exits), and
-//! joins all threads before returning — no request already dispatched is
-//! abandoned mid-write.
+//! [`NetServerHandle::shutdown`] nudges the reactor through its wakeup
+//! fd: the listener closes, idle connections close, connections with a
+//! dispatched batch or a partially-written response drain first, and
+//! every thread is joined before `shutdown` returns.
+//!
+//! ## Thread-per-connection fallback
+//!
+//! Off unix, when the reactor cannot start, or when `EXACLIM_REACTOR=0`
+//! / [`NetConfig::reactor`]` = Some(false)` pins it, the server runs the
+//! original thread-per-connection loop: an accept thread admits at most
+//! [`NetConfig::max_connections`] concurrent connections (one
+//! [`exaclim_runtime::sync::Semaphore`] permit each — a flood queues in
+//! the listener backlog) and each connection gets one blocking handler
+//! thread. The same idle deadline applies (enforced via socket read
+//! timeouts), a handler-spawn failure rejects that connection gracefully
+//! ([`NetStats::rejected`]) instead of killing the listener, and the
+//! wire behavior is bit-identical to the event-driven path.
 //!
 //! ## Example
 //!
@@ -76,37 +105,62 @@ use crate::wire::{self, FrameKind, HEADER_LEN};
 use exaclim_runtime::sync::Semaphore;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{
     IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs of a [`NetServer`].
 #[derive(Debug, Clone)]
 pub struct NetConfig {
     /// Maximum concurrently open connections; further clients queue in
-    /// the listener backlog until a permit frees up.
+    /// the listener backlog until a slot frees up. On the event-driven
+    /// path a connection costs a registration, not a thread, so this is
+    /// cheap to raise far beyond the old thread-per-connection default.
     pub max_connections: usize,
+    /// Reap a connection that goes this long without completing a frame
+    /// (while idle or dribbling — slowloris) or without draining any
+    /// response bytes (dead peer). `None` disables reaping. Connections
+    /// whose batch is still executing are never reaped.
+    pub idle_timeout: Option<Duration>,
+    /// Dispatch workers that execute decoded batches on the event-driven
+    /// path (each batch still fans out over the shared worker pool).
+    /// `0` sizes automatically from the pool's thread count.
+    pub dispatch_threads: usize,
+    /// Force the event-driven reactor path on (`Some(true)`) or off
+    /// (`Some(false)`); `None` follows the platform and the
+    /// `EXACLIM_REACTOR` escape hatch. Unsupported targets always take
+    /// the thread-per-connection fallback.
+    pub reactor: Option<bool>,
 }
 
 impl Default for NetConfig {
-    /// 64 concurrent connections.
+    /// 4096 connections, 60 s idle deadline, auto-sized dispatch,
+    /// platform-default reactor policy.
     fn default() -> Self {
         Self {
-            max_connections: 64,
+            max_connections: 4096,
+            idle_timeout: Some(Duration::from_secs(60)),
+            dispatch_threads: 0,
+            reactor: None,
         }
     }
 }
 
 /// Point-in-time transport counters of a [`NetServer`] (see
 /// [`NetServerHandle::net_stats`]). Complements [`ServeStats`], which
-/// counts requests; these count frames and bytes.
+/// counts requests; these count connections, frames, and bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct NetStats {
-    /// Connections accepted over the server's lifetime.
+    /// Connections admitted over the server's lifetime.
     pub connections: u64,
+    /// Connections open right now (gauge).
+    pub open_connections: u64,
+    /// High-water mark of concurrently open connections.
+    pub peak_connections: u64,
     /// Request frames successfully read and decoded.
     pub frames_in: u64,
     /// Response frames written.
@@ -120,46 +174,77 @@ pub struct NetStats {
     /// Transport-level failures observed (malformed frames, socket
     /// errors); each also closed its connection.
     pub wire_errors: u64,
+    /// Cross-thread reactor wakeups consumed (batch completions and
+    /// shutdown nudges delivered through the wakeup fd).
+    pub reactor_wakeups: u64,
+    /// Connections reaped by the [`NetConfig::idle_timeout`] deadline
+    /// (idle keep-alives, half-open peers, slowloris dribblers).
+    pub reaped_idle: u64,
+    /// Connections accepted but rejected before service (fd or thread
+    /// exhaustion); the accept loop survives and keeps serving.
+    pub rejected: u64,
 }
 
 #[derive(Default)]
 struct NetStatCells {
     connections: AtomicU64,
+    open_connections: AtomicU64,
+    peak_connections: AtomicU64,
     frames_in: AtomicU64,
     frames_out: AtomicU64,
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
     requests: AtomicU64,
     wire_errors: AtomicU64,
+    reactor_wakeups: AtomicU64,
+    reaped_idle: AtomicU64,
+    rejected: AtomicU64,
 }
 
 impl NetStatCells {
     fn snapshot(&self) -> NetStats {
         NetStats {
             connections: self.connections.load(Ordering::Relaxed),
+            open_connections: self.open_connections.load(Ordering::Relaxed),
+            peak_connections: self.peak_connections.load(Ordering::Relaxed),
             frames_in: self.frames_in.load(Ordering::Relaxed),
             frames_out: self.frames_out.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
             wire_errors: self.wire_errors.load(Ordering::Relaxed),
+            reactor_wakeups: self.reactor_wakeups.load(Ordering::Relaxed),
+            reaped_idle: self.reaped_idle.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
         }
+    }
+
+    /// One connection admitted: bump the gauge and the high-water mark.
+    fn conn_opened(&self) {
+        let now = self.open_connections.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_connections.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// One connection closed: drop the gauge.
+    fn conn_closed(&self) {
+        self.open_connections.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
-/// State shared between the accept loop, connection handlers, and the
-/// [`NetServerHandle`].
+/// State shared between the serving threads (reactor + dispatch workers,
+/// or accept loop + connection handlers) and the [`NetServerHandle`].
 struct NetShared {
     server: Arc<Server>,
     stats: NetStatCells,
-    /// Set (under the `open_conns` lock) when shutdown begins; the accept
-    /// loop re-checks it under the same lock before registering a
-    /// connection, so no connection can slip past the shutdown drain.
+    /// Set when shutdown begins. The event-driven path observes it on
+    /// the next wakeup; the threaded path sets and re-checks it under
+    /// the `open_conns` lock so no connection slips past the drain.
     shutdown: AtomicBool,
-    /// One `(token, clone)` per open connection, so shutdown can unblock
-    /// handlers parked in a read. Tokens are accept-loop sequence numbers:
-    /// handlers deregister by token, never by address (peer addresses can
-    /// be unreadable on already-reset sockets).
+    /// Threaded path only: one `(token, clone)` per open connection, so
+    /// shutdown can unblock handlers parked in a read. Tokens are
+    /// accept-loop sequence numbers: handlers deregister by token, never
+    /// by address (peer addresses can be unreadable on already-reset
+    /// sockets).
     open_conns: Mutex<Vec<(u64, TcpStream)>>,
 }
 
@@ -218,9 +303,34 @@ impl NetServer {
         self.addr
     }
 
-    /// Move the listener onto a dedicated accept thread and return the
-    /// controlling handle.
+    /// Start serving and return the controlling handle. Prefers the
+    /// event-driven reactor path (see the module docs); falls back to
+    /// thread-per-connection off unix, under `EXACLIM_REACTOR=0`, when
+    /// [`NetConfig::reactor`] pins it, or if the reactor cannot start.
     pub fn spawn(self) -> NetServerHandle {
+        #[cfg(unix)]
+        {
+            let want = self
+                .config
+                .reactor
+                .unwrap_or_else(exaclim_runtime::reactor::reactor_enabled);
+            if want {
+                if let Ok(reactor) = exaclim_runtime::reactor::Reactor::new() {
+                    if self.listener.set_nonblocking(true).is_ok() {
+                        return event::spawn_event(self, reactor);
+                    }
+                }
+            }
+        }
+        self.spawn_threaded()
+    }
+
+    /// The thread-per-connection fallback: a dedicated accept thread,
+    /// one handler thread per admitted connection.
+    fn spawn_threaded(self) -> NetServerHandle {
+        // The listener may have been flipped nonblocking while probing
+        // the reactor path; the blocking accept loop needs it blocking.
+        let _ = self.listener.set_nonblocking(false);
         let shared = Arc::clone(&self.shared);
         let addr = self.addr;
         let accept_thread = std::thread::Builder::new()
@@ -230,7 +340,9 @@ impl NetServer {
         NetServerHandle {
             addr,
             shared,
-            accept_thread: Some(accept_thread),
+            threads: vec![accept_thread],
+            #[cfg(unix)]
+            waker: None,
         }
     }
 }
@@ -240,7 +352,11 @@ impl NetServer {
 pub struct NetServerHandle {
     addr: SocketAddr,
     shared: Arc<NetShared>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    /// `Some` on the event-driven path: shutdown nudges the reactor
+    /// through its wakeup fd instead of draining a registry.
+    #[cfg(unix)]
+    waker: Option<exaclim_runtime::reactor::Waker>,
 }
 
 impl std::fmt::Debug for NetServerHandle {
@@ -267,21 +383,37 @@ impl NetServerHandle {
         self.shared.stats.snapshot()
     }
 
-    /// Stop accepting, unblock and drain every open connection, and join
-    /// all threads. Idempotent; also runs on drop.
+    /// Stop accepting, drain every open connection, and join all
+    /// threads. Idempotent; also runs on drop.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
 
     fn shutdown_inner(&mut self) {
-        let Some(accept_thread) = self.accept_thread.take() else {
+        let threads = std::mem::take(&mut self.threads);
+        if threads.is_empty() {
             return;
-        };
-        // Flag and drain under the registry lock: the accept loop
-        // registers new connections under the same lock after re-checking
-        // the flag, so every connection is either drained here or closed
-        // by the loop itself — none can slip between flag and drain and
-        // leave shutdown joining a handler nobody will ever unblock.
+        }
+        #[cfg(unix)]
+        if let Some(waker) = self.waker.take() {
+            // Event-driven path: flag, nudge the parked reactor through
+            // the wakeup fd, and join. The reactor closes the listener,
+            // closes idle connections, lets dispatched batches and
+            // half-written responses drain, then stops the dispatch
+            // workers.
+            self.shared.shutdown.store(true, Ordering::SeqCst);
+            waker.wake();
+            for t in threads {
+                let _ = t.join();
+            }
+            return;
+        }
+        // Threaded path. Flag and drain under the registry lock: the
+        // accept loop registers new connections under the same lock
+        // after re-checking the flag, so every connection is either
+        // drained here or closed by the loop itself — none can slip
+        // between flag and drain and leave shutdown joining a handler
+        // nobody will ever unblock.
         let drained: Vec<TcpStream> = {
             let mut conns = self.shared.open_conns.lock();
             self.shared.shutdown.store(true, Ordering::SeqCst);
@@ -305,7 +437,9 @@ impl NetServerHandle {
             self.addr
         };
         let _ = TcpStream::connect(wake);
-        let _ = accept_thread.join();
+        for t in threads {
+            let _ = t.join();
+        }
     }
 }
 
@@ -314,6 +448,770 @@ impl Drop for NetServerHandle {
         self.shutdown_inner();
     }
 }
+
+// ---------------------------------------------------------------------------
+// Event-driven path: nonblocking frame state machines over the reactor
+// ---------------------------------------------------------------------------
+
+#[cfg(unix)]
+mod event {
+    use super::*;
+    use exaclim_runtime::reactor::{Interest, Mode, Reactor, Token, Waker};
+    use exaclim_store::crc32;
+    use parking_lot::Condvar;
+    use std::collections::HashMap;
+    use std::io::ErrorKind;
+    use std::os::unix::io::AsRawFd;
+
+    /// The listener's reactor token; connections count up from 1.
+    const LISTENER: Token = Token(0);
+
+    /// A decoded request batch on its way to a dispatch worker.
+    struct Job {
+        token: u64,
+        id: u64,
+        requests: Vec<Request>,
+    }
+
+    /// A finished batch on its way back to the reactor. `frame` is the
+    /// fully-encoded response frame, or `None` when encoding failed
+    /// (response over the payload cap) and the connection must close —
+    /// the same outcome the blocking path's failed `write_frame` had.
+    struct Completion {
+        token: u64,
+        frame: Option<Vec<u8>>,
+    }
+
+    /// The bridge between the reactor thread and the dispatch workers:
+    /// jobs flow out through a condvar queue, completions flow back
+    /// through a mutexed vector plus a wakeup-fd nudge.
+    struct Dispatch {
+        jobs: Mutex<(VecDeque<Job>, bool)>,
+        jobs_cv: Condvar,
+        completions: Mutex<Vec<Completion>>,
+        waker: Waker,
+        shared: Arc<NetShared>,
+    }
+
+    impl Dispatch {
+        fn push(&self, job: Job) {
+            self.jobs.lock().0.push_back(job);
+            self.jobs_cv.notify_one();
+        }
+
+        fn close(&self) {
+            self.jobs.lock().1 = true;
+            self.jobs_cv.notify_all();
+        }
+    }
+
+    /// Dispatch worker: pop a job, run the batch through the in-process
+    /// server (fanning out over the shared worker pool), encode the full
+    /// response frame, hand it back, nudge the reactor.
+    fn dispatch_worker(d: &Dispatch) {
+        loop {
+            let job = {
+                let mut q = d.jobs.lock();
+                loop {
+                    if let Some(job) = q.0.pop_front() {
+                        break job;
+                    }
+                    if q.1 {
+                        return;
+                    }
+                    d.jobs_cv.wait(&mut q);
+                }
+            };
+            let responses = d.shared.server.handle_batch(&job.requests);
+            let payload = wire::encode_response_batch(&responses);
+            let frame = wire::encode_frame(FrameKind::Response, job.id, &payload).ok();
+            d.completions.lock().push(Completion {
+                token: job.token,
+                frame,
+            });
+            d.waker.wake();
+        }
+    }
+
+    /// Where a connection's state machine stands.
+    enum Phase {
+        /// Accumulating request bytes (header-scan / payload-accumulate).
+        Reading,
+        /// A decoded batch is executing on a dispatch worker; read
+        /// interest is off (one batch in flight per connection).
+        Dispatched,
+    }
+
+    /// A response (or error) frame mid-drain.
+    struct WriteBuf {
+        frame: Vec<u8>,
+        written: usize,
+        /// Response frames count toward `frames_out`/`bytes_out`;
+        /// error frames do not (blocking-path parity).
+        is_response: bool,
+    }
+
+    /// One connection's nonblocking state machine.
+    struct Conn {
+        stream: TcpStream,
+        /// Unparsed request bytes (at most one frame plus whatever the
+        /// socket delivered alongside it; read interest is off while a
+        /// batch executes or a response drains).
+        buf: Vec<u8>,
+        phase: Phase,
+        write: Option<WriteBuf>,
+        /// Close once the pending write drains (error frames, shutdown).
+        close_after: bool,
+        /// The peer's write side closed; whatever is buffered is all
+        /// there will ever be.
+        eof: bool,
+        interest: Interest,
+    }
+
+    impl Conn {
+        fn new(stream: TcpStream) -> Self {
+            Self {
+                stream,
+                buf: Vec::new(),
+                phase: Phase::Reading,
+                write: None,
+                close_after: false,
+                eof: false,
+                interest: Interest::READABLE,
+            }
+        }
+    }
+
+    /// What the frame parser decided about the head of `Conn::buf`.
+    enum Parsed {
+        /// Not enough bytes yet; keep reading.
+        NeedMore,
+        /// The peer closed cleanly between frames.
+        CleanClose,
+        /// Transport-level violation: answer with an error frame carrying
+        /// this id and message, then close.
+        Fail { id: u64, msg: String },
+        /// A complete, valid request frame of `total` bytes carrying
+        /// this batch.
+        Request {
+            id: u64,
+            total: usize,
+            requests: Vec<Request>,
+        },
+    }
+
+    /// The reactor thread's whole world.
+    struct EventLoop {
+        reactor: Reactor,
+        listener: Option<TcpListener>,
+        accepting: bool,
+        conns: HashMap<u64, Conn>,
+        next_token: u64,
+        scratch: Vec<u8>,
+        draining: bool,
+        dispatch: Arc<Dispatch>,
+        shared: Arc<NetShared>,
+        config: NetConfig,
+    }
+
+    /// Launch the event-driven server: dispatch workers plus the reactor
+    /// thread, all joined by [`NetServerHandle::shutdown`].
+    pub(super) fn spawn_event(server: NetServer, reactor: Reactor) -> NetServerHandle {
+        let NetServer {
+            listener,
+            addr,
+            shared,
+            config,
+        } = server;
+        let waker = reactor.waker();
+        let dispatch = Arc::new(Dispatch {
+            jobs: Mutex::new((VecDeque::new(), false)),
+            jobs_cv: Condvar::new(),
+            completions: Mutex::new(Vec::new()),
+            waker: reactor.waker(),
+            shared: Arc::clone(&shared),
+        });
+        let workers = if config.dispatch_threads == 0 {
+            exaclim_runtime::pool::global().threads().clamp(1, 8)
+        } else {
+            config.dispatch_threads
+        };
+        let mut threads = Vec::with_capacity(workers + 1);
+        for i in 0..workers {
+            let d = Arc::clone(&dispatch);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("exaclim-net-dispatch-{i}"))
+                    .spawn(move || dispatch_worker(&d))
+                    .expect("spawn dispatch worker"),
+            );
+        }
+        let loop_shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("exaclim-net-reactor".to_string())
+                .spawn(move || {
+                    let mut el = EventLoop {
+                        reactor,
+                        listener: Some(listener),
+                        accepting: false,
+                        conns: HashMap::new(),
+                        next_token: 1,
+                        scratch: vec![0u8; 64 * 1024],
+                        draining: false,
+                        dispatch,
+                        shared: loop_shared,
+                        config,
+                    };
+                    el.run();
+                    // No connection can produce work anymore: release the
+                    // dispatch workers so the handle can join them.
+                    el.dispatch.close();
+                })
+                .expect("spawn reactor thread"),
+        );
+        NetServerHandle {
+            addr,
+            shared,
+            threads,
+            waker: Some(waker),
+        }
+    }
+
+    impl EventLoop {
+        fn run(&mut self) {
+            if let Some(listener) = &self.listener {
+                if self
+                    .reactor
+                    .register(
+                        listener.as_raw_fd(),
+                        LISTENER,
+                        Interest::READABLE,
+                        Mode::Level,
+                    )
+                    .is_err()
+                {
+                    return;
+                }
+                self.accepting = true;
+            }
+            let mut events = Vec::new();
+            let mut expired = Vec::new();
+            loop {
+                let woken = match self.reactor.poll(&mut events, &mut expired, None) {
+                    Ok(woken) => woken,
+                    Err(_) => {
+                        // EBADF and friends are unrecoverable program
+                        // bugs; anything transient deserves a breather,
+                        // not a hot spin.
+                        std::thread::sleep(Duration::from_millis(1));
+                        false
+                    }
+                };
+                if woken {
+                    self.shared
+                        .stats
+                        .reactor_wakeups
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                // Completions first: they free connections back into
+                // write-drain before this round's readiness is handled.
+                let done: Vec<Completion> = std::mem::take(&mut *self.dispatch.completions.lock());
+                for completion in done {
+                    self.complete(completion);
+                }
+                if self.shared.shutdown.load(Ordering::SeqCst) && !self.draining {
+                    self.begin_drain();
+                }
+                for ev in events.drain(..) {
+                    if ev.token == LISTENER {
+                        self.accept_burst();
+                    } else {
+                        self.conn_event(ev);
+                    }
+                }
+                for token in expired.drain(..) {
+                    self.expire(token.0);
+                }
+                self.resume_accepting_if_room();
+                if self.draining && self.conns.is_empty() {
+                    return;
+                }
+            }
+        }
+
+        /// A dispatch worker finished a batch for `token`.
+        fn complete(&mut self, completion: Completion) {
+            let Some(conn) = self.conns.get_mut(&completion.token) else {
+                return; // connection died while its batch executed
+            };
+            match completion.frame {
+                Some(frame) => {
+                    conn.phase = Phase::Reading;
+                    conn.write = Some(WriteBuf {
+                        frame,
+                        written: 0,
+                        is_response: true,
+                    });
+                    // Optimistic drain: the socket is almost always
+                    // writable, so most responses leave without waiting
+                    // for a readiness round trip.
+                    self.conn_write(completion.token);
+                }
+                None => self.close_conn(completion.token),
+            }
+        }
+
+        /// Shutdown observed: stop accepting, close idle connections,
+        /// and mark the busy ones to close as soon as they drain.
+        fn begin_drain(&mut self) {
+            self.draining = true;
+            self.pause_accepting();
+            // Dropping the listener refuses new connections outright.
+            self.listener = None;
+            let idle: Vec<u64> = self
+                .conns
+                .iter()
+                .filter(|(_, c)| c.write.is_none() && matches!(c.phase, Phase::Reading))
+                .map(|(&t, _)| t)
+                .collect();
+            for token in idle {
+                self.close_conn(token);
+            }
+            // Busy connections drain (dispatched batch → response write →
+            // close). A deadline bounds the drain even when no idle
+            // timeout is configured, so a dead peer cannot hang shutdown.
+            let drain_deadline =
+                Instant::now() + self.config.idle_timeout.unwrap_or(Duration::from_secs(5));
+            let busy: Vec<u64> = self.conns.keys().copied().collect();
+            for token in busy {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.close_after = true;
+                }
+                self.reactor.set_deadline(Token(token), drain_deadline);
+            }
+        }
+
+        fn pause_accepting(&mut self) {
+            if self.accepting {
+                let _ = self.reactor.deregister(LISTENER);
+                self.accepting = false;
+            }
+        }
+
+        fn resume_accepting_if_room(&mut self) {
+            if self.accepting || self.draining || self.conns.len() >= self.config.max_connections {
+                return;
+            }
+            if let Some(listener) = &self.listener {
+                if self
+                    .reactor
+                    .register(
+                        listener.as_raw_fd(),
+                        LISTENER,
+                        Interest::READABLE,
+                        Mode::Level,
+                    )
+                    .is_ok()
+                {
+                    self.accepting = true;
+                }
+            }
+        }
+
+        /// Accept everything the backlog has, up to the connection cap.
+        fn accept_burst(&mut self) {
+            loop {
+                if self.draining {
+                    return;
+                }
+                if self.conns.len() >= self.config.max_connections {
+                    // At capacity: stop listening so a level-triggered
+                    // backlog does not spin the loop; the backlog itself
+                    // is the admission queue.
+                    self.pause_accepting();
+                    return;
+                }
+                let Some(listener) = &self.listener else {
+                    return;
+                };
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                            continue; // dropped → closed
+                        }
+                        let _ = stream.set_nodelay(true);
+                        let token = self.next_token;
+                        self.next_token += 1;
+                        if self
+                            .reactor
+                            .register(
+                                stream.as_raw_fd(),
+                                Token(token),
+                                Interest::READABLE,
+                                Mode::Level,
+                            )
+                            .is_err()
+                        {
+                            self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        self.shared
+                            .stats
+                            .connections
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.shared.stats.conn_opened();
+                        self.conns.insert(token, Conn::new(stream));
+                        self.reset_deadline(token);
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        // fd exhaustion or a reset mid-handshake: the
+                        // connection is lost but the listener survives.
+                        self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            }
+        }
+
+        /// Route one readiness event to the connection's state machine.
+        fn conn_event(&mut self, ev: exaclim_runtime::reactor::Event) {
+            let token = ev.token.0;
+            let Some(conn) = self.conns.get(&token) else {
+                return; // closed earlier this round
+            };
+            if ev.error {
+                self.shared
+                    .stats
+                    .wire_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                self.close_conn(token);
+                return;
+            }
+            if ev.writable && conn.write.is_some() {
+                self.conn_write(token);
+            }
+            let Some(conn) = self.conns.get(&token) else {
+                return;
+            };
+            if conn.write.is_none() && matches!(conn.phase, Phase::Reading) && !conn.eof {
+                if ev.readable || ev.hangup {
+                    self.conn_read(token);
+                }
+            } else if ev.hangup && conn.write.is_none() && matches!(conn.phase, Phase::Reading) {
+                // EOF already seen and nothing left to write: done.
+                self.close_conn(token);
+            }
+        }
+
+        /// Drain the socket into the connection's buffer, then parse.
+        fn conn_read(&mut self, token: u64) {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            let mut failed = false;
+            loop {
+                match conn.stream.read(&mut self.scratch) {
+                    Ok(0) => {
+                        conn.eof = true;
+                        break;
+                    }
+                    Ok(n) => conn.buf.extend_from_slice(&self.scratch[..n]),
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            if failed {
+                // Socket-level read failure (reset mid-frame, say): the
+                // blocking path counted it as a wire error and closed.
+                self.shared
+                    .stats
+                    .wire_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                self.close_conn(token);
+                return;
+            }
+            self.advance(token);
+        }
+
+        /// Run the frame parser over the head of the buffer and act on
+        /// the outcome: dispatch, reject, wait, or close.
+        fn advance(&mut self, token: u64) {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.write.is_some() || matches!(conn.phase, Phase::Dispatched) {
+                return; // back-pressure: one batch/response at a time
+            }
+            match parse_head(conn, &self.shared.stats) {
+                Parsed::NeedMore => self.sync_interest(token),
+                Parsed::CleanClose => self.close_conn(token),
+                Parsed::Fail { id, msg } => self.fail_conn(token, id, &msg),
+                Parsed::Request {
+                    id,
+                    total,
+                    requests,
+                } => {
+                    self.shared
+                        .stats
+                        .requests
+                        .fetch_add(requests.len() as u64, Ordering::Relaxed);
+                    let conn = self.conns.get_mut(&token).expect("conn just parsed");
+                    conn.buf.drain(..total);
+                    conn.phase = Phase::Dispatched;
+                    // A complete frame arrived: this peer is live.
+                    self.reset_deadline(token);
+                    self.sync_interest(token);
+                    self.dispatch.push(Job {
+                        token,
+                        id,
+                        requests,
+                    });
+                }
+            }
+        }
+
+        /// Transport-level violation: count it, answer best-effort with
+        /// an error frame, and close once (if) it drains.
+        fn fail_conn(&mut self, token: u64, id: u64, msg: &str) {
+            self.shared
+                .stats
+                .wire_errors
+                .fetch_add(1, Ordering::Relaxed);
+            let payload = wire::encode_error_payload(msg);
+            match wire::encode_frame(FrameKind::Error, id, &payload) {
+                Ok(frame) => {
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.close_after = true;
+                        conn.write = Some(WriteBuf {
+                            frame,
+                            written: 0,
+                            is_response: false,
+                        });
+                    }
+                    self.conn_write(token);
+                }
+                Err(_) => self.close_conn(token),
+            }
+        }
+
+        /// Drain as much of the pending frame as the socket accepts.
+        fn conn_write(&mut self, token: u64) {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            let Some(w) = conn.write.as_mut() else {
+                return;
+            };
+            let mut failed = false;
+            let mut progressed = false;
+            while w.written < w.frame.len() {
+                match conn.stream.write(&w.frame[w.written..]) {
+                    Ok(0) => {
+                        failed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        w.written += n;
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            let done = w.written >= w.frame.len();
+            if failed {
+                // Write failures closed the blocking path without a wire
+                // error; keep the same books here.
+                self.close_conn(token);
+                return;
+            }
+            if done {
+                self.finish_write(token);
+            } else {
+                if progressed {
+                    // The peer is draining, just slowly — not idle.
+                    self.reset_deadline(token);
+                }
+                self.sync_interest(token);
+            }
+        }
+
+        /// A frame fully left the socket: count it, close if it was a
+        /// goodbye, otherwise re-parse whatever the client pipelined.
+        fn finish_write(&mut self, token: u64) {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            let w = conn.write.take().expect("finish_write without a write");
+            if w.is_response {
+                self.shared.stats.frames_out.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .stats
+                    .bytes_out
+                    .fetch_add(w.frame.len() as u64, Ordering::Relaxed);
+            }
+            if conn.close_after {
+                self.close_conn(token);
+                return;
+            }
+            self.reset_deadline(token);
+            // Level-triggered readiness will not re-announce bytes we
+            // already buffered: pipelined frames must be re-parsed now,
+            // not when the socket next stirs.
+            self.advance(token);
+        }
+
+        /// Keep the reactor's armed interest in sync with the state
+        /// machine: write-drain → writable, dispatched → muted,
+        /// reading → readable.
+        fn sync_interest(&mut self, token: u64) {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            let want = if conn.write.is_some() {
+                Interest::WRITABLE
+            } else if matches!(conn.phase, Phase::Dispatched) {
+                Interest::NONE
+            } else {
+                Interest::READABLE
+            };
+            if conn.interest != want {
+                conn.interest = want;
+                let _ = self.reactor.modify(Token(token), want);
+            }
+        }
+
+        /// (Re-)arm the idle deadline, when one is configured.
+        fn reset_deadline(&mut self, token: u64) {
+            if let Some(idle) = self.config.idle_timeout {
+                self.reactor
+                    .set_deadline(Token(token), Instant::now() + idle);
+            }
+        }
+
+        /// A deadline fired: reap the connection unless its batch is
+        /// still executing (compute time is not idle time).
+        fn expire(&mut self, token: u64) {
+            let Some(conn) = self.conns.get(&token) else {
+                return;
+            };
+            if matches!(conn.phase, Phase::Dispatched) {
+                self.reset_deadline(token);
+                return;
+            }
+            self.shared
+                .stats
+                .reaped_idle
+                .fetch_add(1, Ordering::Relaxed);
+            self.close_conn(token);
+        }
+
+        fn close_conn(&mut self, token: u64) {
+            if let Some(conn) = self.conns.remove(&token) {
+                let _ = self.reactor.deregister(Token(token));
+                let _ = conn.stream.shutdown(Shutdown::Both);
+                self.shared.stats.conn_closed();
+            }
+        }
+    }
+
+    /// Pure frame parser over the head of a connection's buffer. Splits
+    /// cleanly from the event loop so the counting/bookkeeping above
+    /// stays free of byte-level detail. Counts `frames_in`/`bytes_in`
+    /// itself (on complete, checksum-valid request frames), matching the
+    /// blocking path's `read_frame` bookkeeping exactly.
+    fn parse_head(conn: &mut Conn, stats: &NetStatCells) -> Parsed {
+        if conn.buf.len() < HEADER_LEN {
+            return if conn.eof {
+                if conn.buf.is_empty() {
+                    Parsed::CleanClose
+                } else {
+                    Parsed::Fail {
+                        id: 0,
+                        msg: WireError::Truncated {
+                            context: "frame header",
+                        }
+                        .to_string(),
+                    }
+                }
+            } else {
+                Parsed::NeedMore
+            };
+        }
+        let header_bytes: [u8; HEADER_LEN] =
+            conn.buf[..HEADER_LEN].try_into().expect("header slice");
+        let header = match wire::FrameHeader::decode(&header_bytes) {
+            Ok(header) => header,
+            Err(e) => {
+                return Parsed::Fail {
+                    id: 0,
+                    msg: e.to_string(),
+                }
+            }
+        };
+        let total = HEADER_LEN + header.len as usize;
+        if conn.buf.len() < total {
+            if conn.eof {
+                return Parsed::Fail {
+                    id: 0,
+                    msg: WireError::Truncated {
+                        context: "frame payload",
+                    }
+                    .to_string(),
+                };
+            }
+            conn.buf.reserve(total - conn.buf.len());
+            return Parsed::NeedMore;
+        }
+        let payload = &conn.buf[HEADER_LEN..total];
+        let actual = crc32(payload);
+        if actual != header.crc {
+            return Parsed::Fail {
+                id: 0,
+                msg: WireError::ChecksumMismatch {
+                    expected: header.crc,
+                    actual,
+                }
+                .to_string(),
+            };
+        }
+        if header.kind != FrameKind::Request {
+            return Parsed::Fail {
+                id: header.id,
+                msg: format!("unexpected frame kind {} from client", header.kind.id()),
+            };
+        }
+        stats.frames_in.fetch_add(1, Ordering::Relaxed);
+        stats.bytes_in.fetch_add(total as u64, Ordering::Relaxed);
+        match wire::decode_request_batch(payload) {
+            Ok(requests) => Parsed::Request {
+                id: header.id,
+                total,
+                requests,
+            },
+            Err(e) => Parsed::Fail {
+                id: header.id,
+                msg: e.to_string(),
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-per-connection fallback
+// ---------------------------------------------------------------------------
 
 /// Accept until shutdown; each accepted connection takes a semaphore
 /// permit and a handler thread.
@@ -354,36 +1252,113 @@ fn accept_loop(listener: TcpListener, shared: Arc<NetShared>, config: NetConfig)
                 conns.push((token, clone));
             }
         }
-        shared.stats.connections.fetch_add(1, Ordering::Relaxed);
         handlers.retain(|h| !h.is_finished());
         let conn_shared = Arc::clone(&shared);
-        let handler = std::thread::Builder::new()
+        let idle_timeout = config.idle_timeout;
+        let spawned = std::thread::Builder::new()
             .name("exaclim-net-conn".to_string())
             .spawn(move || {
-                handle_connection(&conn_shared, stream, token);
+                handle_connection(&conn_shared, stream, token, idle_timeout);
                 drop(permit);
-            })
-            .expect("spawn connection handler");
-        handlers.push(handler);
+            });
+        match spawned {
+            Ok(handler) => handlers.push(handler),
+            Err(_) => {
+                // Thread (or fd) exhaustion: reject this connection —
+                // the dropped closure closes the stream and releases the
+                // permit — but the accept loop must survive to serve the
+                // connections that already got in.
+                shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                shared.forget_conn(token);
+            }
+        }
     }
     for h in handlers {
         let _ = h.join();
     }
 }
 
-/// Serve one connection until EOF, socket error, or a transport-level
-/// protocol violation.
-fn handle_connection(shared: &NetShared, stream: TcpStream, token: u64) {
+/// A [`TcpStream`] reader that enforces an absolute per-frame deadline
+/// through socket read timeouts: every read blocks at most until the
+/// deadline, so a slowloris peer dribbling one byte per poll still hits
+/// the wall. The handler re-arms the deadline after each complete frame.
+struct DeadlineStream {
+    stream: TcpStream,
+    idle_timeout: Option<Duration>,
+    deadline: Option<Instant>,
+    timed_out: bool,
+}
+
+impl DeadlineStream {
+    fn new(stream: TcpStream, idle_timeout: Option<Duration>) -> Self {
+        let deadline = idle_timeout.map(|d| Instant::now() + d);
+        Self {
+            stream,
+            idle_timeout,
+            deadline,
+            timed_out: false,
+        }
+    }
+
+    /// A complete frame arrived: the peer is live, start a fresh window.
+    fn rearm(&mut self) {
+        self.deadline = self.idle_timeout.map(|d| Instant::now() + d);
+    }
+}
+
+impl Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if let Some(deadline) = self.deadline {
+            let now = Instant::now();
+            if now >= deadline {
+                self.timed_out = true;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "idle deadline exceeded",
+                ));
+            }
+            let _ = self.stream.set_read_timeout(Some(deadline - now));
+        }
+        match self.stream.read(buf) {
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                self.timed_out = true;
+                Err(e)
+            }
+            other => other,
+        }
+    }
+}
+
+/// Serve one connection until EOF, socket error, idle deadline, or a
+/// transport-level protocol violation.
+fn handle_connection(
+    shared: &NetShared,
+    stream: TcpStream,
+    token: u64,
+    idle_timeout: Option<Duration>,
+) {
+    // Admission is counted here, not in the accept loop: the handler can
+    // finish (and decrement the open-connections gauge) before the accept
+    // loop's next instruction runs, so the open/close pair must live on
+    // one thread.
+    shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+    shared.stats.conn_opened();
     // Frames are explicit flush points; Nagle only adds latency here.
     let _ = stream.set_nodelay(true);
     let reader_stream = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => {
             shared.forget_conn(token);
+            shared.stats.conn_closed();
             return;
         }
     };
-    let mut reader = BufReader::new(reader_stream);
+    let mut reader = BufReader::new(DeadlineStream::new(reader_stream, idle_timeout));
     // Responses go straight to the socket via a gathered write — one
     // `writev` per frame — so there is no BufWriter (and no flush) on
     // the response path.
@@ -396,6 +1371,7 @@ fn handle_connection(shared: &NetShared, stream: TcpStream, token: u64) {
                 stats
                     .bytes_in
                     .fetch_add((HEADER_LEN + payload.len()) as u64, Ordering::Relaxed);
+                reader.get_mut().rearm();
                 match wire::decode_request_batch(&payload) {
                     Ok(requests) => {
                         stats
@@ -440,6 +1416,13 @@ fn handle_connection(shared: &NetShared, stream: TcpStream, token: u64) {
                 break;
             }
             Err(WireError::ConnectionClosed) => break,
+            Err(_) if reader.get_ref().timed_out => {
+                // The idle deadline fired mid-wait (or mid-dribble):
+                // reaped, not a wire error — the peer sent nothing wrong,
+                // it just stopped being worth a thread.
+                stats.reaped_idle.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
             Err(e) => {
                 // Bad magic, version mismatch, oversized claim, checksum
                 // failure, truncation, socket error: best-effort report,
@@ -456,6 +1439,7 @@ fn handle_connection(shared: &NetShared, stream: TcpStream, token: u64) {
         }
     }
     shared.forget_conn(token);
+    shared.stats.conn_closed();
 }
 
 /// Write one response frame with a single gathered syscall: header and

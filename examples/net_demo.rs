@@ -240,6 +240,14 @@ fn main() {
         net.bytes_out as f64 / (1 << 20) as f64,
         net.wire_errors
     );
+    println!(
+        "connections: {} open / {} peak, {} reactor wakeups, {} reaped idle, {} rejected",
+        net.open_connections,
+        net.peak_connections,
+        net.reactor_wakeups,
+        net.reaped_idle,
+        net.rejected
+    );
     let cache = server.cache_stats();
     println!(
         "serve: {} chunk decodes, cache {} hits / {} misses",

@@ -405,7 +405,11 @@ fn admission_is_bounded_but_fair() {
     let mut catalog = Catalog::new();
     catalog.open_archive_bytes("a", archive_bytes()).unwrap();
     let server = Arc::new(Server::new(catalog, ServeConfig::default()));
-    let handle = NetServer::bind("127.0.0.1:0", server, NetConfig { max_connections: 1 })
+    let config = NetConfig {
+        max_connections: 1,
+        ..NetConfig::default()
+    };
+    let handle = NetServer::bind("127.0.0.1:0", server, config)
         .unwrap()
         .spawn();
     let addr = handle.addr();
