@@ -80,6 +80,18 @@ fn build_archive_file(path: &std::path::Path) -> (u64, usize) {
     (total, data.npoints)
 }
 
+/// Streaming-path counters captured from the hot `serve_net` scenario:
+/// how many responses went out as CRC-checked stream fragments, the
+/// fragment count, the per-connection owned-bytes high-water mark, and
+/// the frames-per-response histogram (buckets 1, 2, 3–4, 5–8, 9–16,
+/// 17–32, 33–64, 65+).
+struct StreamCounters {
+    streamed_responses: u64,
+    stream_frames_out: u64,
+    peak_conn_buffered_bytes: u64,
+    frames_per_response: [u64; 8],
+}
+
 /// Drive the same workload as [`run_scenario`], but through the framed-TCP
 /// wire over loopback: one reused connection per client thread.
 fn run_net_scenario(
@@ -87,7 +99,7 @@ fn run_net_scenario(
     threads: usize,
     batches_per_thread: usize,
     npoints: usize,
-) -> Scenario {
+) -> (Scenario, StreamCounters) {
     let handle = NetServer::bind("127.0.0.1:0", server, NetConfig::default())
         .unwrap()
         .spawn();
@@ -118,22 +130,32 @@ fn run_net_scenario(
             .collect()
     });
     let elapsed_s = start.elapsed().as_secs_f64();
+    let stats = handle.net_stats();
+    let streaming = StreamCounters {
+        streamed_responses: stats.streamed_responses,
+        stream_frames_out: stats.stream_frames_out,
+        peak_conn_buffered_bytes: stats.peak_conn_buffered_bytes,
+        frames_per_response: stats.frames_per_response,
+    };
     handle.shutdown();
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
     let requests = (threads * batches_per_thread * BATCH) as u64;
     let served_mib = requests as f64 * SLICE_T as f64 * npoints as f64 * 8.0 / (1 << 20) as f64;
-    Scenario {
-        name: "serve_net",
-        backend: "mmap",
-        threads,
-        batches_per_thread,
-        elapsed_s,
-        served_mib,
-        requests,
-        p50_us: pct(0.50),
-        p95_us: pct(0.95),
-    }
+    (
+        Scenario {
+            name: "serve_net",
+            backend: "mmap",
+            threads,
+            batches_per_thread,
+            elapsed_s,
+            served_mib,
+            requests,
+            p50_us: pct(0.50),
+            p95_us: pct(0.95),
+        },
+        streaming,
+    )
 }
 
 /// Connection-level gauges captured from the `serve_net_idle` scenario:
@@ -438,6 +460,7 @@ fn write_json(
     stampede: (u64, u64, u64),
     product: &ProductCounters,
     net: &NetCounters,
+    streaming: &StreamCounters,
 ) {
     // Schema version of this file; bump when fields change meaning. The
     // env block records the matrix leg the run came from, so CI artifacts
@@ -445,7 +468,7 @@ fn write_json(
     let threads_env = std::env::var("EXACLIM_THREADS").unwrap_or_else(|_| "default".to_string());
     let mmap_env = std::env::var("EXACLIM_MMAP").unwrap_or_else(|_| "default".to_string());
     let mut out = format!(
-        "{{\n  \"bench\": \"serve\",\n  \"version\": 4,\n  \
+        "{{\n  \"bench\": \"serve\",\n  \"version\": 5,\n  \
          \"env\": {{\"EXACLIM_THREADS\": \"{threads_env}\", \"EXACLIM_MMAP\": \"{mmap_env}\"}},\n  \
          \"scenarios\": [\n"
     );
@@ -472,9 +495,18 @@ fn write_json(
         "  ],\n  \"cold_mmap_over_mutexed_speedup\": {speedup_cold:.3},\n  \
          \"stampede\": {{\"chunk_decodes\": {decodes}, \"flight_leads\": {leads}, \"flight_waits\": {waits}}},\n  \
          \"product_cache\": {{\"hits\": {}, \"misses\": {}, \"flight_leads\": {}, \"flight_waits\": {}, \"computes\": {}}},\n  \
-         \"net\": {{\"open_connections\": {}, \"peak_connections\": {}, \"reactor_wakeups\": {}, \"reaped_idle\": {}}}\n}}\n",
+         \"net\": {{\"open_connections\": {}, \"peak_connections\": {}, \"reactor_wakeups\": {}, \"reaped_idle\": {}}},\n  \
+         \"streaming\": {{\"streamed_responses\": {}, \"stream_frames_out\": {}, \"peak_conn_buffered_bytes\": {}, \
+         \"frames_per_response\": [{}]}}\n}}\n",
         product.hits, product.misses, product.flight_leads, product.flight_waits, product.computes,
-        net.open_connections, net.peak_connections, net.reactor_wakeups, net.reaped_idle
+        net.open_connections, net.peak_connections, net.reactor_wakeups, net.reaped_idle,
+        streaming.streamed_responses, streaming.stream_frames_out, streaming.peak_conn_buffered_bytes,
+        streaming
+            .frames_per_response
+            .iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
     ));
     std::fs::write(path, out).unwrap();
     println!("wrote {path}");
@@ -533,13 +565,15 @@ fn main() {
     // Network: the warm-cache workload again, but spoken over the framed
     // TCP wire on loopback — the delta to "warm" is the protocol cost
     // (framing, CRC, socket round trip) at this batch size.
-    {
+    let streaming = {
         let server = Arc::new(server_for(&path, true, 256 << 20));
         for t in 0..threads as u64 {
             server.handle_batch(&slice_batch(t));
         }
-        scenarios.push(run_net_scenario(server, threads, batches, npoints));
-    }
+        let (scenario, streaming) = run_net_scenario(server, threads, batches, npoints);
+        scenarios.push(scenario);
+        streaming
+    };
 
     // Network with a standing idle fleet: the same hot workload while
     // hundreds of keep-alive connections sit registered on the reactor —
@@ -630,6 +664,13 @@ fn main() {
         "net ({idle_conns} idle + {threads} hot conns): peak {}, open at end {}, {} reactor wakeups, {} reaped idle",
         net.peak_connections, net.open_connections, net.reactor_wakeups, net.reaped_idle
     );
+    println!(
+        "streaming: {} streamed responses in {} fragments, peak {} owned bytes/conn, frames/resp histogram {:?}",
+        streaming.streamed_responses,
+        streaming.stream_frames_out,
+        streaming.peak_conn_buffered_bytes,
+        streaming.frames_per_response
+    );
 
     if json {
         write_json(
@@ -639,6 +680,7 @@ fn main() {
             stampede,
             &product,
             &net,
+            &streaming,
         );
     }
     std::fs::remove_file(&path).ok();

@@ -120,23 +120,42 @@ impl BatchPlan {
         }
     }
 
+    /// The `(fetch index, value range)` parts whose in-order
+    /// concatenation is the request's response — the geometry of
+    /// [`BatchPlan::assemble`] without touching any values, so callers
+    /// can reference the decoded chunks (zero-copy streaming) instead of
+    /// copying out of them.
+    pub fn assemble_parts(
+        &self,
+        catalog: &Catalog,
+        plan: &SlicePlan,
+    ) -> Vec<(usize, Range<usize>)> {
+        let entries = &catalog.archives()[plan.archive].members()[plan.member].chunks;
+        let vps = plan.values_per_slice as usize;
+        plan.fetch_indices
+            .iter()
+            .map(|&fi| {
+                let key = self.fetches[fi];
+                let c = entries[key.chunk as usize];
+                let lo = plan.range.start.max(c.t0);
+                let hi = plan.range.end.min(c.t0 + u64::from(c.t_len));
+                let a = (lo - c.t0) as usize * vps;
+                let b = (hi - c.t0) as usize * vps;
+                (fi, a..b)
+            })
+            .collect()
+    }
+
     /// Assemble one request's response values from the batch's decoded
     /// chunks (`chunks` aligned with [`BatchPlan::fetches`]). Concatenates
     /// each overlapping chunk's in-range part in time order — exactly what
     /// [`exaclim_store::ArchiveReader::read_field_slices`] does, hence
     /// bit-identical output.
     pub fn assemble(&self, catalog: &Catalog, plan: &SlicePlan, chunks: &[Arc<[f64]>]) -> Vec<f64> {
-        let entries = &catalog.archives()[plan.archive].members()[plan.member].chunks;
         let vps = plan.values_per_slice as usize;
         let mut out = Vec::with_capacity((plan.range.end - plan.range.start) as usize * vps);
-        for &fi in &plan.fetch_indices {
-            let key = self.fetches[fi];
-            let c = entries[key.chunk as usize];
-            let lo = plan.range.start.max(c.t0);
-            let hi = plan.range.end.min(c.t0 + u64::from(c.t_len));
-            let a = (lo - c.t0) as usize * vps;
-            let b = (hi - c.t0) as usize * vps;
-            out.extend_from_slice(&chunks[fi][a..b]);
+        for (fi, r) in self.assemble_parts(catalog, plan) {
+            out.extend_from_slice(&chunks[fi][r]);
         }
         out
     }

@@ -105,6 +105,26 @@ pub enum WireError {
     Io(String),
     /// The peer closed the connection cleanly between frames.
     ConnectionClosed,
+    /// A stream frame arrived out of order: duplicated, skipped, or not
+    /// starting at sequence 0 (see [`crate::wire::StreamPos`]).
+    StreamSequence {
+        /// Sequence number the reassembler expected next.
+        expected: u16,
+        /// Sequence number the frame carried.
+        got: u16,
+    },
+    /// A stream frame carried a different frame id than the stream it
+    /// interrupted — fragments of two responses interleaved on one
+    /// connection, which the protocol forbids.
+    StreamInterleaved {
+        /// Frame id of the stream being reassembled.
+        expected: u64,
+        /// Frame id the interloping frame carried.
+        got: u64,
+    },
+    /// The stream ended (connection closed, or a non-stream frame
+    /// arrived) before a frame with the `FIN` flag was seen.
+    StreamTruncated,
 }
 
 impl std::fmt::Display for WireError {
@@ -136,6 +156,21 @@ impl std::fmt::Display for WireError {
             }
             WireError::Io(m) => write!(f, "wire I/O error: {m}"),
             WireError::ConnectionClosed => write!(f, "connection closed by peer"),
+            WireError::StreamSequence { expected, got } => {
+                write!(
+                    f,
+                    "stream frame out of order: got seq {got}, expected {expected}"
+                )
+            }
+            WireError::StreamInterleaved { expected, got } => {
+                write!(
+                    f,
+                    "stream frame id {got} interleaved into stream {expected}"
+                )
+            }
+            WireError::StreamTruncated => {
+                write!(f, "stream ended before a FIN frame")
+            }
         }
     }
 }

@@ -41,14 +41,18 @@
 //!   concurrency exactly as it bounds compute),
 //! * [`wire`] — the dependency-free `ECN1` framed wire protocol:
 //!   versioned 24-byte headers, CRC32-protected length-capped payloads,
-//!   and a full request/response codec whose round trip is bit-identical,
+//!   a full request/response codec whose round trip is bit-identical,
+//!   and (v3) a zero-copy streaming encoder that cuts large responses
+//!   into sequenced, FIN-terminated stream fragments whose payload
+//!   bytes are borrowed straight from the chunk cache's value buffers,
 //! * [`net`] — the TCP front end over [`wire`]: a [`net::NetServer`]
 //!   whose connections are nonblocking frame state machines multiplexed
 //!   over the [`exaclim_runtime::reactor`] (thread count constant in the
-//!   connection count, per-connection back-pressure, idle reaping,
-//!   graceful drain via the wakeup fd — with a thread-per-connection
-//!   fallback off unix or under `EXACLIM_REACTOR=0`), and a blocking
-//!   [`net::Client`] with connection reuse and pipelining.
+//!   connection count, per-connection back-pressure with memory bounded
+//!   by about one stream fragment, idle reaping, graceful drain via the
+//!   wakeup fd — with a thread-per-connection fallback off unix or
+//!   under `EXACLIM_REACTOR=0`), and a blocking [`net::Client`] with
+//!   connection reuse, pipelining, and transparent stream reassembly.
 //!
 //! Served bytes are **bit-identical** to sequential
 //! [`exaclim_store::ArchiveReader`] reads at any thread count and any

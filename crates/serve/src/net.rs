@@ -17,14 +17,19 @@
 //! * **payload-accumulate** — the checksummed payload fills,
 //! * **dispatch** — the decoded batch is queued to a small fixed set of
 //!   dispatch workers ([`NetConfig::dispatch_threads`]) that run the
-//!   in-process [`Server::handle_batch`] (which fans out over the shared
-//!   worker pool — `EXACLIM_THREADS` still bounds *compute*) and hand
-//!   the encoded response back through the reactor's wakeup fd,
-//! * **write-drain** — the response frame drains through nonblocking
-//!   writes; at most **one in-flight response is buffered per
-//!   connection**, and read interest stays off until it drains, so a
-//!   slow consumer back-pressures its own socket instead of ballooning
-//!   server memory.
+//!   in-process batch (which fans out over the shared worker pool —
+//!   `EXACLIM_THREADS` still bounds *compute*) and hand the encoded
+//!   response **body** — segments referencing the chunk cache, not a
+//!   copied frame — back through the reactor's wakeup fd,
+//! * **write-drain** — the response leaves frame by frame through a
+//!   [`crate::wire::FrameStream`]: each fragment is cut on demand and
+//!   written with gathered `writev` straight from the shared chunk
+//!   buffers, so per-connection owned memory is bounded by one fragment's
+//!   header + metadata ([`NetConfig::stream_chunk_bytes`] governs the
+//!   fragment size) no matter how large the slice. At most one response
+//!   is in flight per connection, read interest stays off until it
+//!   drains, and a write budget of a few frames per readiness round keeps
+//!   one fat response from starving its neighbours.
 //!
 //! Thread count is a constant (reactor + dispatch workers + the shared
 //! pool), not a function of connection count: mostly-idle keep-alive
@@ -135,17 +140,24 @@ pub struct NetConfig {
     /// `EXACLIM_REACTOR` escape hatch. Unsupported targets always take
     /// the thread-per-connection fallback.
     pub reactor: Option<bool>,
+    /// Payload bytes per streamed response fragment. Responses larger
+    /// than this go to version-3 peers as a sequence of CRC-checked
+    /// stream frames instead of one monolithic frame, which is what
+    /// bounds per-connection server memory; `0` disables streaming
+    /// (every response is a single frame, as in wire version 2).
+    pub stream_chunk_bytes: usize,
 }
 
 impl Default for NetConfig {
     /// 4096 connections, 60 s idle deadline, auto-sized dispatch,
-    /// platform-default reactor policy.
+    /// platform-default reactor policy, 256 KiB stream fragments.
     fn default() -> Self {
         Self {
             max_connections: 4096,
             idle_timeout: Some(Duration::from_secs(60)),
             dispatch_threads: 0,
             reactor: None,
+            stream_chunk_bytes: 256 << 10,
         }
     }
 }
@@ -183,6 +195,19 @@ pub struct NetStats {
     /// Connections accepted but rejected before service (fd or thread
     /// exhaustion); the accept loop survives and keeps serving.
     pub rejected: u64,
+    /// Responses that left as a sequence of stream fragments instead of
+    /// one monolithic frame (see [`NetConfig::stream_chunk_bytes`]).
+    pub streamed_responses: u64,
+    /// Stream fragments written across all streamed responses.
+    pub stream_frames_out: u64,
+    /// High-water mark of bytes a single connection *owned* while a
+    /// response drained: frame header + copied metadata, excluding
+    /// shared chunk-cache references. The streaming wire path bounds
+    /// this by roughly one stream fragment regardless of response size.
+    pub peak_conn_buffered_bytes: u64,
+    /// Histogram of frames per completed response, bucketed 1, 2, 3–4,
+    /// 5–8, 9–16, 17–32, 33–64, 65+.
+    pub frames_per_response: [u64; 8],
 }
 
 #[derive(Default)]
@@ -199,6 +224,25 @@ struct NetStatCells {
     reactor_wakeups: AtomicU64,
     reaped_idle: AtomicU64,
     rejected: AtomicU64,
+    streamed_responses: AtomicU64,
+    stream_frames_out: AtomicU64,
+    peak_conn_buffered_bytes: AtomicU64,
+    frames_per_response: [AtomicU64; 8],
+}
+
+/// Histogram bucket of a frames-per-response count: 1, 2, 3–4, 5–8,
+/// 9–16, 17–32, 33–64, 65+.
+fn frames_bucket(frames: u32) -> usize {
+    match frames {
+        0 | 1 => 0,
+        2 => 1,
+        3..=4 => 2,
+        5..=8 => 3,
+        9..=16 => 4,
+        17..=32 => 5,
+        33..=64 => 6,
+        _ => 7,
+    }
 }
 
 impl NetStatCells {
@@ -216,7 +260,30 @@ impl NetStatCells {
             reactor_wakeups: self.reactor_wakeups.load(Ordering::Relaxed),
             reaped_idle: self.reaped_idle.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            streamed_responses: self.streamed_responses.load(Ordering::Relaxed),
+            stream_frames_out: self.stream_frames_out.load(Ordering::Relaxed),
+            peak_conn_buffered_bytes: self.peak_conn_buffered_bytes.load(Ordering::Relaxed),
+            frames_per_response: std::array::from_fn(|i| {
+                self.frames_per_response[i].load(Ordering::Relaxed)
+            }),
         }
+    }
+
+    /// One response fully written: bucket its frame count, and when it
+    /// streamed, count the response and its fragments.
+    fn response_written(&self, frames: u32, streamed: bool) {
+        self.frames_per_response[frames_bucket(frames)].fetch_add(1, Ordering::Relaxed);
+        if streamed {
+            self.streamed_responses.fetch_add(1, Ordering::Relaxed);
+            self.stream_frames_out
+                .fetch_add(u64::from(frames), Ordering::Relaxed);
+        }
+    }
+
+    /// Raise the per-connection owned-bytes high-water mark.
+    fn note_conn_buffered(&self, owned: usize) {
+        self.peak_conn_buffered_bytes
+            .fetch_max(owned as u64, Ordering::Relaxed);
     }
 
     /// One connection admitted: bump the gauge and the high-water mark.
@@ -470,16 +537,21 @@ mod event {
     struct Job {
         token: u64,
         id: u64,
+        /// Wire version of the request frame; replies mirror it, and it
+        /// decides whether the response may stream.
+        version: u8,
         requests: Vec<Request>,
     }
 
-    /// A finished batch on its way back to the reactor. `frame` is the
-    /// fully-encoded response frame, or `None` when encoding failed
-    /// (response over the payload cap) and the connection must close —
-    /// the same outcome the blocking path's failed `write_frame` had.
+    /// A finished batch on its way back to the reactor: the encoded
+    /// response *body* — segments referencing chunk-cache buffers, not a
+    /// materialized frame. The reactor cuts it into wire frames on the
+    /// connection's write-drain.
     struct Completion {
         token: u64,
-        frame: Option<Vec<u8>>,
+        id: u64,
+        version: u8,
+        body: wire::ResponseBody,
     }
 
     /// The bridge between the reactor thread and the dispatch workers:
@@ -506,8 +578,9 @@ mod event {
     }
 
     /// Dispatch worker: pop a job, run the batch through the in-process
-    /// server (fanning out over the shared worker pool), encode the full
-    /// response frame, hand it back, nudge the reactor.
+    /// server (fanning out over the shared worker pool), encode the
+    /// response body — slice values as chunk-cache references, zero
+    /// copies — hand it back, nudge the reactor.
     fn dispatch_worker(d: &Dispatch) {
         loop {
             let job = {
@@ -522,12 +595,13 @@ mod event {
                     d.jobs_cv.wait(&mut q);
                 }
             };
-            let responses = d.shared.server.handle_batch(&job.requests);
-            let payload = wire::encode_response_batch(&responses);
-            let frame = wire::encode_frame(FrameKind::Response, job.id, &payload).ok();
+            let replies = d.shared.server.handle_batch_replies(&job.requests);
+            let body = wire::encode_reply_batch(replies);
             d.completions.lock().push(Completion {
                 token: job.token,
-                frame,
+                id: job.id,
+                version: job.version,
+                body,
             });
             d.waker.wake();
         }
@@ -542,14 +616,25 @@ mod event {
         Dispatched,
     }
 
-    /// A response (or error) frame mid-drain.
-    struct WriteBuf {
-        frame: Vec<u8>,
-        written: usize,
+    /// A response (or error) mid-drain: a [`wire::FrameStream`] cutting
+    /// the body into frames on demand, plus the frame currently leaving.
+    /// Only `cur`'s header (and small copied metadata runs) is owned;
+    /// payload bytes stay in the shared chunk cache until `writev` reads
+    /// them, which is what bounds per-connection memory.
+    struct Outgoing {
+        stream: wire::FrameStream,
+        /// The staged frame and how many of its bytes have left.
+        cur: Option<(wire::OutFrame, usize)>,
         /// Response frames count toward `frames_out`/`bytes_out`;
         /// error frames do not (blocking-path parity).
         is_response: bool,
     }
+
+    /// Frames drained per connection per readiness round. A fat streamed
+    /// response yields the reactor back after this many frames so its
+    /// neighbours get their turn (level-triggered readiness re-announces
+    /// the still-writable socket next round).
+    const FRAMES_PER_ROUND: u32 = 8;
 
     /// One connection's nonblocking state machine.
     struct Conn {
@@ -559,13 +644,21 @@ mod event {
         /// batch executes or a response drains).
         buf: Vec<u8>,
         phase: Phase,
-        write: Option<WriteBuf>,
+        write: Option<Outgoing>,
         /// Close once the pending write drains (error frames, shutdown).
         close_after: bool,
         /// The peer's write side closed; whatever is buffered is all
         /// there will ever be.
         eof: bool,
         interest: Interest,
+        /// Wire version of the peer's last request frame; replies mirror
+        /// it. Starts at our own version until the first frame arrives.
+        peer_version: u8,
+        /// Last time this connection completed a frame in or pushed
+        /// response bytes out. The idle wheel is re-armed lazily from
+        /// this on expiry instead of on every frame (hot connections
+        /// would otherwise churn the deadline structure per frame).
+        last_activity: Instant,
     }
 
     impl Conn {
@@ -578,6 +671,8 @@ mod event {
                 close_after: false,
                 eof: false,
                 interest: Interest::READABLE,
+                peer_version: wire::VERSION,
+                last_activity: Instant::now(),
             }
         }
     }
@@ -595,6 +690,7 @@ mod event {
         /// this batch.
         Request {
             id: u64,
+            version: u8,
             total: usize,
             requests: Vec<Request>,
         },
@@ -740,17 +836,23 @@ mod event {
             }
         }
 
-        /// A dispatch worker finished a batch for `token`.
+        /// A dispatch worker finished a batch for `token`: stage the body
+        /// as a frame stream on the connection's write-drain.
         fn complete(&mut self, completion: Completion) {
             let Some(conn) = self.conns.get_mut(&completion.token) else {
                 return; // connection died while its batch executed
             };
-            match completion.frame {
-                Some(frame) => {
+            match wire::FrameStream::response(
+                completion.body,
+                completion.id,
+                completion.version,
+                self.config.stream_chunk_bytes,
+            ) {
+                Ok(stream) => {
                     conn.phase = Phase::Reading;
-                    conn.write = Some(WriteBuf {
-                        frame,
-                        written: 0,
+                    conn.write = Some(Outgoing {
+                        stream,
+                        cur: None,
                         is_response: true,
                     });
                     // Optimistic drain: the socket is almost always
@@ -758,7 +860,9 @@ mod event {
                     // for a readiness round trip.
                     self.conn_write(completion.token);
                 }
-                None => self.close_conn(completion.token),
+                // Response over the payload cap: close, the same outcome
+                // the blocking path's failed encode had.
+                Err(_) => self.close_conn(completion.token),
             }
         }
 
@@ -956,6 +1060,7 @@ mod event {
                 Parsed::Fail { id, msg } => self.fail_conn(token, id, &msg),
                 Parsed::Request {
                     id,
+                    version,
                     total,
                     requests,
                 } => {
@@ -966,12 +1071,14 @@ mod event {
                     let conn = self.conns.get_mut(&token).expect("conn just parsed");
                     conn.buf.drain(..total);
                     conn.phase = Phase::Dispatched;
+                    conn.peer_version = version;
                     // A complete frame arrived: this peer is live.
-                    self.reset_deadline(token);
+                    conn.last_activity = Instant::now();
                     self.sync_interest(token);
                     self.dispatch.push(Job {
                         token,
                         id,
+                        version,
                         requests,
                     });
                 }
@@ -985,88 +1092,140 @@ mod event {
                 .stats
                 .wire_errors
                 .fetch_add(1, Ordering::Relaxed);
-            let payload = wire::encode_error_payload(msg);
-            match wire::encode_frame(FrameKind::Error, id, &payload) {
-                Ok(frame) => {
-                    if let Some(conn) = self.conns.get_mut(&token) {
-                        conn.close_after = true;
-                        conn.write = Some(WriteBuf {
-                            frame,
-                            written: 0,
-                            is_response: false,
-                        });
-                    }
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            let body = wire::ResponseBody::from_payload(wire::encode_error_payload(msg));
+            match wire::FrameStream::single(FrameKind::Error, conn.peer_version, id, body) {
+                Ok(stream) => {
+                    conn.close_after = true;
+                    conn.write = Some(Outgoing {
+                        stream,
+                        cur: None,
+                        is_response: false,
+                    });
                     self.conn_write(token);
                 }
                 Err(_) => self.close_conn(token),
             }
         }
 
-        /// Drain as much of the pending frame as the socket accepts.
+        /// Drain pending response frames into the socket: cut frames on
+        /// demand from the connection's [`wire::FrameStream`] and push
+        /// each out with gathered `writev` straight from the shared
+        /// chunk buffers, up to [`FRAMES_PER_ROUND`] frames per call so
+        /// one fat streamed response cannot starve its neighbours
+        /// (level-triggered readiness resumes it next round).
         fn conn_write(&mut self, token: u64) {
             let Some(conn) = self.conns.get_mut(&token) else {
                 return;
             };
-            let Some(w) = conn.write.as_mut() else {
+            if conn.write.is_none() {
                 return;
-            };
+            }
             let mut failed = false;
             let mut progressed = false;
-            while w.written < w.frame.len() {
-                match conn.stream.write(&w.frame[w.written..]) {
-                    Ok(0) => {
-                        failed = true;
-                        break;
-                    }
-                    Ok(n) => {
-                        w.written += n;
-                        progressed = true;
-                    }
-                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                    Err(_) => {
-                        failed = true;
-                        break;
+            let mut finished = false;
+            let mut round = 0u32;
+            'frames: loop {
+                let out = conn.write.as_mut().expect("checked above");
+                // Stage the next frame when none is mid-drain.
+                if out.cur.is_none() {
+                    match out.stream.next_frame() {
+                        Some(frame) => {
+                            self.shared
+                                .stats
+                                .note_conn_buffered(frame.owned_len(out.stream.body()));
+                            out.cur = Some((frame, 0));
+                        }
+                        None => {
+                            finished = true;
+                            break;
+                        }
                     }
                 }
+                let Outgoing {
+                    stream,
+                    cur,
+                    is_response,
+                } = out;
+                let (frame, written) = cur.as_mut().expect("staged above");
+                let total = frame.total_len();
+                let mut bufs: Vec<std::io::IoSlice<'_>> = Vec::new();
+                while *written < total {
+                    bufs.clear();
+                    frame.remaining_slices(stream.body(), *written, &mut bufs, wire::MAX_WRITE_IOV);
+                    match conn.stream.write_vectored(&bufs) {
+                        Ok(0) => {
+                            failed = true;
+                            break 'frames;
+                        }
+                        Ok(n) => {
+                            *written += n;
+                            progressed = true;
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break 'frames,
+                        Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            failed = true;
+                            break 'frames;
+                        }
+                    }
+                }
+                // One frame fully out: count it, drop its staging, move on.
+                if *is_response {
+                    self.shared.stats.frames_out.fetch_add(1, Ordering::Relaxed);
+                    self.shared
+                        .stats
+                        .bytes_out
+                        .fetch_add(total as u64, Ordering::Relaxed);
+                }
+                let was_last = frame.last;
+                *cur = None;
+                if was_last {
+                    finished = true;
+                    break;
+                }
+                round += 1;
+                if round >= FRAMES_PER_ROUND {
+                    break; // yield to the other connections this round
+                }
             }
-            let done = w.written >= w.frame.len();
             if failed {
                 // Write failures closed the blocking path without a wire
                 // error; keep the same books here.
                 self.close_conn(token);
                 return;
             }
-            if done {
+            if finished {
                 self.finish_write(token);
-            } else {
-                if progressed {
-                    // The peer is draining, just slowly — not idle.
-                    self.reset_deadline(token);
-                }
-                self.sync_interest(token);
+                return;
             }
+            if progressed {
+                // The peer is draining, just slowly — not idle.
+                conn.last_activity = Instant::now();
+            }
+            self.sync_interest(token);
         }
 
-        /// A frame fully left the socket: count it, close if it was a
-        /// goodbye, otherwise re-parse whatever the client pipelined.
+        /// A whole response (or error frame) fully left the socket:
+        /// bucket its frame count, close if it was a goodbye, otherwise
+        /// re-parse whatever the client pipelined.
         fn finish_write(&mut self, token: u64) {
             let Some(conn) = self.conns.get_mut(&token) else {
                 return;
             };
-            let w = conn.write.take().expect("finish_write without a write");
-            if w.is_response {
-                self.shared.stats.frames_out.fetch_add(1, Ordering::Relaxed);
+            let out = conn.write.take().expect("finish_write without a write");
+            if out.is_response {
                 self.shared
                     .stats
-                    .bytes_out
-                    .fetch_add(w.frame.len() as u64, Ordering::Relaxed);
+                    .response_written(out.stream.frames_emitted(), out.stream.is_streamed());
             }
             if conn.close_after {
                 self.close_conn(token);
                 return;
             }
-            self.reset_deadline(token);
+            conn.last_activity = Instant::now();
             // Level-triggered readiness will not re-announce bytes we
             // already buffered: pipelined frames must be re-parsed now,
             // not when the socket next stirs.
@@ -1093,7 +1252,11 @@ mod event {
             }
         }
 
-        /// (Re-)arm the idle deadline, when one is configured.
+        /// Arm the idle deadline, when one is configured. Called once at
+        /// accept (and when a deadline needs explicit re-arming); hot
+        /// connections only touch `Conn::last_activity` per frame, and
+        /// [`EventLoop::expire`] re-arms lazily from that — one wheel
+        /// operation per idle period instead of one per frame.
         fn reset_deadline(&mut self, token: u64) {
             if let Some(idle) = self.config.idle_timeout {
                 self.reactor
@@ -1102,7 +1265,10 @@ mod event {
         }
 
         /// A deadline fired: reap the connection unless its batch is
-        /// still executing (compute time is not idle time).
+        /// still executing (compute time is not idle time) or it was in
+        /// fact recently active — deadlines are armed lazily, so the
+        /// wheel entry of a busy connection is usually stale; re-arm it
+        /// at the true idle deadline instead.
         fn expire(&mut self, token: u64) {
             let Some(conn) = self.conns.get(&token) else {
                 return;
@@ -1110,6 +1276,13 @@ mod event {
             if matches!(conn.phase, Phase::Dispatched) {
                 self.reset_deadline(token);
                 return;
+            }
+            if let Some(idle) = self.config.idle_timeout {
+                let due = conn.last_activity + idle;
+                if due > Instant::now() {
+                    self.reactor.set_deadline(Token(token), due);
+                    return;
+                }
             }
             self.shared
                 .stats
@@ -1198,6 +1371,7 @@ mod event {
         match wire::decode_request_batch(payload) {
             Ok(requests) => Parsed::Request {
                 id: header.id,
+                version: header.version,
                 total,
                 requests,
             },
@@ -1255,10 +1429,11 @@ fn accept_loop(listener: TcpListener, shared: Arc<NetShared>, config: NetConfig)
         handlers.retain(|h| !h.is_finished());
         let conn_shared = Arc::clone(&shared);
         let idle_timeout = config.idle_timeout;
+        let stream_chunk = config.stream_chunk_bytes;
         let spawned = std::thread::Builder::new()
             .name("exaclim-net-conn".to_string())
             .spawn(move || {
-                handle_connection(&conn_shared, stream, token, idle_timeout);
+                handle_connection(&conn_shared, stream, token, idle_timeout, stream_chunk);
                 drop(permit);
             });
         match spawned {
@@ -1341,6 +1516,7 @@ fn handle_connection(
     stream: TcpStream,
     token: u64,
     idle_timeout: Option<Duration>,
+    stream_chunk: usize,
 ) {
     // Admission is counted here, not in the accept loop: the handler can
     // finish (and decrement the open-connections gauge) before the accept
@@ -1364,6 +1540,8 @@ fn handle_connection(
     // the response path.
     let mut writer = stream;
     let stats = &shared.stats;
+    // Error frames mirror the version of the peer's last good frame.
+    let mut peer_version = wire::VERSION;
     loop {
         match wire::read_frame(&mut reader) {
             Ok((header, payload)) if header.kind == FrameKind::Request => {
@@ -1372,20 +1550,32 @@ fn handle_connection(
                     .bytes_in
                     .fetch_add((HEADER_LEN + payload.len()) as u64, Ordering::Relaxed);
                 reader.get_mut().rearm();
+                peer_version = header.version;
                 match wire::decode_request_batch(&payload) {
                     Ok(requests) => {
                         stats
                             .requests
                             .fetch_add(requests.len() as u64, Ordering::Relaxed);
-                        let responses = shared.server.handle_batch(&requests);
-                        let out = wire::encode_response_batch(&responses);
-                        if write_reply(&mut writer, FrameKind::Response, header.id, &out).is_err() {
-                            break;
-                        }
-                        stats.frames_out.fetch_add(1, Ordering::Relaxed);
+                        let replies = shared.server.handle_batch_replies(&requests);
+                        let body = wire::encode_reply_batch(replies);
+                        let Ok(mut out) = wire::FrameStream::response(
+                            body,
+                            header.id,
+                            header.version,
+                            stream_chunk,
+                        ) else {
+                            break; // response over the payload cap
+                        };
+                        let report = match wire::write_stream(&mut writer, &mut out) {
+                            Ok(report) => report,
+                            Err(_) => break,
+                        };
                         stats
-                            .bytes_out
-                            .fetch_add((HEADER_LEN + out.len()) as u64, Ordering::Relaxed);
+                            .frames_out
+                            .fetch_add(u64::from(report.frames), Ordering::Relaxed);
+                        stats.bytes_out.fetch_add(report.bytes, Ordering::Relaxed);
+                        stats.response_written(report.frames, out.is_streamed());
+                        stats.note_conn_buffered(report.owned_peak);
                     }
                     Err(e) => {
                         // The framing was intact but the payload wasn't:
@@ -1393,6 +1583,7 @@ fn handle_connection(
                         stats.wire_errors.fetch_add(1, Ordering::Relaxed);
                         let _ = write_reply(
                             &mut writer,
+                            peer_version,
                             FrameKind::Error,
                             header.id,
                             &wire::encode_error_payload(&e.to_string()),
@@ -1406,6 +1597,7 @@ fn handle_connection(
                 stats.wire_errors.fetch_add(1, Ordering::Relaxed);
                 let _ = write_reply(
                     &mut writer,
+                    header.version,
                     FrameKind::Error,
                     header.id,
                     &wire::encode_error_payload(&format!(
@@ -1430,6 +1622,7 @@ fn handle_connection(
                 stats.wire_errors.fetch_add(1, Ordering::Relaxed);
                 let _ = write_reply(
                     &mut writer,
+                    peer_version,
                     FrameKind::Error,
                     0,
                     &wire::encode_error_payload(&e.to_string()),
@@ -1442,16 +1635,17 @@ fn handle_connection(
     shared.stats.conn_closed();
 }
 
-/// Write one response frame with a single gathered syscall: header and
+/// Write one reply frame with a single gathered syscall: header and
 /// payload leave in one `writev` instead of two buffered writes plus a
 /// flush, so a response never waits on a half-flushed header.
 fn write_reply(
     writer: &mut TcpStream,
+    version: u8,
     kind: FrameKind,
     id: u64,
     payload: &[u8],
 ) -> Result<(), WireError> {
-    wire::write_frame_vectored(writer, kind, id, payload)
+    wire::write_frame_vectored_v(writer, version, kind, id, payload)
 }
 
 /// A blocking client over one reused connection.
@@ -1461,11 +1655,20 @@ fn write_reply(
 /// bit-identical responses. For pipelining, [`Client::send`] and
 /// [`Client::recv`] split the round trip: several batches may be in
 /// flight on the connection at once, and responses arrive in send order.
+///
+/// Requests announce [`crate::wire::VERSION`] by default, so large
+/// responses arrive as CRC-checked stream fragments which [`Client::recv`]
+/// reassembles transparently — the result is bit-identical to the
+/// single-frame response a version-2 peer (see
+/// [`Client::connect_with_version`]) would get.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     next_id: u64,
     in_flight: VecDeque<u64>,
+    /// Wire version announced in request frames; the server streams
+    /// responses only to peers announcing ≥ 3.
+    version: u8,
 }
 
 impl std::fmt::Debug for Client {
@@ -1473,13 +1676,29 @@ impl std::fmt::Debug for Client {
         f.debug_struct("Client")
             .field("next_id", &self.next_id)
             .field("in_flight", &self.in_flight.len())
+            .field("version", &self.version)
             .finish()
     }
 }
 
 impl Client {
-    /// Connect to a [`NetServer`].
+    /// Connect to a [`NetServer`], speaking the current wire version.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
+        Self::connect_with_version(addr, wire::VERSION)
+    }
+
+    /// Connect announcing a specific wire version (within
+    /// [`crate::wire::MIN_VERSION`]`..=`[`crate::wire::VERSION`]).
+    /// Announcing version 2 opts out of streamed responses — every
+    /// response arrives as one monolithic frame, byte-identical to what
+    /// a version-2 build of this client would receive.
+    pub fn connect_with_version(addr: impl ToSocketAddrs, version: u8) -> Result<Self, WireError> {
+        if !(wire::MIN_VERSION..=wire::VERSION).contains(&version) {
+            return Err(WireError::Version {
+                got: version,
+                want: wire::VERSION,
+            });
+        }
         let stream = TcpStream::connect(addr).map_err(WireError::from)?;
         let _ = stream.set_nodelay(true);
         let reader_stream = stream.try_clone().map_err(WireError::from)?;
@@ -1488,6 +1707,7 @@ impl Client {
             writer: BufWriter::new(stream),
             next_id: 1,
             in_flight: VecDeque::new(),
+            version,
         })
     }
 
@@ -1497,33 +1717,76 @@ impl Client {
         let id = self.next_id;
         self.next_id += 1;
         let payload = wire::encode_request_batch(requests);
-        wire::write_frame(&mut self.writer, FrameKind::Request, id, &payload)?;
+        wire::write_frame_vectored_v(
+            &mut self.writer,
+            self.version,
+            FrameKind::Request,
+            id,
+            &payload,
+        )?;
         self.writer.flush().map_err(WireError::from)?;
         self.in_flight.push_back(id);
         Ok(id)
     }
 
-    /// Receive the response batch for the oldest in-flight [`Client::send`].
+    /// Receive the response batch for the oldest in-flight
+    /// [`Client::send`], reassembling streamed responses transparently:
+    /// the read loop accepts stream fragments (in sequence order, on the
+    /// expected frame id) until the `FIN` fragment lands, and decodes
+    /// the reassembled payload exactly as it would a single response
+    /// frame. An error frame is honored even mid-stream; a connection
+    /// close or stray response frame mid-stream is
+    /// [`WireError::StreamTruncated`].
     pub fn recv(&mut self) -> Result<Vec<Result<Response, ServeError>>, WireError> {
         let expected = self
             .in_flight
             .pop_front()
             .ok_or_else(|| WireError::Malformed("recv with no request in flight".to_string()))?;
-        let (header, payload) = wire::read_frame(&mut self.reader)?;
-        match header.kind {
-            FrameKind::Response => {
-                if header.id != expected {
-                    return Err(WireError::IdMismatch {
-                        expected,
-                        got: header.id,
-                    });
+        let mut reasm = wire::StreamReassembler::new();
+        loop {
+            let (header, payload) = match wire::read_frame(&mut self.reader) {
+                Ok(frame) => frame,
+                Err(WireError::ConnectionClosed | WireError::Truncated { .. })
+                    if reasm.in_progress() =>
+                {
+                    return Err(WireError::StreamTruncated)
                 }
-                wire::decode_response_batch(&payload)
+                Err(e) => return Err(e),
+            };
+            match header.kind {
+                FrameKind::Stream => {
+                    if !reasm.in_progress() && header.id != expected {
+                        return Err(WireError::IdMismatch {
+                            expected,
+                            got: header.id,
+                        });
+                    }
+                    match reasm.push(&header, &payload)? {
+                        Some(done) => return wire::decode_response_batch(&done),
+                        None => continue,
+                    }
+                }
+                FrameKind::Response => {
+                    if reasm.in_progress() {
+                        return Err(WireError::StreamTruncated);
+                    }
+                    if header.id != expected {
+                        return Err(WireError::IdMismatch {
+                            expected,
+                            got: header.id,
+                        });
+                    }
+                    return wire::decode_response_batch(&payload);
+                }
+                FrameKind::Error => {
+                    return Err(WireError::Remote(wire::decode_error_payload(&payload)?))
+                }
+                FrameKind::Request => {
+                    return Err(WireError::Malformed(
+                        "server sent a request frame".to_string(),
+                    ))
+                }
             }
-            FrameKind::Error => Err(WireError::Remote(wire::decode_error_payload(&payload)?)),
-            FrameKind::Request => Err(WireError::Malformed(
-                "server sent a request frame".to_string(),
-            )),
         }
     }
 

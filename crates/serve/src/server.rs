@@ -235,6 +235,56 @@ pub struct ServeStats {
     pub busy_nanos: u64,
 }
 
+/// One request's answer before materialization: either a finished
+/// [`Response`], or a slice answer held as references into the batch's
+/// decoded chunks. The wire layer encodes the latter without ever
+/// concatenating the values ([`crate::wire::encode_reply_batch`]), which
+/// is what lets slice responses stream out of the chunk cache with zero
+/// copies; [`Reply::into_response`] materializes it for in-process
+/// callers, reproducing [`crate::batch::BatchPlan::assemble`] exactly.
+pub(crate) enum Reply {
+    /// A fully materialized answer.
+    Full(Result<Response, ServeError>),
+    /// A slice answer as `(decoded chunk, value range)` parts whose
+    /// in-order concatenation is the response's `values`.
+    Slice {
+        archive: String,
+        member: String,
+        range: Range<u64>,
+        values_per_slice: u64,
+        parts: Vec<(Arc<[f64]>, Range<usize>)>,
+    },
+}
+
+impl Reply {
+    /// Materialize into the classic response form (copies slice values).
+    pub(crate) fn into_response(self) -> Result<Response, ServeError> {
+        match self {
+            Reply::Full(r) => r,
+            Reply::Slice {
+                archive,
+                member,
+                range,
+                values_per_slice,
+                parts,
+            } => {
+                let total: usize = parts.iter().map(|(_, r)| r.len()).sum();
+                let mut values = Vec::with_capacity(total);
+                for (chunk, r) in parts {
+                    values.extend_from_slice(&chunk[r]);
+                }
+                Ok(Response::Slice(SliceData {
+                    archive,
+                    member,
+                    range,
+                    values_per_slice,
+                    values,
+                }))
+            }
+        }
+    }
+}
+
 #[derive(Default)]
 pub(crate) struct StatCells {
     slices: AtomicU64,
@@ -358,6 +408,17 @@ impl Server {
     /// across the worker pool. Responses align with the input order, and
     /// each request fails or succeeds individually.
     pub fn handle_batch(&self, requests: &[Request]) -> Vec<Result<Response, ServeError>> {
+        self.handle_batch_replies(requests)
+            .into_iter()
+            .map(Reply::into_response)
+            .collect()
+    }
+
+    /// The core of [`Server::handle_batch`]: answer a batch, but leave
+    /// slice answers as chunk references ([`Reply::Slice`]) instead of
+    /// concatenated value vectors — the network front end encodes these
+    /// straight out of the chunk cache.
+    pub(crate) fn handle_batch_replies(&self, requests: &[Request]) -> Vec<Reply> {
         let t0 = std::time::Instant::now();
         let pool = exaclim_runtime::pool::global();
 
@@ -381,18 +442,9 @@ impl Server {
             .into_iter()
             .map(|slot| slot.expect("every fetch slot filled"))
             .collect();
-        // Aligned chunk values for assembly; errors keep a placeholder and
-        // poison the requests that need them below.
-        let chunks: Vec<Arc<[f64]>> = fetched
-            .iter()
-            .map(|r| match r {
-                Ok(v) => Arc::clone(v),
-                Err(_) => Arc::from(Vec::new()),
-            })
-            .collect();
 
         // Phase 2: answer every request in parallel.
-        let mut out: Vec<Option<Result<Response, ServeError>>> = vec![None; requests.len()];
+        let mut out: Vec<Option<Reply>> = (0..requests.len()).map(|_| None).collect();
         {
             let mut slice_no = 0usize;
             let slice_order: Vec<usize> = requests
@@ -407,36 +459,36 @@ impl Server {
                 .collect();
             pool.parallel_chunks_mut(&mut out, 1, |i, slot| {
                 slot[0] = Some(match &requests[i] {
-                    Request::Slice(req) => {
-                        self.answer_slice(req, &plan, slice_order[i], &fetched, &chunks)
-                    }
+                    Request::Slice(req) => self.answer_slice(req, &plan, slice_order[i], &fetched),
                     Request::Emulate {
                         emulator,
                         t_max,
                         seed,
-                    } => self.answer_emulate(emulator, *t_max, *seed),
-                    Request::Catalog(query) => self.answer_catalog(query),
-                    Request::Stats => Ok(Response::Stats(self.stats())),
-                    Request::Product(descriptor) => self.answer_product(descriptor),
-                    Request::Ensemble(spec) => {
-                        self.answer_product(&crate::scenario::ensemble_descriptor(spec))
-                    }
+                    } => Reply::Full(self.answer_emulate(emulator, *t_max, *seed)),
+                    Request::Catalog(query) => Reply::Full(self.answer_catalog(query)),
+                    Request::Stats => Reply::Full(Ok(Response::Stats(self.stats()))),
+                    Request::Product(descriptor) => Reply::Full(self.answer_product(descriptor)),
+                    Request::Ensemble(spec) => Reply::Full(
+                        self.answer_product(&crate::scenario::ensemble_descriptor(spec)),
+                    ),
                 });
             });
         }
-        let responses: Vec<Result<Response, ServeError>> = out
+        let replies: Vec<Reply> = out
             .into_iter()
             .map(|slot| slot.expect("every response slot filled"))
             .collect();
 
         // Bookkeeping.
-        for r in &responses {
+        for r in &replies {
             let cell = match r {
-                Ok(Response::Slice(_)) => &self.stats.slices,
-                Ok(Response::Emulate(_)) => &self.stats.emulations,
-                Ok(Response::Catalog(_)) | Ok(Response::Stats(_)) => &self.stats.catalog_queries,
-                Ok(Response::Product(_)) => &self.stats.products,
-                Err(_) => &self.stats.errors,
+                Reply::Slice { .. } | Reply::Full(Ok(Response::Slice(_))) => &self.stats.slices,
+                Reply::Full(Ok(Response::Emulate(_))) => &self.stats.emulations,
+                Reply::Full(Ok(Response::Catalog(_))) | Reply::Full(Ok(Response::Stats(_))) => {
+                    &self.stats.catalog_queries
+                }
+                Reply::Full(Ok(Response::Product(_))) => &self.stats.products,
+                Reply::Full(Err(_)) => &self.stats.errors,
             };
             cell.fetch_add(1, Ordering::Relaxed);
         }
@@ -450,7 +502,7 @@ impl Server {
         self.stats
             .busy_nanos
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        responses
+        replies
     }
 
     /// Resolve one chunk: cache hit, single-flight wait, or lead the
@@ -486,29 +538,40 @@ impl Server {
         Ok(values)
     }
 
-    /// Assemble one slice response from the batch's resolved chunks.
+    /// Answer one slice request as chunk references — no values are
+    /// copied here; [`Reply::into_response`] or the wire encoder
+    /// concatenate (or stream) the parts later.
     fn answer_slice(
         &self,
         req: &SliceRequest,
         plan: &BatchPlan,
         slice_idx: usize,
         fetched: &[Result<Arc<[f64]>, ServeError>],
-        chunks: &[Arc<[f64]>],
-    ) -> Result<Response, ServeError> {
-        let sp = plan.per_request[slice_idx].as_ref().map_err(Clone::clone)?;
+    ) -> Reply {
+        let sp = match plan.per_request[slice_idx].as_ref() {
+            Ok(sp) => sp,
+            Err(e) => return Reply::Full(Err(e.clone())),
+        };
         for &fi in &sp.fetch_indices {
             if let Err(e) = &fetched[fi] {
-                return Err(e.clone());
+                return Reply::Full(Err(e.clone()));
             }
         }
-        let values = plan.assemble(&self.catalog, sp, chunks);
-        Ok(Response::Slice(SliceData {
+        let parts = plan
+            .assemble_parts(&self.catalog, sp)
+            .into_iter()
+            .map(|(fi, r)| {
+                let chunk = fetched[fi].as_ref().expect("errors returned above");
+                (Arc::clone(chunk), r)
+            })
+            .collect();
+        Reply::Slice {
             archive: req.archive.clone(),
             member: req.member.clone(),
             range: sp.range.clone(),
             values_per_slice: sp.values_per_slice,
-            values,
-        }))
+            parts,
+        }
     }
 
     /// Run a registered emulator forward.

@@ -17,9 +17,12 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic, the literal bytes "ECN1"
-//! 4       1     protocol version (currently 2)
-//! 5       1     frame kind: 1 = request batch, 2 = response batch, 3 = error
-//! 6       2     reserved, must be zero
+//! 4       1     protocol version (2 or 3; this build speaks 3)
+//! 5       1     frame kind: 1 = request batch, 2 = response batch,
+//!               3 = error, 4 = stream fragment (version ≥ 3)
+//! 6       2     kinds 1–3: reserved, must be zero
+//!               kind 4: stream position — bits 0..15 are the fragment
+//!               sequence number, bit 15 is the FIN flag
 //! 8       8     frame id (echoed verbatim in the matching response)
 //! 16      4     payload length in bytes (≤ MAX_FRAME_PAYLOAD)
 //! 20      4     CRC32 of the payload bytes
@@ -29,8 +32,22 @@
 //! Version 2 added the scenario-engine ops — product and ensemble
 //! requests ([`crate::ProductDescriptor`], [`crate::ScenarioSpec`]) and
 //! the product response block — plus the product-cache counters in the
-//! stats reply. Versions must match exactly: a version-1 peer is
-//! rejected with [`WireError::Version`] before any payload is read.
+//! stats reply. Version 3 added **streaming responses**: one request id
+//! may be answered by several `Stream` fragments instead of a single
+//! `Response` frame. The two previously-reserved header bytes carry each
+//! fragment's position ([`StreamPos`]): a 15-bit sequence number
+//! starting at 0 and a FIN flag on the final fragment. Concatenating the
+//! fragments' CRC-checked payloads in sequence order yields **exactly**
+//! the payload the same batch would produce as one `Response` frame —
+//! streaming is a transport framing, invisible above
+//! [`decode_response_batch`].
+//!
+//! Version negotiation is per connection and server-mirrored: the server
+//! answers at the version of the request frame it is answering, and only
+//! streams to version-3 peers. A version-2 peer keeps getting single
+//! `Response` frames, byte-identical to the old wire; versions outside
+//! `MIN_VERSION..=VERSION` are rejected with [`WireError::Version`]
+//! before any payload is read.
 //!
 //! A **request** frame's payload is a batch: a `u32` count followed by
 //! that many encoded [`Request`]s. The matching **response** frame echoes
@@ -43,7 +60,22 @@
 //! Frame ids are chosen by the client (monotonically increasing in
 //! [`crate::net::Client`]) and let requests pipeline: a client may write
 //! several request frames before reading the first response; the server
-//! answers in arrival order.
+//! answers in arrival order. Fragments of two responses never interleave
+//! on one connection ([`WireError::StreamInterleaved`]).
+//!
+//! ## Zero-copy response bodies
+//!
+//! A response payload is represented as a [`ResponseBody`]: a list of
+//! segments that are either small owned metadata buffers or **borrowed
+//! value ranges** — shared `Arc<[f64]>` views of decoded cache chunks
+//! (the same allocations the chunk cache holds for mmap-backed archives)
+//! or value vectors moved out of the responses themselves. On
+//! little-endian targets the wire form of an `f64` array *is* its
+//! memory, so [`FrameStream`] can gather each frame's header and
+//! borrowed payload slices into one vectored `writev` without ever
+//! materializing the payload; per-fragment CRCs are computed
+//! incrementally over the scattered parts
+//! ([`exaclim_store::crc32_update`]).
 //!
 //! ## Example
 //!
@@ -75,15 +107,27 @@ use crate::server::{
 };
 use crate::SliceRequest;
 use exaclim_climate::Dataset;
-use exaclim_store::{crc32, ArchiveError, MemberKind};
+use exaclim_store::{crc32, crc32_update, ArchiveError, MemberKind};
 use std::io::{IoSlice, Read, Write};
+use std::ops::Range;
+use std::sync::Arc;
 
 /// Frame magic: the literal bytes `ECN1` at offset 0 of every frame.
 pub const MAGIC: [u8; 4] = *b"ECN1";
 
 /// Protocol version this build speaks (header byte 4). Version 2 added
-/// the scenario-engine ops.
-pub const VERSION: u8 = 2;
+/// the scenario-engine ops; version 3 added streaming responses
+/// ([`FrameKind::Stream`]).
+pub const VERSION: u8 = 3;
+
+/// Oldest protocol version this build still accepts. Version-2 peers
+/// negotiate down transparently: the server mirrors the request frame's
+/// version in its replies and never streams to them.
+pub const MIN_VERSION: u8 = 2;
+
+/// Largest stream-fragment sequence number (15 bits; bit 15 of the
+/// on-wire position word is the FIN flag).
+pub const STREAM_SEQ_MAX: u16 = 0x7FFF;
 
 /// Fixed frame-header size in bytes.
 pub const HEADER_LEN: usize = 24;
@@ -110,6 +154,11 @@ pub enum FrameKind {
     Response,
     /// A terminal transport-level error report (either direction).
     Error,
+    /// One fragment of a streamed response (server → client, wire
+    /// version ≥ 3). The header's reserved bytes carry a [`StreamPos`];
+    /// fragment payloads concatenate, in sequence order, to exactly the
+    /// payload a [`FrameKind::Response`] frame would have carried.
+    Stream,
 }
 
 impl FrameKind {
@@ -119,6 +168,7 @@ impl FrameKind {
             FrameKind::Request => 1,
             FrameKind::Response => 2,
             FrameKind::Error => 3,
+            FrameKind::Stream => 4,
         }
     }
 
@@ -128,7 +178,34 @@ impl FrameKind {
             1 => Ok(FrameKind::Request),
             2 => Ok(FrameKind::Response),
             3 => Ok(FrameKind::Error),
+            4 => Ok(FrameKind::Stream),
             other => Err(WireError::BadFrameKind(other)),
+        }
+    }
+}
+
+/// Position of a [`FrameKind::Stream`] fragment within its response,
+/// packed into the header's two reserved bytes as a little-endian `u16`:
+/// bits 0..15 are the sequence number, bit 15 is the FIN flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamPos {
+    /// Fragment sequence number, starting at 0 (≤ [`STREAM_SEQ_MAX`]).
+    pub seq: u16,
+    /// Set on the final fragment of the response.
+    pub fin: bool,
+}
+
+impl StreamPos {
+    /// Pack into the on-wire position word.
+    fn to_wire(self) -> u16 {
+        (self.seq & STREAM_SEQ_MAX) | if self.fin { 0x8000 } else { 0 }
+    }
+
+    /// Unpack from the on-wire position word.
+    fn from_wire(word: u16) -> Self {
+        Self {
+            seq: word & STREAM_SEQ_MAX,
+            fin: word & 0x8000 != 0,
         }
     }
 }
@@ -136,8 +213,15 @@ impl FrameKind {
 /// The decoded fixed-size frame header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameHeader {
+    /// Protocol version of the frame (`MIN_VERSION..=VERSION`). The
+    /// server mirrors this in its replies so version-2 peers keep
+    /// receiving version-2 frames.
+    pub version: u8,
     /// Frame kind.
     pub kind: FrameKind,
+    /// Stream position; `Some` exactly when `kind` is
+    /// [`FrameKind::Stream`] (other kinds keep the bytes reserved-zero).
+    pub stream: Option<StreamPos>,
     /// Frame id, echoed in the matching response.
     pub id: u64,
     /// Payload length in bytes.
@@ -151,36 +235,53 @@ impl FrameHeader {
     pub fn encode(&self) -> [u8; HEADER_LEN] {
         let mut h = [0u8; HEADER_LEN];
         h[0..4].copy_from_slice(&MAGIC);
-        h[4] = VERSION;
+        h[4] = self.version;
         h[5] = self.kind.id();
-        // bytes 6..8 reserved, zero
+        // Bytes 6..8: reserved-zero, except a stream fragment's position.
+        if let Some(pos) = self.stream {
+            h[6..8].copy_from_slice(&pos.to_wire().to_le_bytes());
+        }
         h[8..16].copy_from_slice(&self.id.to_le_bytes());
         h[16..20].copy_from_slice(&self.len.to_le_bytes());
         h[20..24].copy_from_slice(&self.crc.to_le_bytes());
         h
     }
 
-    /// Parse and validate the fixed 24-byte wire form: magic, version,
-    /// kind, reserved bytes, and the [`MAX_FRAME_PAYLOAD`] cap.
+    /// Parse and validate the fixed 24-byte wire form: magic, version
+    /// (`MIN_VERSION..=VERSION` accepted), kind, reserved/stream bytes,
+    /// and the [`MAX_FRAME_PAYLOAD`] cap.
     pub fn decode(bytes: &[u8; HEADER_LEN]) -> Result<Self, WireError> {
         if bytes[0..4] != MAGIC {
             return Err(WireError::BadMagic([
                 bytes[0], bytes[1], bytes[2], bytes[3],
             ]));
         }
-        if bytes[4] != VERSION {
+        let version = bytes[4];
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(WireError::Version {
-                got: bytes[4],
+                got: version,
                 want: VERSION,
             });
         }
         let kind = FrameKind::from_id(bytes[5])?;
-        if bytes[6] != 0 || bytes[7] != 0 {
-            return Err(WireError::Malformed(format!(
-                "reserved header bytes are {:#04x}{:#04x}, want zero",
-                bytes[6], bytes[7]
-            )));
+        if kind == FrameKind::Stream && version < 3 {
+            // Version 2 had no stream frames; a v2 header with kind 4 is
+            // as unknown as kind 9.
+            return Err(WireError::BadFrameKind(4));
         }
+        let stream = if kind == FrameKind::Stream {
+            Some(StreamPos::from_wire(u16::from_le_bytes(
+                bytes[6..8].try_into().expect("2 bytes"),
+            )))
+        } else {
+            if bytes[6] != 0 || bytes[7] != 0 {
+                return Err(WireError::Malformed(format!(
+                    "reserved header bytes are {:#04x}{:#04x}, want zero",
+                    bytes[6], bytes[7]
+                )));
+            }
+            None
+        };
         let id = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
         let len = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
         if len > MAX_FRAME_PAYLOAD {
@@ -190,7 +291,14 @@ impl FrameHeader {
             });
         }
         let crc = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
-        Ok(Self { kind, id, len, crc })
+        Ok(Self {
+            version,
+            kind,
+            stream,
+            id,
+            len,
+            crc,
+        })
     }
 }
 
@@ -200,6 +308,17 @@ impl FrameHeader {
 /// [`MAX_FRAME_PAYLOAD`] — the sender enforces the same cap the receiver
 /// does, so an over-long batch is rejected before it ties up the socket.
 pub fn encode_frame(kind: FrameKind, id: u64, payload: &[u8]) -> Result<Vec<u8>, WireError> {
+    encode_frame_v(VERSION, kind, id, payload)
+}
+
+/// [`encode_frame`] with an explicit protocol version — the server uses
+/// this to mirror a version-2 peer's version in its replies.
+pub fn encode_frame_v(
+    version: u8,
+    kind: FrameKind,
+    id: u64,
+    payload: &[u8],
+) -> Result<Vec<u8>, WireError> {
     if payload.len() as u64 > u64::from(MAX_FRAME_PAYLOAD) {
         return Err(WireError::FrameTooLarge {
             len: payload.len() as u64,
@@ -207,7 +326,9 @@ pub fn encode_frame(kind: FrameKind, id: u64, payload: &[u8]) -> Result<Vec<u8>,
         });
     }
     let header = FrameHeader {
+        version,
         kind,
+        stream: None,
         id,
         len: payload.len() as u32,
         crc: crc32(payload),
@@ -271,7 +392,9 @@ pub fn write_frame(
         });
     }
     let header = FrameHeader {
+        version: VERSION,
         kind,
+        stream: None,
         id,
         len: payload.len() as u32,
         crc: crc32(payload),
@@ -296,6 +419,19 @@ pub fn write_frame_vectored(
     id: u64,
     payload: &[u8],
 ) -> Result<(), WireError> {
+    write_frame_vectored_v(w, VERSION, kind, id, payload)
+}
+
+/// [`write_frame_vectored`] with an explicit protocol version — the
+/// [`crate::net::Client`] uses this to send frames at its negotiated
+/// version when speaking to an older server.
+pub fn write_frame_vectored_v(
+    w: &mut impl Write,
+    version: u8,
+    kind: FrameKind,
+    id: u64,
+    payload: &[u8],
+) -> Result<(), WireError> {
     if payload.len() as u64 > u64::from(MAX_FRAME_PAYLOAD) {
         return Err(WireError::FrameTooLarge {
             len: payload.len() as u64,
@@ -303,7 +439,9 @@ pub fn write_frame_vectored(
         });
     }
     let header = FrameHeader {
+        version,
         kind,
+        stream: None,
         id,
         len: payload.len() as u32,
         crc: crc32(payload),
@@ -388,32 +526,588 @@ pub fn read_frame(r: &mut impl Read) -> Result<(FrameHeader, Vec<u8>), WireError
 }
 
 // ---------------------------------------------------------------------------
+// Streaming emission and reassembly
+// ---------------------------------------------------------------------------
+
+/// Cap on gathered slices per `write_vectored` call. Kernels truncate at
+/// `IOV_MAX` (1024 on Linux), and a socket accepts at most its buffer's
+/// worth per call anyway — a modest cap keeps per-call setup cheap while
+/// still batching a header and dozens of chunk parts into one `writev`.
+pub const MAX_WRITE_IOV: usize = 64;
+
+/// One wire frame staged for writing: the encoded 24-byte header plus
+/// `(segment, byte range)` references into the [`ResponseBody`] it was
+/// cut from. Payload bytes stay where they are — owned metadata runs or
+/// shared chunk buffers — and go to the socket via gathered `writev`.
+pub struct OutFrame {
+    head: [u8; HEADER_LEN],
+    parts: Vec<(usize, Range<usize>)>,
+    payload_len: usize,
+    /// True for the final frame of the response (the `FIN` fragment, or
+    /// the sole frame of a non-streamed response).
+    pub last: bool,
+}
+
+impl OutFrame {
+    /// Bytes this frame puts on the wire (header + payload).
+    pub fn total_len(&self) -> usize {
+        HEADER_LEN + self.payload_len
+    }
+
+    /// Bytes of this frame the connection actually owns — the header
+    /// plus owned metadata runs, excluding shared chunk-cache references
+    /// (those cost a refcount, not a copy). This is what bounds
+    /// per-connection memory while a response drains.
+    pub fn owned_len(&self, body: &ResponseBody) -> usize {
+        HEADER_LEN
+            + self
+                .parts
+                .iter()
+                .map(|(i, r)| match &body.segments[*i] {
+                    Segment::Owned(_) => r.len(),
+                    Segment::Values { .. } => 0,
+                })
+                .sum::<usize>()
+    }
+
+    /// Materialize the whole frame contiguously (tests and diagnostics;
+    /// the write paths gather instead).
+    pub fn to_bytes(&self, body: &ResponseBody) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.total_len());
+        out.extend_from_slice(&self.head);
+        for (i, r) in &self.parts {
+            out.extend_from_slice(&body.segments[*i].bytes()[r.clone()]);
+        }
+        out
+    }
+
+    /// Gather the frame's unwritten tail (everything after `written`
+    /// bytes) into `out` as borrowed I/O slices, at most `max` of them.
+    pub fn remaining_slices<'a>(
+        &'a self,
+        body: &'a ResponseBody,
+        written: usize,
+        out: &mut Vec<IoSlice<'a>>,
+        max: usize,
+    ) {
+        let mut skip = written;
+        if skip < HEADER_LEN {
+            out.push(IoSlice::new(&self.head[skip..]));
+            skip = 0;
+        } else {
+            skip -= HEADER_LEN;
+        }
+        for (i, r) in &self.parts {
+            if out.len() >= max {
+                return;
+            }
+            let len = r.len();
+            if skip >= len {
+                skip -= len;
+                continue;
+            }
+            out.push(IoSlice::new(
+                &body.segments[*i].bytes()[r.start + skip..r.end],
+            ));
+            skip = 0;
+        }
+    }
+}
+
+/// Cuts a [`ResponseBody`] into wire frames: one [`FrameKind::Response`]
+/// frame when the peer is version 2 or the body fits the stream chunk,
+/// otherwise a sequence of [`FrameKind::Stream`] fragments whose
+/// payloads concatenate to exactly the single-frame payload. Each frame
+/// carries its own CRC (computed incrementally across the scattered
+/// segments), so corruption is detected per fragment, not per response.
+pub struct FrameStream {
+    body: ResponseBody,
+    kind: FrameKind,
+    version: u8,
+    id: u64,
+    total: usize,
+    /// Fragment payload size; `0` means a single non-streamed frame.
+    chunk: usize,
+    offset: usize,
+    seg: usize,
+    seg_off: usize,
+    next_seq: u16,
+    frames: u32,
+    done: bool,
+}
+
+impl FrameStream {
+    /// Stage a response for a peer speaking `peer_version`. Streams
+    /// (fragments of ≈`stream_chunk` payload bytes) when the peer is
+    /// version ≥ 3, streaming is enabled (`stream_chunk > 0`), and the
+    /// body exceeds one chunk; otherwise emits the classic single
+    /// response frame. Fails up front if the body exceeds
+    /// [`MAX_FRAME_PAYLOAD`] — the cap bounds the *reassembled* payload,
+    /// streamed or not, so both sides agree on what is too large.
+    pub fn response(
+        body: ResponseBody,
+        id: u64,
+        peer_version: u8,
+        stream_chunk: usize,
+    ) -> Result<Self, WireError> {
+        let total = body.total_len();
+        if total as u64 > u64::from(MAX_FRAME_PAYLOAD) {
+            return Err(WireError::FrameTooLarge {
+                len: total as u64,
+                max: u64::from(MAX_FRAME_PAYLOAD),
+            });
+        }
+        let chunk = if peer_version >= 3 && stream_chunk > 0 && total > stream_chunk {
+            // Never emit more fragments than the 15-bit sequence space
+            // holds — widen the fragment instead of overflowing seq.
+            stream_chunk.max(total.div_ceil(usize::from(STREAM_SEQ_MAX) + 1))
+        } else {
+            0
+        };
+        Ok(Self {
+            body,
+            kind: FrameKind::Response,
+            version: peer_version,
+            id,
+            total,
+            chunk,
+            offset: 0,
+            seg: 0,
+            seg_off: 0,
+            next_seq: 0,
+            frames: 0,
+            done: false,
+        })
+    }
+
+    /// Stage a single non-streamed frame of any kind (error frames use
+    /// this).
+    pub fn single(
+        kind: FrameKind,
+        version: u8,
+        id: u64,
+        body: ResponseBody,
+    ) -> Result<Self, WireError> {
+        let total = body.total_len();
+        if total as u64 > u64::from(MAX_FRAME_PAYLOAD) {
+            return Err(WireError::FrameTooLarge {
+                len: total as u64,
+                max: u64::from(MAX_FRAME_PAYLOAD),
+            });
+        }
+        Ok(Self {
+            body,
+            kind,
+            version,
+            id,
+            total,
+            chunk: 0,
+            offset: 0,
+            seg: 0,
+            seg_off: 0,
+            next_seq: 0,
+            frames: 0,
+            done: false,
+        })
+    }
+
+    /// Whether this response goes out as stream fragments.
+    pub fn is_streamed(&self) -> bool {
+        self.chunk != 0
+    }
+
+    /// Frames cut so far.
+    pub fn frames_emitted(&self) -> u32 {
+        self.frames
+    }
+
+    /// Reassembled payload length.
+    pub fn total_len(&self) -> usize {
+        self.total
+    }
+
+    /// The body frames reference — [`OutFrame`] methods need it back to
+    /// resolve their segment references.
+    pub fn body(&self) -> &ResponseBody {
+        &self.body
+    }
+
+    /// Cut the next frame, advancing the cursor. `None` once the whole
+    /// response has been emitted.
+    pub fn next_frame(&mut self) -> Option<OutFrame> {
+        if self.done {
+            return None;
+        }
+        let (len, stream_pos) = if self.chunk == 0 {
+            (self.total, None)
+        } else {
+            let len = self.chunk.min(self.total - self.offset);
+            let fin = self.offset + len == self.total;
+            let pos = StreamPos {
+                seq: self.next_seq,
+                fin,
+            };
+            self.next_seq += 1;
+            (len, Some(pos))
+        };
+        // Walk segments from the cursor, collecting `len` payload bytes
+        // and folding them into the fragment's CRC as they pass.
+        let mut parts = Vec::new();
+        let mut crc_state = 0xFFFF_FFFFu32;
+        let mut need = len;
+        while need > 0 {
+            let seg = &self.body.segments[self.seg];
+            let seg_len = seg.len();
+            let take = need.min(seg_len - self.seg_off);
+            if take > 0 {
+                let range = self.seg_off..self.seg_off + take;
+                crc_state = crc32_update(crc_state, &seg.bytes()[range.clone()]);
+                parts.push((self.seg, range));
+                self.seg_off += take;
+                need -= take;
+            }
+            if self.seg_off == seg_len {
+                self.seg += 1;
+                self.seg_off = 0;
+            }
+        }
+        self.offset += len;
+        let last = stream_pos.is_none_or(|p| p.fin);
+        if last {
+            self.done = true;
+        }
+        let kind = if stream_pos.is_some() {
+            FrameKind::Stream
+        } else {
+            self.kind
+        };
+        let head = FrameHeader {
+            version: self.version,
+            kind,
+            stream: stream_pos,
+            id: self.id,
+            len: len as u32,
+            crc: crc_state ^ 0xFFFF_FFFF,
+        }
+        .encode();
+        self.frames += 1;
+        Some(OutFrame {
+            head,
+            parts,
+            payload_len: len,
+            last,
+        })
+    }
+}
+
+/// What [`write_stream`] put on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamWriteReport {
+    /// Frames written.
+    pub frames: u32,
+    /// Total bytes written (headers + payloads).
+    pub bytes: u64,
+    /// Largest single-frame owned footprint (see [`OutFrame::owned_len`]).
+    pub owned_peak: usize,
+}
+
+/// Drain a [`FrameStream`] to a blocking writer, each frame going out
+/// through gathered `writev` calls resumed across partial writes (the
+/// multi-slice generalization of [`write_frame_vectored`]). The caller
+/// is responsible for flushing.
+pub fn write_stream(
+    w: &mut impl Write,
+    s: &mut FrameStream,
+) -> Result<StreamWriteReport, WireError> {
+    let mut report = StreamWriteReport {
+        frames: 0,
+        bytes: 0,
+        owned_peak: 0,
+    };
+    while let Some(frame) = s.next_frame() {
+        let total = frame.total_len();
+        report.owned_peak = report.owned_peak.max(frame.owned_len(s.body()));
+        let mut written = 0usize;
+        let mut bufs: Vec<IoSlice<'_>> = Vec::new();
+        while written < total {
+            bufs.clear();
+            frame.remaining_slices(s.body(), written, &mut bufs, MAX_WRITE_IOV);
+            match w.write_vectored(&bufs) {
+                Ok(0) => {
+                    return Err(WireError::from(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "frame write made no progress",
+                    )))
+                }
+                Ok(n) => written += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(WireError::from(e)),
+            }
+        }
+        report.frames += 1;
+        report.bytes += total as u64;
+    }
+    Ok(report)
+}
+
+/// Receiver-side reassembly of a streamed response: fragments must
+/// arrive in sequence order on one frame id, and the payload collected
+/// when `FIN` lands is bit-identical to the single-frame encoding. One
+/// reassembler serves a whole connection — it resets itself after each
+/// completed stream.
+#[derive(Debug, Default)]
+pub struct StreamReassembler {
+    id: Option<u64>,
+    next_seq: u16,
+    buf: Vec<u8>,
+}
+
+impl StreamReassembler {
+    /// A reassembler with no stream in progress.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a stream is mid-reassembly (a non-stream frame arriving
+    /// now would be a protocol violation).
+    pub fn in_progress(&self) -> bool {
+        self.id.is_some()
+    }
+
+    /// Frame id of the stream being reassembled, if any.
+    pub fn stream_id(&self) -> Option<u64> {
+        self.id
+    }
+
+    /// Accept one CRC-verified stream frame. Returns the complete
+    /// response payload when the `FIN` fragment lands, `None` while the
+    /// stream continues, and a typed error for any sequencing violation:
+    /// a first fragment not at seq 0, a duplicate/skipped/reordered seq,
+    /// a foreign frame id spliced mid-stream, or reassembled growth past
+    /// [`MAX_FRAME_PAYLOAD`].
+    pub fn push(
+        &mut self,
+        header: &FrameHeader,
+        payload: &[u8],
+    ) -> Result<Option<Vec<u8>>, WireError> {
+        let pos = header.stream.ok_or_else(|| {
+            WireError::Malformed("stream frame without a stream position".to_string())
+        })?;
+        match self.id {
+            None => {
+                if pos.seq != 0 {
+                    return Err(WireError::StreamSequence {
+                        expected: 0,
+                        got: pos.seq,
+                    });
+                }
+                self.id = Some(header.id);
+            }
+            Some(id) if header.id != id => {
+                return Err(WireError::StreamInterleaved {
+                    expected: id,
+                    got: header.id,
+                })
+            }
+            Some(_) => {
+                if pos.seq != self.next_seq {
+                    return Err(WireError::StreamSequence {
+                        expected: self.next_seq,
+                        got: pos.seq,
+                    });
+                }
+            }
+        }
+        let grown = self.buf.len() as u64 + payload.len() as u64;
+        if grown > u64::from(MAX_FRAME_PAYLOAD) {
+            return Err(WireError::FrameTooLarge {
+                len: grown,
+                max: u64::from(MAX_FRAME_PAYLOAD),
+            });
+        }
+        self.buf.extend_from_slice(payload);
+        // Saturate past the seq space: a 0x8000th fragment can only
+        // mismatch (seq maxes at STREAM_SEQ_MAX), which is the right
+        // outcome for a stream that long.
+        self.next_seq = self.next_seq.saturating_add(1);
+        if pos.fin {
+            self.id = None;
+            self.next_seq = 0;
+            Ok(Some(std::mem::take(&mut self.buf)))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Payload primitives
 // ---------------------------------------------------------------------------
 
-/// Append-only payload encoder (little-endian throughout).
+/// A run of `f64` values backing a zero-copy [`Segment`]: either a
+/// shared chunk-cache buffer (no copy at all — the segment holds a
+/// refcount on the decoded chunk) or an owned vector moved out of a
+/// [`Response`].
+enum ValuesBuf {
+    Arc(Arc<[f64]>),
+    Vec(Vec<f64>),
+}
+
+impl ValuesBuf {
+    fn as_slice(&self) -> &[f64] {
+        match self {
+            ValuesBuf::Arc(a) => a,
+            ValuesBuf::Vec(v) => v,
+        }
+    }
+}
+
+/// One contiguous run of payload bytes: an owned metadata run, or a
+/// borrowed view of `f64` values whose on-wire bytes are read straight
+/// out of the backing buffer (little-endian hosts only; see
+/// [`Segment::bytes`]).
+enum Segment {
+    Owned(Vec<u8>),
+    Values { buf: ValuesBuf, range: Range<usize> },
+}
+
+impl Segment {
+    fn len(&self) -> usize {
+        match self {
+            Segment::Owned(b) => b.len(),
+            Segment::Values { range, .. } => range.len() * 8,
+        }
+    }
+
+    /// The segment's on-wire bytes, borrowed — no copy for either
+    /// variant. For `Values` this reinterprets the `f64` run as bytes,
+    /// which is exactly the wire encoding (IEEE 754 bits, little-endian)
+    /// on little-endian hosts; the encoder never builds a `Values`
+    /// segment on big-endian hosts (it falls back to an owned copy), so
+    /// the reinterpretation is always byte-order-correct here.
+    fn bytes(&self) -> &[u8] {
+        match self {
+            Segment::Owned(b) => b,
+            Segment::Values { buf, range } => {
+                debug_assert!(cfg!(target_endian = "little"));
+                let vals = &buf.as_slice()[range.clone()];
+                // SAFETY: any 8 bytes are a valid f64 bit pattern and
+                // vice versa; the pointer and length describe exactly the
+                // `vals` allocation, which lives as long as `self`.
+                unsafe { std::slice::from_raw_parts(vals.as_ptr().cast::<u8>(), vals.len() * 8) }
+            }
+        }
+    }
+}
+
+/// A fully encoded response payload held as segments instead of one
+/// contiguous buffer: owned metadata runs interleaved with shared value
+/// buffers referenced straight from the chunk cache. Concatenating the
+/// segments yields exactly the payload [`encode_response_batch`]
+/// produces — [`FrameStream`] fragments it for the wire without ever
+/// materializing the whole thing.
+pub struct ResponseBody {
+    segments: Vec<Segment>,
+}
+
+impl ResponseBody {
+    /// Encode a batch of responses (by value: large value vectors are
+    /// moved into segments, not copied).
+    pub fn from_responses(responses: Vec<Result<Response, ServeError>>) -> Self {
+        let mut e = Enc::new();
+        e.u32(responses.len() as u32);
+        for r in responses {
+            match r {
+                Ok(resp) => {
+                    e.u8(1);
+                    encode_response(&mut e, resp);
+                }
+                Err(err) => {
+                    e.u8(0);
+                    encode_serve_error(&mut e, &err);
+                }
+            }
+        }
+        e.into_body()
+    }
+
+    /// Wrap an already-encoded payload (error payloads, diagnostics) as
+    /// a one-segment body, so [`FrameStream`] can emit any frame kind.
+    pub fn from_payload(payload: Vec<u8>) -> Self {
+        Self {
+            segments: vec![Segment::Owned(payload)],
+        }
+    }
+
+    /// Total payload length in bytes.
+    pub fn total_len(&self) -> usize {
+        self.segments.iter().map(Segment::len).sum()
+    }
+
+    /// Materialize the contiguous payload (copies; the legacy
+    /// single-frame path and tests use this).
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.total_len());
+        for s in &self.segments {
+            out.extend_from_slice(s.bytes());
+        }
+        out
+    }
+}
+
+/// Copying `Values` runs at or below this many bytes into the owned
+/// metadata segment instead of keeping a borrowed segment: a 4-entry
+/// iovec for 64 bytes of payload costs more than the copy.
+const SMALL_VALUES_BYTES: usize = 256;
+
+/// Append-only payload encoder (little-endian throughout). Scalar and
+/// string writes accumulate in an owned buffer; value runs past
+/// [`SMALL_VALUES_BYTES`] become borrowed [`Segment`]s so response
+/// payloads reference chunk-cache memory instead of copying it.
 struct Enc {
-    buf: Vec<u8>,
+    segments: Vec<Segment>,
+    cur: Vec<u8>,
 }
 
 impl Enc {
     fn new() -> Self {
-        Self { buf: Vec::new() }
+        Self {
+            segments: Vec::new(),
+            cur: Vec::new(),
+        }
+    }
+    /// Seal the pending owned bytes into a segment.
+    fn flush(&mut self) {
+        if !self.cur.is_empty() {
+            self.segments
+                .push(Segment::Owned(std::mem::take(&mut self.cur)));
+        }
+    }
+    fn into_body(mut self) -> ResponseBody {
+        self.flush();
+        ResponseBody {
+            segments: self.segments,
+        }
+    }
+    /// Concatenate everything into one contiguous payload (request and
+    /// error payloads, which are all-metadata anyway).
+    fn into_payload(self) -> Vec<u8> {
+        self.into_body().to_payload()
     }
     fn u8(&mut self, v: u8) {
-        self.buf.push(v);
+        self.cur.push(v);
     }
     fn u16(&mut self, v: u16) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.cur.extend_from_slice(&v.to_le_bytes());
     }
     fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.cur.extend_from_slice(&v.to_le_bytes());
     }
     fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.cur.extend_from_slice(&v.to_le_bytes());
     }
     fn i64(&mut self, v: i64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.cur.extend_from_slice(&v.to_le_bytes());
     }
     /// Length-prefixed string, clipped to [`MAX_STR_LEN`] at a char
     /// boundary: names and messages past the cap degrade to their prefix
@@ -427,12 +1121,27 @@ impl Enc {
         }
         let s = &s[..end];
         self.u32(s.len() as u32);
-        self.buf.extend_from_slice(s.as_bytes());
+        self.cur.extend_from_slice(s.as_bytes());
     }
-    fn f64s(&mut self, values: &[f64]) {
-        self.u64(values.len() as u64);
-        for v in values {
-            self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    /// Length-prefixed value array taken by value: the count goes into
+    /// the owned run, the values become a borrowed segment (zero copy).
+    fn values(&mut self, buf: ValuesBuf, range: Range<usize>) {
+        self.u64(range.len() as u64);
+        self.values_run(buf, range);
+    }
+    /// One un-prefixed run of values — several runs after a single
+    /// count prefix concatenate into one on-wire array (the chunk-parts
+    /// form of a slice response). Bit-identical to copying the values
+    /// byte by byte: the wire encoding of an f64 is its little-endian
+    /// bit pattern either way.
+    fn values_run(&mut self, buf: ValuesBuf, range: Range<usize>) {
+        if cfg!(target_endian = "big") || range.len() * 8 <= SMALL_VALUES_BYTES {
+            for v in &buf.as_slice()[range] {
+                self.cur.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        } else {
+            self.flush();
+            self.segments.push(Segment::Values { buf, range });
         }
     }
 }
@@ -789,7 +1498,7 @@ pub fn encode_request_batch(requests: &[Request]) -> Vec<u8> {
     for r in requests {
         encode_request(&mut e, r);
     }
-    e.buf
+    e.into_payload()
 }
 
 /// Decode a request-frame payload. The whole payload must be consumed —
@@ -856,7 +1565,7 @@ fn decode_member_info(d: &mut Dec) -> Result<MemberInfo, WireError> {
     })
 }
 
-fn encode_response(e: &mut Enc, resp: &Response) {
+fn encode_response(e: &mut Enc, resp: Response) {
     match resp {
         Response::Slice(s) => {
             e.u8(RESP_SLICE);
@@ -865,7 +1574,8 @@ fn encode_response(e: &mut Enc, resp: &Response) {
             e.u64(s.range.start);
             e.u64(s.range.end);
             e.u64(s.values_per_slice);
-            e.f64s(&s.values);
+            let n = s.values.len();
+            e.values(ValuesBuf::Vec(s.values), 0..n);
         }
         Response::Emulate(ds) => {
             e.u8(RESP_EMULATE);
@@ -875,11 +1585,12 @@ fn encode_response(e: &mut Enc, resp: &Response) {
             e.u64(ds.nphi as u64);
             e.i64(ds.start_year);
             e.u64(ds.tau as u64);
-            e.f64s(&ds.data);
+            let n = ds.data.len();
+            e.values(ValuesBuf::Vec(ds.data), 0..n);
         }
         Response::Catalog(a) => {
             e.u8(RESP_CATALOG);
-            match a {
+            match &a {
                 CatalogAnswer::Archives(list) => {
                     e.u8(CA_ARCHIVES);
                     e.u32(list.len() as u32);
@@ -932,7 +1643,8 @@ fn encode_response(e: &mut Enc, resp: &Response) {
             e.u32(p.realizations);
             e.u64(p.rows);
             e.u64(p.values_per_row);
-            e.f64s(&p.values);
+            let n = p.values.len();
+            e.values(ValuesBuf::Vec(p.values), 0..n);
         }
     }
 }
@@ -1225,22 +1937,56 @@ fn decode_serve_error(d: &mut Dec) -> Result<ServeError, WireError> {
 
 /// Encode a batch's responses as a response-frame payload: one
 /// `Result<Response, ServeError>` per request, in request order.
+///
+/// Convenience over [`ResponseBody::from_responses`] — both paths run
+/// the same encoder, so a streamed body reassembles to exactly these
+/// bytes.
 pub fn encode_response_batch(responses: &[Result<Response, ServeError>]) -> Vec<u8> {
+    ResponseBody::from_responses(responses.to_vec()).to_payload()
+}
+
+/// Encode a batch of server [`Reply`](crate::server::Reply)s. The slice
+/// variant writes the same bytes a materialized [`Response::Slice`]
+/// would — metadata, one total value count, then each chunk part as a
+/// borrowed segment referencing the decoded chunk's `Arc` directly, so
+/// slice payloads are never copied out of the chunk cache.
+pub(crate) fn encode_reply_batch(replies: Vec<crate::server::Reply>) -> ResponseBody {
+    use crate::server::Reply;
     let mut e = Enc::new();
-    e.u32(responses.len() as u32);
-    for r in responses {
+    e.u32(replies.len() as u32);
+    for r in replies {
         match r {
-            Ok(resp) => {
+            Reply::Full(Ok(resp)) => {
                 e.u8(1);
                 encode_response(&mut e, resp);
             }
-            Err(err) => {
+            Reply::Full(Err(err)) => {
                 e.u8(0);
-                encode_serve_error(&mut e, err);
+                encode_serve_error(&mut e, &err);
+            }
+            Reply::Slice {
+                archive,
+                member,
+                range,
+                values_per_slice,
+                parts,
+            } => {
+                e.u8(1);
+                e.u8(RESP_SLICE);
+                e.str(&archive);
+                e.str(&member);
+                e.u64(range.start);
+                e.u64(range.end);
+                e.u64(values_per_slice);
+                let total: usize = parts.iter().map(|(_, r)| r.len()).sum();
+                e.u64(total as u64);
+                for (chunk, r) in parts {
+                    e.values_run(ValuesBuf::Arc(chunk), r);
+                }
             }
         }
     }
-    e.buf
+    e.into_body()
 }
 
 /// Decode a response-frame payload (exact inverse of
@@ -1274,7 +2020,7 @@ pub fn decode_response_batch(
 pub fn encode_error_payload(message: &str) -> Vec<u8> {
     let mut e = Enc::new();
     e.str(message);
-    e.buf
+    e.into_payload()
 }
 
 /// Decode an error-frame payload back to its message.
@@ -1496,12 +2242,46 @@ mod tests {
                 want: VERSION
             }
         );
+        // Below the negotiation floor is equally rejected…
+        frame[4] = MIN_VERSION - 1;
+        assert!(matches!(
+            decode_frame(&frame).unwrap_err(),
+            WireError::Version { .. }
+        ));
+        // …but the previous protocol version still decodes.
+        frame[4] = MIN_VERSION;
+        let (header, _) = decode_frame(&frame).unwrap();
+        assert_eq!(header.version, MIN_VERSION);
+    }
+
+    #[test]
+    fn stream_frames_require_version_3() {
+        let body = ResponseBody::from_responses(sample_responses());
+        let mut s = FrameStream::response(body, 7, VERSION, 64).unwrap();
+        assert!(s.is_streamed());
+        let mut frame = {
+            let f = s.next_frame().unwrap();
+            f.to_bytes(s.body())
+        };
+        // The fragment decodes as-is…
+        let (header, _) = decode_frame(&frame).unwrap();
+        assert_eq!(header.kind, FrameKind::Stream);
+        assert_eq!(header.stream, Some(StreamPos { seq: 0, fin: false }));
+        // …but the same bytes claiming version 2 are an unknown kind:
+        // version-2 peers never negotiated stream frames.
+        frame[4] = 2;
+        assert_eq!(
+            decode_frame(&frame).unwrap_err(),
+            WireError::BadFrameKind(4)
+        );
     }
 
     #[test]
     fn oversized_length_claim_is_rejected_before_reading() {
         let mut header = FrameHeader {
+            version: VERSION,
             kind: FrameKind::Request,
+            stream: None,
             id: 0,
             len: 0,
             crc: 0,
@@ -1557,7 +2337,7 @@ mod tests {
         e.u64(1);
         e.u64(1);
         e.u64(1 << 56); // hostile count, then no values at all
-        let err = decode_response_batch(&e.buf).unwrap_err();
+        let err = decode_response_batch(&e.into_payload()).unwrap_err();
         assert!(matches!(err, WireError::Malformed(_)), "{err:?}");
     }
 
@@ -1581,8 +2361,9 @@ mod tests {
         e.u64(5);
         e.i64(2000);
         e.u64(365);
-        e.f64s(&[1.0, 2.0]); // … but carries 2
-        let mut d = Dec::new(&e.buf);
+        e.values(ValuesBuf::Vec(vec![1.0, 2.0]), 0..2); // … but carries 2
+        let payload = e.into_payload();
+        let mut d = Dec::new(&payload);
         assert!(matches!(
             decode_response(&mut d),
             Err(WireError::Malformed(_))
@@ -1619,8 +2400,9 @@ mod tests {
         e.u32(4); // realizations
         e.u64(5); // rows — claims 4×5×2 = 40 values
         e.u64(2); // values_per_row
-        e.f64s(&[1.0, 2.0, 3.0]); // … but carries 3
-        let mut d = Dec::new(&e.buf);
+        e.values(ValuesBuf::Vec(vec![1.0, 2.0, 3.0]), 0..3); // … but carries 3
+        let payload = e.into_payload();
+        let mut d = Dec::new(&payload);
         assert!(matches!(
             decode_response(&mut d),
             Err(WireError::Malformed(_))
@@ -1634,8 +2416,9 @@ mod tests {
         e.u32(u32::MAX);
         e.u64(u64::MAX); // realizations × rows overflows u64
         e.u64(2);
-        e.f64s(&[]);
-        let mut d = Dec::new(&e.buf);
+        e.values(ValuesBuf::Vec(Vec::new()), 0..0);
+        let payload = e.into_payload();
+        let mut d = Dec::new(&payload);
         assert!(matches!(
             decode_response(&mut d),
             Err(WireError::Malformed(_))
@@ -1654,7 +2437,7 @@ mod tests {
         e.str("m");
         e.u8(ST_RAW);
         e.u8(2); // hostile presence byte
-        let err = decode_request_batch(&e.buf).unwrap_err();
+        let err = decode_request_batch(&e.into_payload()).unwrap_err();
         assert!(matches!(err, WireError::Malformed(_)), "{err:?}");
     }
 
@@ -1671,7 +2454,7 @@ mod tests {
             e.u8(0);
             e.u8(0);
             assert!(matches!(
-                decode_request_batch(&e.buf),
+                decode_request_batch(&e.into_payload()),
                 Err(WireError::Malformed(_))
             ));
         }
@@ -1733,5 +2516,172 @@ mod tests {
             decode_error_payload(&payload).unwrap(),
             "unsupported wire version 3"
         );
+    }
+
+    #[test]
+    fn segmented_body_matches_contiguous_encoding() {
+        let batch = sample_responses();
+        let body = ResponseBody::from_responses(batch.clone());
+        assert_eq!(body.to_payload(), encode_response_batch(&batch));
+        assert_eq!(body.total_len(), encode_response_batch(&batch).len());
+    }
+
+    #[test]
+    fn streamed_fragments_reassemble_bit_identically() {
+        let batch = sample_responses();
+        let expect = encode_response_batch(&batch);
+        // Sweep fragment sizes across the awkward boundaries: 1 byte,
+        // primes, exactly-total, larger-than-total (single frame).
+        for chunk in [1usize, 7, 64, 333, expect.len() - 1, expect.len()] {
+            let body = ResponseBody::from_responses(batch.clone());
+            let mut s = FrameStream::response(body, 99, VERSION, chunk).unwrap();
+            let mut reasm = StreamReassembler::new();
+            let mut got = None;
+            let mut frames = 0u32;
+            while let Some(frame) = s.next_frame() {
+                frames += 1;
+                let bytes = frame.to_bytes(s.body());
+                let (header, payload) = decode_frame(&bytes).unwrap();
+                assert_eq!(header.id, 99);
+                if s.is_streamed() {
+                    assert_eq!(header.kind, FrameKind::Stream);
+                    assert!(payload.len() <= chunk.max(1), "fragment over chunk");
+                    if let Some(done) = reasm.push(&header, payload).unwrap() {
+                        got = Some(done);
+                    }
+                } else {
+                    assert_eq!(header.kind, FrameKind::Response);
+                    got = Some(payload.to_vec());
+                }
+            }
+            assert_eq!(frames, s.frames_emitted());
+            assert_eq!(got.as_deref(), Some(&expect[..]), "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn version_2_peers_get_a_single_response_frame() {
+        let batch = sample_responses();
+        let body = ResponseBody::from_responses(batch.clone());
+        // A chunk far smaller than the body would stream to a v3 peer…
+        let mut s = FrameStream::response(body, 5, 2, 16).unwrap();
+        assert!(!s.is_streamed());
+        let frame = s.next_frame().unwrap();
+        assert!(frame.last);
+        assert!(s.next_frame().is_none());
+        // …and the v2 frame is byte-identical to the legacy encoder's.
+        let expect = encode_frame_v(2, FrameKind::Response, 5, &encode_response_batch(&batch));
+        assert_eq!(frame.to_bytes(s.body()), expect.unwrap());
+    }
+
+    #[test]
+    fn write_stream_survives_trickle_and_matches_to_bytes() {
+        let batch = sample_responses();
+        let expect: Vec<u8> = {
+            let mut s =
+                FrameStream::response(ResponseBody::from_responses(batch.clone()), 3, VERSION, 100)
+                    .unwrap();
+            let mut all = Vec::new();
+            while let Some(f) = s.next_frame() {
+                all.extend_from_slice(&f.to_bytes(s.body()));
+            }
+            all
+        };
+        for chunk in [100usize, 0] {
+            // chunk 0 disables streaming — single frame, same machinery.
+            let mut s = FrameStream::response(
+                ResponseBody::from_responses(batch.clone()),
+                3,
+                VERSION,
+                chunk,
+            )
+            .unwrap();
+            let mut trickle = TrickleWriter(Vec::new());
+            let report = write_stream(&mut trickle, &mut s).unwrap();
+            assert_eq!(report.frames, s.frames_emitted());
+            assert_eq!(report.bytes as usize, trickle.0.len());
+            // Every frame's owned footprint stays below header + small
+            // metadata runs — far below the payload itself.
+            assert!(report.owned_peak < report.bytes as usize);
+            if chunk == 100 {
+                assert_eq!(trickle.0, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn reassembler_rejects_sequencing_violations() {
+        let batch = sample_responses();
+        let mut s =
+            FrameStream::response(ResponseBody::from_responses(batch), 11, VERSION, 64).unwrap();
+        let mut frames = Vec::new();
+        while let Some(f) = s.next_frame() {
+            frames.push(f.to_bytes(s.body()));
+        }
+        assert!(frames.len() >= 3, "need several fragments for this test");
+        let decode = |bytes: &[u8]| {
+            let (h, p) = decode_frame(bytes).unwrap();
+            (h, p.to_vec())
+        };
+
+        // First fragment must be seq 0.
+        let (h1, p1) = decode(&frames[1]);
+        let mut r = StreamReassembler::new();
+        assert_eq!(
+            r.push(&h1, &p1).unwrap_err(),
+            WireError::StreamSequence {
+                expected: 0,
+                got: 1
+            }
+        );
+
+        // Duplicate seq.
+        let (h0, p0) = decode(&frames[0]);
+        let mut r = StreamReassembler::new();
+        r.push(&h0, &p0).unwrap();
+        assert_eq!(
+            r.push(&h0, &p0).unwrap_err(),
+            WireError::StreamSequence {
+                expected: 1,
+                got: 0
+            }
+        );
+
+        // Skipped seq.
+        let (h2, p2) = decode(&frames[2]);
+        let mut r = StreamReassembler::new();
+        r.push(&h0, &p0).unwrap();
+        assert_eq!(
+            r.push(&h2, &p2).unwrap_err(),
+            WireError::StreamSequence {
+                expected: 1,
+                got: 2
+            }
+        );
+
+        // Foreign id spliced mid-stream.
+        let mut r = StreamReassembler::new();
+        r.push(&h0, &p0).unwrap();
+        let mut alien = h1;
+        alien.id = 999;
+        assert_eq!(
+            r.push(&alien, &p1).unwrap_err(),
+            WireError::StreamInterleaved {
+                expected: 11,
+                got: 999
+            }
+        );
+
+        // The happy path still completes after all that rejection.
+        let mut r = StreamReassembler::new();
+        let mut done = None;
+        for f in &frames {
+            let (h, p) = decode(f);
+            if let Some(out) = r.push(&h, &p).unwrap() {
+                done = Some(out);
+            }
+        }
+        assert!(done.is_some());
+        assert!(!r.in_progress());
     }
 }

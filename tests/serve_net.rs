@@ -369,10 +369,157 @@ fn frame_decoder_survives_random_and_mutated_input() {
                     FrameKind::Error => {
                         let _ = wire::decode_error_payload(payload);
                     }
+                    FrameKind::Stream => {
+                        let _ = wire::StreamReassembler::new().push(&header, payload);
+                    }
                 }
             }
         }
     }
+}
+
+/// Cut a real response into raw streamed frame byte vectors by driving
+/// the server-side [`wire::FrameStream`] with a small fragment size.
+fn stream_frames(id: u64, chunk: usize) -> Vec<Vec<u8>> {
+    let values: Vec<f64> = (0..2048).map(|i| i as f64 * 0.25).collect();
+    let responses = vec![Ok(Response::Slice(exaclim_serve::SliceData {
+        archive: "a".to_string(),
+        member: "t2m".to_string(),
+        range: 0..values.len() as u64 / VPS as u64,
+        values_per_slice: VPS as u64,
+        values,
+    }))];
+    let body = wire::ResponseBody::from_responses(responses);
+    let mut s = wire::FrameStream::response(body, id, wire::VERSION, chunk).unwrap();
+    let mut frames = Vec::new();
+    while let Some(f) = s.next_frame() {
+        frames.push(f.to_bytes(s.body()));
+    }
+    frames
+}
+
+/// Streamed-frame hostility, the same way the store fuzzes its container:
+/// duplicated, reordered, and skipped sequence numbers, interleaved frame
+/// ids, missing FINs, truncations, and random bit flips of real stream
+/// fragments must each come back as a typed [`WireError`] — never a panic
+/// — and a stream frame aimed at the *server* draws the unexpected-kind
+/// error report while the server keeps serving.
+#[test]
+fn stream_frame_fuzz_is_typed_and_server_survives() {
+    let mut rng = StdRng::seed_from_u64(0x57EA);
+    let frames = stream_frames(11, 64);
+    assert!(frames.len() >= 4, "test body must actually stream");
+
+    // The happy path reassembles (sanity check for everything below).
+    {
+        let mut reasm = wire::StreamReassembler::new();
+        let mut done = None;
+        for f in &frames {
+            let (h, p) = wire::decode_frame(f).unwrap();
+            done = reasm.push(&h, p).unwrap();
+        }
+        assert!(done.is_some(), "FIN must complete the stream");
+    }
+
+    let push_all = |order: &[usize]| -> Result<Option<Vec<u8>>, WireError> {
+        let mut reasm = wire::StreamReassembler::new();
+        let mut out = None;
+        for &i in order {
+            let (h, p) = wire::decode_frame(&frames[i]).unwrap();
+            out = reasm.push(&h, p)?;
+        }
+        Ok(out)
+    };
+
+    // Duplicated, skipped, and not-at-zero sequence numbers.
+    assert!(matches!(
+        push_all(&[0, 0]),
+        Err(WireError::StreamSequence {
+            expected: 1,
+            got: 0
+        })
+    ));
+    assert!(matches!(
+        push_all(&[0, 2]),
+        Err(WireError::StreamSequence {
+            expected: 1,
+            got: 2
+        })
+    ));
+    assert!(matches!(
+        push_all(&[1]),
+        Err(WireError::StreamSequence {
+            expected: 0,
+            got: 1
+        })
+    ));
+
+    // A fragment of a different response spliced mid-stream.
+    {
+        let other = stream_frames(99, 64);
+        let mut reasm = wire::StreamReassembler::new();
+        let (h, p) = wire::decode_frame(&frames[0]).unwrap();
+        reasm.push(&h, p).unwrap();
+        let (h2, p2) = wire::decode_frame(&other[1]).unwrap();
+        assert!(matches!(
+            reasm.push(&h2, p2),
+            Err(WireError::StreamInterleaved {
+                expected: 11,
+                got: 99
+            })
+        ));
+    }
+
+    // Missing FIN: everything but the last fragment leaves the
+    // reassembler mid-stream — which is what makes a connection close or
+    // a stray non-stream frame surface as `StreamTruncated` in the
+    // client (exercised end-to-end in tests/serve_stream.rs).
+    {
+        let mut reasm = wire::StreamReassembler::new();
+        for f in &frames[..frames.len() - 1] {
+            let (h, p) = wire::decode_frame(f).unwrap();
+            assert!(reasm.push(&h, p).unwrap().is_none());
+        }
+        assert!(reasm.in_progress(), "no FIN seen, still reassembling");
+    }
+
+    // Random truncations and single-bit flips of real fragments: framing
+    // (CRC, length, kind) rejects most; survivors must push typed or
+    // clean, never panic.
+    for _ in 0..600 {
+        let f = &frames[rng.gen_range(0..frames.len())];
+        let cut = rng.gen_range(0..f.len());
+        let _ = wire::decode_frame(&f[..cut]);
+        let mut flipped = f.clone();
+        let byte = rng.gen_range(0..flipped.len());
+        flipped[byte] ^= 1 << rng.gen_range(0..8u32);
+        if let Ok((h, p)) = wire::decode_frame(&flipped) {
+            let _ = wire::StreamReassembler::new().push(&h, p);
+        }
+    }
+
+    // Random stream positions (the seq/FIN bytes live at 6..8, outside
+    // the payload CRC): these always pass framing, so every sequencing
+    // check rides on the reassembler being typed about them.
+    for _ in 0..200 {
+        let mut f = frames[rng.gen_range(0..frames.len())].clone();
+        f[6] = rng.gen_range(0..=255u32) as u8;
+        f[7] = rng.gen_range(0..=255u32) as u8;
+        let (h, p) = wire::decode_frame(&f).unwrap();
+        let _ = wire::StreamReassembler::new().push(&h, p);
+    }
+
+    // A stream frame aimed at the server is a protocol violation the
+    // server reports and survives.
+    let (server, handle) = spawn_server();
+    let addr = handle.addr();
+    let (kind, msg) = send_raw(addr, &frames[0]).expect("error frame");
+    assert_eq!(kind, FrameKind::Error);
+    assert!(msg.contains("frame kind 4"), "{msg}");
+    let mut client = Client::connect(addr).unwrap();
+    let batch = vec![slice("t2m", 0..4)];
+    assert_eq!(client.batch(&batch).unwrap(), server.handle_batch(&batch));
+    handle.shutdown();
 }
 
 /// Shutdown with clients mid-conversation: handlers are unblocked, the
