@@ -16,9 +16,10 @@
 
 use exaclim::{ClimateEmulator, EmulatorConfig};
 use exaclim_climate::{SyntheticEra5, SyntheticEra5Config};
+use exaclim_runtime::{faults, FaultAction, FaultPlan};
 use exaclim_serve::{
-    Catalog, Client, NetConfig, NetServer, ProductDescriptor, ProductSource, ProductStat, Request,
-    Response, ScenarioSpec, ServeConfig, Server, SliceRequest,
+    Catalog, Client, ClientConfig, NetConfig, NetServer, ProductDescriptor, ProductSource,
+    ProductStat, Request, Response, RetryPolicy, ScenarioSpec, ServeConfig, Server, SliceRequest,
 };
 use exaclim_store::{open_file_source, ArchiveWriter, Codec, FieldMeta};
 use std::io::Cursor;
@@ -254,6 +255,127 @@ fn run_net_idle_scenario(
     )
 }
 
+/// Resilience counters recorded from the `serve_chaos` scenario: what
+/// the seeded fault plan injected, how much work the saturated dispatch
+/// queue shed, and what the self-healing clients spent absorbing it.
+struct ChaosCounters {
+    faults_injected: u64,
+    shed: u64,
+    client_retries: u64,
+    client_reconnects: u64,
+}
+
+/// The wire workload under chaos: a deliberately starved dispatch path
+/// (one worker, backlog cap of 1, every batch slowed by an injected
+/// queue delay) plus seeded socket faults, driven by self-healing
+/// clients. Throughput here is the *survivable* serve rate — every
+/// response still checked — and the counters record the turbulence the
+/// retry layer absorbed.
+fn run_chaos_scenario(
+    server: Arc<Server>,
+    threads: usize,
+    batches_per_thread: usize,
+    npoints: usize,
+) -> (Scenario, ChaosCounters) {
+    let handle = NetServer::bind(
+        "127.0.0.1:0",
+        server,
+        NetConfig {
+            dispatch_threads: 1,
+            max_dispatch_backlog: 1,
+            shed_retry_after_ms: 2,
+            ..NetConfig::default()
+        },
+    )
+    .unwrap()
+    .spawn();
+    let addr = handle.addr();
+    let injected_before = faults::injected();
+    faults::install(
+        FaultPlan::seeded(0xEC0C4A05)
+            .rule("net.read", FaultAction::ShortRead, 0.02)
+            .rule("net.read", FaultAction::Interrupt, 0.02)
+            .rule("net.read", FaultAction::Reset, 0.005)
+            .rule(
+                "net.write",
+                FaultAction::Delay(Duration::from_micros(100)),
+                0.02,
+            )
+            .rule(
+                "dispatch",
+                FaultAction::Delay(Duration::from_micros(500)),
+                1.0,
+            ),
+    );
+    let start = Instant::now();
+    let results: Vec<(Vec<f64>, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads as u64)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut client = Client::connect_with(
+                        addr,
+                        ClientConfig {
+                            connect_timeout: Some(Duration::from_secs(5)),
+                            read_timeout: Some(Duration::from_secs(5)),
+                            write_timeout: Some(Duration::from_secs(5)),
+                            retry: Some(RetryPolicy {
+                                max_retries: 64,
+                                base_delay: Duration::from_millis(1),
+                                max_delay: Duration::from_millis(20),
+                                seed: t,
+                            }),
+                            ..ClientConfig::default()
+                        },
+                    )
+                    .unwrap();
+                    let batch = slice_batch(t);
+                    let mut lat = Vec::with_capacity(batches_per_thread);
+                    for _ in 0..batches_per_thread {
+                        let t0 = Instant::now();
+                        let responses = client.batch(&batch).unwrap();
+                        lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                        for r in &responses {
+                            assert!(matches!(r, Ok(Response::Slice(_))));
+                        }
+                    }
+                    let stats = client.client_stats();
+                    (lat, stats.retries, stats.reconnects)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let stats = handle.net_stats();
+    let counters = ChaosCounters {
+        faults_injected: faults::injected() - injected_before,
+        shed: stats.shed,
+        client_retries: results.iter().map(|(_, r, _)| r).sum(),
+        client_reconnects: results.iter().map(|(_, _, r)| r).sum(),
+    };
+    faults::clear();
+    handle.shutdown();
+    let mut latencies: Vec<f64> = results.into_iter().flat_map(|(l, _, _)| l).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+    let requests = (threads * batches_per_thread * BATCH) as u64;
+    let served_mib = requests as f64 * SLICE_T as f64 * npoints as f64 * 8.0 / (1 << 20) as f64;
+    (
+        Scenario {
+            name: "serve_chaos",
+            backend: "mmap",
+            threads,
+            batches_per_thread,
+            elapsed_s,
+            served_mib,
+            requests,
+            p50_us: pct(0.50),
+            p95_us: pct(0.95),
+        },
+        counters,
+    )
+}
+
 fn server_for(path: &std::path::Path, use_mmap: bool, cache_bytes: usize) -> Server {
     let mut catalog = Catalog::new();
     catalog
@@ -453,22 +575,33 @@ struct ProductCounters {
     computes: u64,
 }
 
-fn write_json(
-    path: &str,
-    scenarios: &[Scenario],
+/// The non-scenario summary blocks of the JSON artifact, bundled so the
+/// writer's signature stays stable as blocks accrete.
+struct JsonBlocks<'a> {
     speedup_cold: f64,
     stampede: (u64, u64, u64),
-    product: &ProductCounters,
-    net: &NetCounters,
-    streaming: &StreamCounters,
-) {
+    product: &'a ProductCounters,
+    net: &'a NetCounters,
+    streaming: &'a StreamCounters,
+    chaos: &'a ChaosCounters,
+}
+
+fn write_json(path: &str, scenarios: &[Scenario], blocks: &JsonBlocks<'_>) {
+    let JsonBlocks {
+        speedup_cold,
+        stampede,
+        product,
+        net,
+        streaming,
+        chaos,
+    } = blocks;
     // Schema version of this file; bump when fields change meaning. The
     // env block records the matrix leg the run came from, so CI artifacts
     // from different legs are comparable at the top level.
     let threads_env = std::env::var("EXACLIM_THREADS").unwrap_or_else(|_| "default".to_string());
     let mmap_env = std::env::var("EXACLIM_MMAP").unwrap_or_else(|_| "default".to_string());
     let mut out = format!(
-        "{{\n  \"bench\": \"serve\",\n  \"version\": 5,\n  \
+        "{{\n  \"bench\": \"serve\",\n  \"version\": 6,\n  \
          \"env\": {{\"EXACLIM_THREADS\": \"{threads_env}\", \"EXACLIM_MMAP\": \"{mmap_env}\"}},\n  \
          \"scenarios\": [\n"
     );
@@ -497,7 +630,8 @@ fn write_json(
          \"product_cache\": {{\"hits\": {}, \"misses\": {}, \"flight_leads\": {}, \"flight_waits\": {}, \"computes\": {}}},\n  \
          \"net\": {{\"open_connections\": {}, \"peak_connections\": {}, \"reactor_wakeups\": {}, \"reaped_idle\": {}}},\n  \
          \"streaming\": {{\"streamed_responses\": {}, \"stream_frames_out\": {}, \"peak_conn_buffered_bytes\": {}, \
-         \"frames_per_response\": [{}]}}\n}}\n",
+         \"frames_per_response\": [{}]}},\n  \
+         \"chaos\": {{\"faults_injected\": {}, \"shed\": {}, \"client_retries\": {}, \"client_reconnects\": {}}}\n}}\n",
         product.hits, product.misses, product.flight_leads, product.flight_waits, product.computes,
         net.open_connections, net.peak_connections, net.reactor_wakeups, net.reaped_idle,
         streaming.streamed_responses, streaming.stream_frames_out, streaming.peak_conn_buffered_bytes,
@@ -506,7 +640,8 @@ fn write_json(
             .iter()
             .map(|b| b.to_string())
             .collect::<Vec<_>>()
-            .join(", ")
+            .join(", "),
+        chaos.faults_injected, chaos.shed, chaos.client_retries, chaos.client_reconnects
     ));
     std::fs::write(path, out).unwrap();
     println!("wrote {path}");
@@ -590,6 +725,20 @@ fn main() {
         net
     };
 
+    // Chaos: the wire workload under a seeded fault plan and a starved
+    // dispatch queue — the throughput the serving stack sustains while
+    // shedding overload and absorbing injected socket faults through
+    // the clients' retry layer.
+    let chaos = {
+        let server = Arc::new(server_for(&path, true, 256 << 20));
+        for t in 0..threads as u64 {
+            server.handle_batch(&slice_batch(t));
+        }
+        let (scenario, chaos) = run_chaos_scenario(server, threads, batches, npoints);
+        scenarios.push(scenario);
+        chaos
+    };
+
     // Scenario engine: mixed ensemble fan-out + derived statistics; the
     // repeat descriptors across batches land in the product cache, so
     // throughput here is the cached-product serve rate after the first
@@ -671,16 +820,23 @@ fn main() {
         streaming.peak_conn_buffered_bytes,
         streaming.frames_per_response
     );
+    println!(
+        "chaos: {} faults injected, {} requests shed, clients spent {} retries and {} reconnects",
+        chaos.faults_injected, chaos.shed, chaos.client_retries, chaos.client_reconnects
+    );
 
     if json {
         write_json(
             "BENCH_serve.json",
             &scenarios,
-            speedup_cold,
-            stampede,
-            &product,
-            &net,
-            &streaming,
+            &JsonBlocks {
+                speedup_cold,
+                stampede,
+                product: &product,
+                net: &net,
+                streaming: &streaming,
+                chaos: &chaos,
+            },
         );
     }
     std::fs::remove_file(&path).ok();

@@ -1,0 +1,457 @@
+//! Deterministic fault injection: a seeded, dependency-free fault
+//! registry the serving stack threads through its hot paths.
+//!
+//! Production resilience machinery (retries, load shedding, panic
+//! containment) is unverifiable without a way to *cause* the failures it
+//! is supposed to absorb. This module is that way, built like hardware
+//! reliability campaigns qualify components: stress with a known,
+//! reproducible schedule, then assert recovery.
+//!
+//! * **Zero-cost when disabled** — the fast path of [`check`] is one
+//!   relaxed atomic load; no plan installed (and no `EXACLIM_FAULTS`)
+//!   means hot loops pay a branch, nothing more.
+//! * **Deterministic** — every potential injection point draws from a
+//!   seeded counter-based hash (`hash(seed, site, rule, draw#)`), so a
+//!   given plan injects the same faults at the same per-site draw
+//!   numbers on every run, at any thread count. Thread interleaving can
+//!   reorder *which operation* observes draw `n`, but never whether
+//!   draw `n` faults.
+//! * **Site-addressed** — callers name their injection points with
+//!   stable strings (the serving layer uses `net.read`, `net.write`,
+//!   `dispatch`, `decode`, `product`); plans attach [`FaultAction`]s to
+//!   sites with a probability and an optional per-rule cap (`#max`),
+//!   which is how a chaos test asks for "exactly one worker panic".
+//!
+//! Plans come from the [`EXACLIM_FAULTS`](FaultPlan::parse) environment
+//! variable (read once, lazily, on the first [`check`]) or from the
+//! programmatic [`install`] API; [`clear`] disarms everything, including
+//! an env-installed plan.
+//!
+//! ```
+//! use exaclim_runtime::faults::{self, FaultAction, FaultPlan};
+//! use std::time::Duration;
+//!
+//! faults::install(
+//!     FaultPlan::seeded(42)
+//!         .rule("demo.op", FaultAction::Error, 1.0)
+//!         .rule_max("demo.op", FaultAction::Panic, 1.0, 0),
+//! );
+//! // Probability 1 ⇒ the first rule fires on every draw; the second is
+//! // capped at 0 injections and can never fire.
+//! assert_eq!(faults::check("demo.op"), Some(FaultAction::Error));
+//! assert_eq!(faults::check("elsewhere"), None);
+//! assert!(faults::injected() >= 1);
+//! faults::clear();
+//! assert_eq!(faults::check("demo.op"), None);
+//! ```
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Once};
+use std::time::Duration;
+
+/// What an injection point should do when its draw fires.
+///
+/// The *site* decides how to realize an action (a socket read realizes
+/// [`FaultAction::Reset`] as `ECONNRESET`, a decode site realizes
+/// [`FaultAction::Corrupt`] as a checksum failure); actions a site
+/// cannot realize degrade to the nearest thing it can (usually a short
+/// delay), so a plan written for one code path stays meaningful on
+/// another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Sleep this long before the operation proceeds (queue jitter,
+    /// slow-disk emulation).
+    Delay(Duration),
+    /// Sleep this long mid-operation — a stalled peer or a dribbling
+    /// slowloris, distinct from [`FaultAction::Delay`] so plans can
+    /// separate jitter from pathology.
+    Stall(Duration),
+    /// Deliver at most one byte this round (socket read sites): the
+    /// short-read path every robust frame parser must survive.
+    ShortRead,
+    /// Interrupt the operation as `EINTR` would (retried by any
+    /// conforming I/O loop).
+    Interrupt,
+    /// Fail the operation as if the peer reset the connection.
+    Reset,
+    /// Corrupt the operation's data; decode sites surface this as a
+    /// checksum failure (retryable — a re-read re-decodes cleanly).
+    Corrupt,
+    /// Panic on the executing thread (dispatch sites): exercises panic
+    /// containment.
+    Panic,
+    /// Fail the operation with an injected internal error.
+    Error,
+}
+
+/// One site's rule: an action, a firing probability, and a cap on total
+/// injections.
+#[derive(Debug, Clone)]
+struct FaultRule {
+    action: FaultAction,
+    /// Fire when the draw hash is ≤ this threshold
+    /// (`probability × u64::MAX`).
+    threshold: u64,
+    /// Most injections this rule may ever perform (`u64::MAX` ⇒
+    /// unlimited); `#max` in the env grammar.
+    max: u64,
+}
+
+/// A seeded schedule of faults, ready to [`install`].
+///
+/// Build programmatically ([`FaultPlan::seeded`] + [`FaultPlan::rule`])
+/// or parse from the `EXACLIM_FAULTS` grammar ([`FaultPlan::parse`]).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<(String, FaultRule)>,
+}
+
+impl FaultPlan {
+    /// An empty plan drawing from `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Attach `action` to `site` with the given firing probability
+    /// (clamped to `0.0..=1.0`), unlimited injections.
+    pub fn rule(self, site: &str, action: FaultAction, probability: f64) -> Self {
+        self.rule_max(site, action, probability, u64::MAX)
+    }
+
+    /// Like [`FaultPlan::rule`], but capped at `max` total injections —
+    /// `max = 1` is how a plan asks for "exactly one worker panic".
+    pub fn rule_max(mut self, site: &str, action: FaultAction, probability: f64, max: u64) -> Self {
+        let p = probability.clamp(0.0, 1.0);
+        let threshold = if p >= 1.0 {
+            u64::MAX
+        } else {
+            (p * u64::MAX as f64) as u64
+        };
+        self.rules.push((
+            site.to_string(),
+            FaultRule {
+                action,
+                threshold,
+                max,
+            },
+        ));
+        self
+    }
+
+    /// Whether the plan has any rules at all.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Parse the `EXACLIM_FAULTS` grammar:
+    ///
+    /// ```text
+    /// seed=<u64>;<site>=<action>@<prob>[#<max>];…
+    /// ```
+    ///
+    /// Actions: `delay:<ms>`, `stall:<ms>`, `short`, `eintr`, `reset`,
+    /// `corrupt`, `panic`, `error`. `<prob>` is a float in `0..=1`;
+    /// `#<max>` caps the rule's total injections. Example:
+    ///
+    /// ```
+    /// use exaclim_runtime::faults::FaultPlan;
+    /// let plan = FaultPlan::parse(
+    ///     "seed=42;net.read=short@0.1;net.read=reset@0.02#3;dispatch=panic@1#1",
+    /// )
+    /// .unwrap();
+    /// assert!(!plan.is_empty());
+    /// ```
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::seeded(0);
+        for part in spec.split(';') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault segment `{part}` is not `key=value`"))?;
+            if key == "seed" {
+                plan.seed = value
+                    .parse()
+                    .map_err(|_| format!("bad fault seed `{value}`"))?;
+                continue;
+            }
+            let (action_prob, max) = match value.split_once('#') {
+                Some((ap, m)) => (
+                    ap,
+                    m.parse::<u64>()
+                        .map_err(|_| format!("bad fault cap `{m}` in `{part}`"))?,
+                ),
+                None => (value, u64::MAX),
+            };
+            let (action_str, prob_str) = action_prob
+                .split_once('@')
+                .ok_or_else(|| format!("fault rule `{part}` is missing `@<prob>`"))?;
+            let probability: f64 = prob_str
+                .parse()
+                .map_err(|_| format!("bad fault probability `{prob_str}` in `{part}`"))?;
+            let action = parse_action(action_str)
+                .ok_or_else(|| format!("unknown fault action `{action_str}` in `{part}`"))?;
+            plan = plan.rule_max(key, action, probability, max);
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_action(s: &str) -> Option<FaultAction> {
+    if let Some(ms) = s.strip_prefix("delay:") {
+        return Some(FaultAction::Delay(Duration::from_millis(ms.parse().ok()?)));
+    }
+    if let Some(ms) = s.strip_prefix("stall:") {
+        return Some(FaultAction::Stall(Duration::from_millis(ms.parse().ok()?)));
+    }
+    match s {
+        "short" => Some(FaultAction::ShortRead),
+        "eintr" => Some(FaultAction::Interrupt),
+        "reset" => Some(FaultAction::Reset),
+        "corrupt" => Some(FaultAction::Corrupt),
+        "panic" => Some(FaultAction::Panic),
+        "error" => Some(FaultAction::Error),
+        _ => None,
+    }
+}
+
+/// An installed plan: rules grouped by site, each site with its own
+/// draw counter so the fault schedule is a pure function of
+/// `(seed, site, draw#)`.
+struct ActiveSite {
+    name: String,
+    draws: AtomicU64,
+    rules: Vec<(FaultRule, AtomicU64)>,
+}
+
+struct ActivePlan {
+    seed: u64,
+    sites: Vec<ActiveSite>,
+}
+
+impl ActivePlan {
+    fn new(plan: FaultPlan) -> Self {
+        let mut sites: Vec<ActiveSite> = Vec::new();
+        for (site, rule) in plan.rules {
+            match sites.iter_mut().find(|s| s.name == site) {
+                Some(s) => s.rules.push((rule, AtomicU64::new(0))),
+                None => sites.push(ActiveSite {
+                    name: site,
+                    draws: AtomicU64::new(0),
+                    rules: vec![(rule, AtomicU64::new(0))],
+                }),
+            }
+        }
+        Self {
+            seed: plan.seed,
+            sites,
+        }
+    }
+
+    fn draw(&self, site: &str) -> Option<FaultAction> {
+        let s = self.sites.iter().find(|s| s.name == site)?;
+        let n = s.draws.fetch_add(1, Ordering::Relaxed);
+        for (i, (rule, fired)) in s.rules.iter().enumerate() {
+            if draw_hash(self.seed, &s.name, i as u64, n) > rule.threshold {
+                continue;
+            }
+            // Capped rules claim a slot atomically, so `#1` means exactly
+            // one injection even under concurrent draws.
+            if fired.fetch_add(1, Ordering::Relaxed) >= rule.max {
+                continue;
+            }
+            INJECTED.fetch_add(1, Ordering::Relaxed);
+            return Some(rule.action);
+        }
+        None
+    }
+}
+
+/// splitmix64 finalizer — the same mixer the ensemble seeds use.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over the site name: stable across runs and platforms.
+fn site_hash(site: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in site.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn draw_hash(seed: u64, site: &str, rule: u64, n: u64) -> u64 {
+    mix(seed
+        .wrapping_add(site_hash(site).rotate_left(17))
+        .wrapping_add(rule.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(n.wrapping_mul(0xD1B5_4A32_D192_ED03)))
+}
+
+/// Fast-path gate: `false` ⇒ [`check`] returns `None` after one load.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Total faults injected since process start (all sites, all plans).
+static INJECTED: AtomicU64 = AtomicU64::new(0);
+static PLAN: Mutex<Option<Arc<ActivePlan>>> = Mutex::new(None);
+/// `EXACLIM_FAULTS` is consulted exactly once, lazily; [`install`] and
+/// [`clear`] consume the env decision first so they always win over it.
+static ENV_INIT: Once = Once::new();
+
+fn consume_env() {
+    ENV_INIT.call_once(|| {
+        if let Ok(spec) = std::env::var("EXACLIM_FAULTS") {
+            if let Ok(plan) = FaultPlan::parse(&spec) {
+                if !plan.is_empty() {
+                    *PLAN.lock() = Some(Arc::new(ActivePlan::new(plan)));
+                    ENABLED.store(true, Ordering::SeqCst);
+                }
+            }
+        }
+    });
+}
+
+/// Install `plan` process-wide, replacing any active plan (including one
+/// installed from `EXACLIM_FAULTS`).
+pub fn install(plan: FaultPlan) {
+    consume_env();
+    let empty = plan.is_empty();
+    *PLAN.lock() = Some(Arc::new(ActivePlan::new(plan)));
+    ENABLED.store(!empty, Ordering::SeqCst);
+}
+
+/// Disarm fault injection entirely — also overrides `EXACLIM_FAULTS`,
+/// so a test can compute fault-free expected values even under a chaos
+/// CI leg.
+pub fn clear() {
+    consume_env();
+    *PLAN.lock() = None;
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Whether any fault plan is currently armed.
+pub fn enabled() -> bool {
+    consume_env();
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Total faults injected since process start, across every site and
+/// every plan. Chaos harnesses assert this moved.
+pub fn injected() -> u64 {
+    INJECTED.load(Ordering::Relaxed)
+}
+
+/// The injection point: returns the action to realize, or `None` (the
+/// overwhelmingly common case). When no plan is armed this is one
+/// relaxed atomic load — cheap enough for per-syscall call sites.
+pub fn check(site: &str) -> Option<FaultAction> {
+    consume_env();
+    if !ENABLED.load(Ordering::Relaxed) {
+        return None;
+    }
+    let plan = PLAN.lock().clone()?;
+    plan.draw(site)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fault state is process-global; tests that arm it serialize here.
+    static FAULT_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_is_none_everywhere() {
+        let _guard = FAULT_TEST_LOCK.lock();
+        clear();
+        assert!(!enabled());
+        assert_eq!(check("net.read"), None);
+    }
+
+    #[test]
+    fn probability_one_always_fires_and_caps_hold() {
+        let _guard = FAULT_TEST_LOCK.lock();
+        install(
+            FaultPlan::seeded(7)
+                .rule_max("a", FaultAction::Reset, 1.0, 3)
+                .rule("a", FaultAction::Error, 1.0),
+        );
+        let before = injected();
+        // First three draws hit the capped reset, the rest fall through
+        // to the unlimited error rule.
+        for i in 0..10 {
+            let want = if i < 3 {
+                FaultAction::Reset
+            } else {
+                FaultAction::Error
+            };
+            assert_eq!(check("a"), Some(want), "draw {i}");
+        }
+        assert_eq!(injected() - before, 10);
+        assert_eq!(check("other.site"), None);
+        clear();
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let _guard = FAULT_TEST_LOCK.lock();
+        let schedule = |seed: u64| -> Vec<bool> {
+            install(FaultPlan::seeded(seed).rule("s", FaultAction::Error, 0.3));
+            let fires: Vec<bool> = (0..64).map(|_| check("s").is_some()).collect();
+            clear();
+            fires
+        };
+        let a = schedule(123);
+        let b = schedule(123);
+        let c = schedule(124);
+        assert_eq!(a, b, "same seed must replay the same schedule");
+        assert_ne!(a, c, "different seeds must diverge");
+        let fired = a.iter().filter(|f| **f).count();
+        assert!(
+            (1..64).contains(&fired),
+            "p=0.3 over 64 draws fired {fired} times"
+        );
+    }
+
+    #[test]
+    fn env_grammar_round_trips() {
+        let plan = FaultPlan::parse(
+            "seed=42; net.read=short@0.1; net.read=reset@0.02#3; \
+             dispatch=panic@1#1; decode=delay:2@0.2; net.write=stall:50@0.01; \
+             decode=corrupt@0.05; net.read=eintr@0.1; product=error@0.3",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.rules.len(), 8);
+        assert_eq!(
+            plan.rules[4].1.action,
+            FaultAction::Stall(Duration::from_millis(50))
+        );
+        assert_eq!(plan.rules[2].1.max, 1);
+
+        assert!(FaultPlan::parse("net.read=banana@0.5").is_err());
+        assert!(FaultPlan::parse("net.read=reset").is_err());
+        assert!(FaultPlan::parse("seed=notanumber").is_err());
+        assert!(FaultPlan::parse("justasite").is_err());
+    }
+
+    #[test]
+    fn install_replaces_and_clear_disarms() {
+        let _guard = FAULT_TEST_LOCK.lock();
+        install(FaultPlan::seeded(1).rule("x", FaultAction::Panic, 1.0));
+        assert_eq!(check("x"), Some(FaultAction::Panic));
+        install(FaultPlan::seeded(1).rule("x", FaultAction::Corrupt, 1.0));
+        assert_eq!(check("x"), Some(FaultAction::Corrupt));
+        clear();
+        assert_eq!(check("x"), None);
+    }
+}

@@ -9,6 +9,11 @@
 //! * [`executor`] — a multi-threaded executor with three scheduling
 //!   policies: work-stealing LIFO deques, a global priority heap (the
 //!   paper's critical-path priorities), and plain FIFO,
+//! * [`faults`] — deterministic, seeded fault injection (`EXACLIM_FAULTS`
+//!   env + programmatic [`faults::FaultPlan`] API, zero-cost when
+//!   disabled); the serving layer threads its injection points through
+//!   socket I/O, chunk decode, and batch dispatch so resilience
+//!   machinery can be qualified under a reproducible failure schedule,
 //! * [`pool`] — the shared worker pool for flat data parallelism
 //!   (`parallel_for`, `join`, mutable chunk splits); the rayon shim routes
 //!   every `par_iter`/`par_chunks` call site through it,
@@ -32,6 +37,7 @@
 pub mod cholesky_par;
 pub mod distsim;
 pub mod executor;
+pub mod faults;
 pub mod graph;
 pub mod pool;
 pub mod reactor;
@@ -41,6 +47,7 @@ pub mod trace;
 pub use cholesky_par::parallel_tile_cholesky;
 pub use distsim::{simulate_distribution, ConversionSide, DistConfig, MessageLedger};
 pub use executor::{ExecError, Executor, SchedulerKind};
+pub use faults::{FaultAction, FaultPlan};
 pub use graph::{cholesky_graph, TaskGraph, TaskId};
 pub use pool::WorkerPool;
 pub use reactor::{reactor_enabled, Event, Interest, Mode, Token, REACTOR_SUPPORTED};

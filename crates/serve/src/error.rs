@@ -20,6 +20,49 @@ pub enum ServeError {
     /// The request itself is inconsistent (duplicate catalog names,
     /// zero-length emulation, …).
     BadRequest(String),
+    /// The server shed this request before executing it: the dispatch
+    /// backlog was over [`crate::net::NetConfig::max_dispatch_backlog`].
+    /// Retryable by construction — nothing was computed — and the server
+    /// suggests waiting `retry_after_ms` before trying again (see
+    /// [`crate::net::RetryPolicy`], which honors it).
+    Overloaded {
+        /// Server's backoff hint in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The request carried a deadline
+    /// ([`crate::server::Request::WithDeadline`]) that had already
+    /// expired when the server was about to execute it, so the work was
+    /// skipped. Fatal, not retryable: the client's budget is spent.
+    DeadlineExpired,
+    /// The server failed internally while executing this request (a
+    /// worker panic, an injected fault). The request itself may be
+    /// perfectly fine, so this is retryable.
+    Internal(String),
+}
+
+impl ServeError {
+    /// Whether a client may retry the request verbatim with a
+    /// reasonable hope of success. Shedding and internal failures are
+    /// transient ([`ServeError::Overloaded`], [`ServeError::Internal`]),
+    /// as are archive I/O and corruption errors (a re-read re-decodes);
+    /// everything describing the *request* (bad ranges, unknown names,
+    /// expired deadlines) is fatal — retrying cannot change the answer.
+    pub fn retryable(&self) -> bool {
+        match self {
+            ServeError::Overloaded { .. } | ServeError::Internal(_) => true,
+            ServeError::Archive(e) => matches!(
+                e,
+                ArchiveError::Io(_)
+                    | ArchiveError::ChecksumMismatch { .. }
+                    | ArchiveError::TruncatedChunk { .. }
+            ),
+            ServeError::Emulation(_)
+            | ServeError::UnknownArchive(_)
+            | ServeError::UnknownEmulator(_)
+            | ServeError::BadRequest(_)
+            | ServeError::DeadlineExpired => false,
+        }
+    }
 }
 
 impl std::fmt::Display for ServeError {
@@ -30,6 +73,11 @@ impl std::fmt::Display for ServeError {
             ServeError::UnknownArchive(n) => write!(f, "no archive `{n}` in catalog"),
             ServeError::UnknownEmulator(n) => write!(f, "no emulator `{n}` in catalog"),
             ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded, retry after {retry_after_ms} ms")
+            }
+            ServeError::DeadlineExpired => write!(f, "request deadline expired before execution"),
+            ServeError::Internal(m) => write!(f, "internal server error: {m}"),
         }
     }
 }
@@ -125,6 +173,26 @@ pub enum WireError {
     /// The stream ended (connection closed, or a non-stream frame
     /// arrived) before a frame with the `FIN` flag was seen.
     StreamTruncated,
+}
+
+impl WireError {
+    /// Whether reconnecting and replaying the in-flight requests is a
+    /// sound reaction. Transport interruptions — socket errors, resets,
+    /// truncated frames or streams, payloads mangled in flight — are
+    /// retryable because every serving operation is read-only: replaying
+    /// a request cannot double-apply anything. Protocol disagreements
+    /// (bad magic, version mismatch, malformed payloads, id confusion)
+    /// are fatal — a retry would speak the same wrong language.
+    pub fn retryable(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io(_)
+                | WireError::ConnectionClosed
+                | WireError::Truncated { .. }
+                | WireError::StreamTruncated
+                | WireError::ChecksumMismatch { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for WireError {

@@ -54,6 +54,17 @@
 //!   under `EXACLIM_REACTOR=0`), and a blocking [`net::Client`] with
 //!   connection reuse, pipelining, and transparent stream reassembly.
 //!
+//! The serving stack is built to **survive chaos**: a seeded fault plan
+//! ([`exaclim_runtime::faults`], armed via `EXACLIM_FAULTS`) injects
+//! socket failures, decode corruption, and worker panics at named
+//! sites; the server contains dispatch panics as typed
+//! [`ServeError::Internal`] responses, sheds work past a configurable
+//! backlog as retryable [`ServeError::Overloaded`] hints, and skips
+//! requests whose (v4) deadline wrapper already expired; the client
+//! self-heals with capped decorrelated-jitter retries and
+//! reconnect-with-replay when a [`RetryPolicy`] is armed — sound
+//! because every serving operation is read-only.
+//!
 //! Served bytes are **bit-identical** to sequential
 //! [`exaclim_store::ArchiveReader`] reads at any thread count and any
 //! cache budget — caching and batching change performance, never values.
@@ -109,7 +120,9 @@ pub use cache::{
 };
 pub use catalog::{ByteSource, Catalog, ServedArchive, ServedEmulator};
 pub use error::{ServeError, WireError};
-pub use net::{Client, NetConfig, NetServer, NetServerHandle, NetStats};
+pub use net::{
+    Client, ClientConfig, ClientStats, NetConfig, NetServer, NetServerHandle, NetStats, RetryPolicy,
+};
 pub use product::{
     ProductData, ProductDescriptor, ProductKey, ProductSource, ProductStat, ScenarioSpec,
 };

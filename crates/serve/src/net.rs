@@ -146,11 +146,22 @@ pub struct NetConfig {
     /// bounds per-connection server memory; `0` disables streaming
     /// (every response is a single frame, as in wire version 2).
     pub stream_chunk_bytes: usize,
+    /// Overload protection (event-driven path): when this many batches
+    /// are already queued for the dispatch workers, new request frames
+    /// are **shed** — answered immediately with one retryable
+    /// [`ServeError::Overloaded`] per request instead of joining a queue
+    /// they would time out in. The connection stays open; a client with
+    /// a [`RetryPolicy`] backs off and resubmits. `0` disables shedding.
+    pub max_dispatch_backlog: usize,
+    /// Backoff hint carried in shed responses'
+    /// [`ServeError::Overloaded::retry_after_ms`].
+    pub shed_retry_after_ms: u32,
 }
 
 impl Default for NetConfig {
     /// 4096 connections, 60 s idle deadline, auto-sized dispatch,
-    /// platform-default reactor policy, 256 KiB stream fragments.
+    /// platform-default reactor policy, 256 KiB stream fragments,
+    /// shedding past 1024 queued batches with a 25 ms retry hint.
     fn default() -> Self {
         Self {
             max_connections: 4096,
@@ -158,6 +169,8 @@ impl Default for NetConfig {
             dispatch_threads: 0,
             reactor: None,
             stream_chunk_bytes: 256 << 10,
+            max_dispatch_backlog: 1024,
+            shed_retry_after_ms: 25,
         }
     }
 }
@@ -208,6 +221,16 @@ pub struct NetStats {
     /// Histogram of frames per completed response, bucketed 1, 2, 3–4,
     /// 5–8, 9–16, 17–32, 33–64, 65+.
     pub frames_per_response: [u64; 8],
+    /// Requests shed by overload protection: answered
+    /// [`ServeError::Overloaded`] because the dispatch backlog was over
+    /// [`NetConfig::max_dispatch_backlog`] when their frame arrived.
+    pub shed: u64,
+    /// Faults injected process-wide since start
+    /// ([`exaclim_runtime::faults::injected`]); zero unless a fault plan
+    /// is armed. Snapshotted here so chaos harnesses can assert the
+    /// schedule actually fired from the same place they read transport
+    /// counters.
+    pub faults_injected: u64,
 }
 
 #[derive(Default)]
@@ -228,6 +251,7 @@ struct NetStatCells {
     stream_frames_out: AtomicU64,
     peak_conn_buffered_bytes: AtomicU64,
     frames_per_response: [AtomicU64; 8],
+    shed: AtomicU64,
 }
 
 /// Histogram bucket of a frames-per-response count: 1, 2, 3–4, 5–8,
@@ -266,6 +290,8 @@ impl NetStatCells {
             frames_per_response: std::array::from_fn(|i| {
                 self.frames_per_response[i].load(Ordering::Relaxed)
             }),
+            shed: self.shed.load(Ordering::Relaxed),
+            faults_injected: exaclim_runtime::faults::injected(),
         }
     }
 
@@ -541,6 +567,10 @@ mod event {
         /// decides whether the response may stream.
         version: u8,
         requests: Vec<Request>,
+        /// When the request frame was parsed off the socket. Per-request
+        /// deadline budgets ([`Request::WithDeadline`]) count from here,
+        /// so queue time under backlog spends the budget.
+        received: Instant,
     }
 
     /// A finished batch on its way back to the reactor: the encoded
@@ -595,7 +625,38 @@ mod event {
                     d.jobs_cv.wait(&mut q);
                 }
             };
-            let replies = d.shared.server.handle_batch_replies(&job.requests);
+            // Fault site `dispatch`, and panic containment: a panic on
+            // this worker (injected or organic — a poisoned archive, a
+            // bug in a product kernel) must not strand the requester or
+            // kill the worker. Each request on the batch draws a typed
+            // retryable [`ServeError::Internal`] instead, and the worker
+            // survives to take the next job.
+            let received = job.received;
+            let requests = &job.requests;
+            let server = &d.shared.server;
+            let replies = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if let Some(action) = exaclim_runtime::faults::check("dispatch") {
+                    use exaclim_runtime::FaultAction;
+                    match action {
+                        FaultAction::Delay(dur) | FaultAction::Stall(dur) => {
+                            std::thread::sleep(dur)
+                        }
+                        FaultAction::Panic => panic!("injected dispatch fault"),
+                        _ => {}
+                    }
+                }
+                server.handle_batch_replies_from(requests, received)
+            }))
+            .unwrap_or_else(|_| {
+                job.requests
+                    .iter()
+                    .map(|_| {
+                        crate::server::Reply::Full(Err(ServeError::Internal(
+                            "request execution panicked".to_string(),
+                        )))
+                    })
+                    .collect()
+            });
             let body = wire::encode_reply_batch(replies);
             d.completions.lock().push(Completion {
                 token: job.token,
@@ -1016,14 +1077,44 @@ mod event {
             let Some(conn) = self.conns.get_mut(&token) else {
                 return;
             };
+            // Fault site `net.read`. ShortRead caps this round at one
+            // byte (the parser must already tolerate arbitrary
+            // fragmentation — this proves it); Interrupt skips the round
+            // as a kernel EINTR would (level-triggered readiness
+            // re-announces the socket); Reset fails the connection as a
+            // peer reset would. Delays run on the reactor thread — a
+            // stalled event loop is exactly the pathology they model.
+            let mut read_cap = self.scratch.len();
+            if let Some(action) = exaclim_runtime::faults::check("net.read") {
+                use exaclim_runtime::FaultAction;
+                match action {
+                    FaultAction::ShortRead => read_cap = 1,
+                    FaultAction::Interrupt => return,
+                    FaultAction::Reset => {
+                        self.shared
+                            .stats
+                            .wire_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.close_conn(token);
+                        return;
+                    }
+                    FaultAction::Delay(dur) | FaultAction::Stall(dur) => std::thread::sleep(dur),
+                    _ => {}
+                }
+            }
             let mut failed = false;
             loop {
-                match conn.stream.read(&mut self.scratch) {
+                match conn.stream.read(&mut self.scratch[..read_cap]) {
                     Ok(0) => {
                         conn.eof = true;
                         break;
                     }
-                    Ok(n) => conn.buf.extend_from_slice(&self.scratch[..n]),
+                    Ok(n) => {
+                        conn.buf.extend_from_slice(&self.scratch[..n]);
+                        if read_cap < self.scratch.len() {
+                            break; // injected short read: one byte this round
+                        }
+                    }
                     Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                     Err(e) if e.kind() == ErrorKind::Interrupted => {}
                     Err(_) => {
@@ -1070,18 +1161,60 @@ mod event {
                         .fetch_add(requests.len() as u64, Ordering::Relaxed);
                     let conn = self.conns.get_mut(&token).expect("conn just parsed");
                     conn.buf.drain(..total);
-                    conn.phase = Phase::Dispatched;
                     conn.peer_version = version;
                     // A complete frame arrived: this peer is live.
                     conn.last_activity = Instant::now();
+                    // Overload protection: past the dispatch backlog
+                    // threshold, shed instead of queueing doomed work. A
+                    // shed batch draws a well-formed response frame with
+                    // one retryable `Overloaded` per request — cheaper
+                    // than executing, and the connection stays open for
+                    // the retry.
+                    let backlog = self.config.max_dispatch_backlog;
+                    if backlog > 0 && self.dispatch.jobs.lock().0.len() >= backlog {
+                        self.shed(token, id, version, requests.len());
+                        return;
+                    }
+                    conn.phase = Phase::Dispatched;
                     self.sync_interest(token);
                     self.dispatch.push(Job {
                         token,
                         id,
                         version,
                         requests,
+                        received: Instant::now(),
                     });
                 }
+            }
+        }
+
+        /// Answer a shed batch without dispatching: one retryable
+        /// [`ServeError::Overloaded`] per request, staged on the
+        /// write-drain like any other response. The connection stays
+        /// open — shedding is back-pressure, not punishment.
+        fn shed(&mut self, token: u64, id: u64, version: u8, n_requests: usize) {
+            self.shared
+                .stats
+                .shed
+                .fetch_add(n_requests as u64, Ordering::Relaxed);
+            let retry_after_ms = self.config.shed_retry_after_ms;
+            let replies: Vec<crate::server::Reply> = (0..n_requests)
+                .map(|_| crate::server::Reply::Full(Err(ServeError::Overloaded { retry_after_ms })))
+                .collect();
+            let body = wire::encode_reply_batch(replies);
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            match wire::FrameStream::response(body, id, version, self.config.stream_chunk_bytes) {
+                Ok(stream) => {
+                    conn.write = Some(Outgoing {
+                        stream,
+                        cur: None,
+                        is_response: true,
+                    });
+                    self.conn_write(token);
+                }
+                Err(_) => self.close_conn(token),
             }
         }
 
@@ -1122,6 +1255,22 @@ mod event {
             };
             if conn.write.is_none() {
                 return;
+            }
+            // Fault site `net.write`. Reset fails the connection as a
+            // peer reset mid-response would (the client sees a truncated
+            // stream); Interrupt yields the round; delays stall the
+            // drain. Unrealizable actions degrade to no-ops.
+            if let Some(action) = exaclim_runtime::faults::check("net.write") {
+                use exaclim_runtime::FaultAction;
+                match action {
+                    FaultAction::Reset => {
+                        self.close_conn(token);
+                        return;
+                    }
+                    FaultAction::Interrupt => return,
+                    FaultAction::Delay(dur) | FaultAction::Stall(dur) => std::thread::sleep(dur),
+                    _ => {}
+                }
             }
             let mut failed = false;
             let mut progressed = false;
@@ -1185,6 +1334,20 @@ mod event {
                 if was_last {
                     finished = true;
                     break;
+                }
+                // Fault site `net.write.frame`: between stream
+                // fragments, where a stall holds the peer mid-reassembly
+                // and a reset leaves it with a truncated stream.
+                if let Some(action) = exaclim_runtime::faults::check("net.write.frame") {
+                    use exaclim_runtime::FaultAction;
+                    match action {
+                        FaultAction::Delay(d) | FaultAction::Stall(d) => std::thread::sleep(d),
+                        FaultAction::Reset => {
+                            failed = true;
+                            break 'frames;
+                        }
+                        _ => {}
+                    }
                 }
                 round += 1;
                 if round >= FRAMES_PER_ROUND {
@@ -1277,11 +1440,18 @@ mod event {
                 self.reset_deadline(token);
                 return;
             }
-            if let Some(idle) = self.config.idle_timeout {
-                let due = conn.last_activity + idle;
-                if due > Instant::now() {
-                    self.reactor.set_deadline(Token(token), due);
-                    return;
+            // While draining for shutdown the deadline set by
+            // [`EventLoop::begin_drain`] is absolute: a peer draining
+            // its half-written response slowly gets exactly that grace,
+            // then a hard close (the client sees a typed truncated
+            // stream) — progress must not extend shutdown forever.
+            if !self.draining {
+                if let Some(idle) = self.config.idle_timeout {
+                    let due = conn.last_activity + idle;
+                    if due > Instant::now() {
+                        self.reactor.set_deadline(Token(token), due);
+                        return;
+                    }
                 }
             }
             self.shared
@@ -1543,6 +1713,22 @@ fn handle_connection(
     // Error frames mirror the version of the peer's last good frame.
     let mut peer_version = wire::VERSION;
     loop {
+        // Fault site `net.read` (threaded realization): delays stall
+        // this connection's read; Reset drops the connection as a peer
+        // reset would. Short reads and EINTR are absorbed by the
+        // blocking `BufReader` below, so those actions degrade to no-ops
+        // here — the reactor path realizes them byte-exactly.
+        if let Some(action) = exaclim_runtime::faults::check("net.read") {
+            use exaclim_runtime::FaultAction;
+            match action {
+                FaultAction::Delay(dur) | FaultAction::Stall(dur) => std::thread::sleep(dur),
+                FaultAction::Reset => {
+                    stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                _ => {}
+            }
+        }
         match wire::read_frame(&mut reader) {
             Ok((header, payload)) if header.kind == FrameKind::Request => {
                 stats.frames_in.fetch_add(1, Ordering::Relaxed);
@@ -1551,12 +1737,42 @@ fn handle_connection(
                     .fetch_add((HEADER_LEN + payload.len()) as u64, Ordering::Relaxed);
                 reader.get_mut().rearm();
                 peer_version = header.version;
+                let received = Instant::now();
                 match wire::decode_request_batch(&payload) {
                     Ok(requests) => {
                         stats
                             .requests
                             .fetch_add(requests.len() as u64, Ordering::Relaxed);
-                        let replies = shared.server.handle_batch_replies(&requests);
+                        // Same fault site and panic containment as the
+                        // reactor's dispatch workers: a panic answers
+                        // every request with a typed retryable
+                        // `Internal` error and the connection survives.
+                        let server = &shared.server;
+                        let reqs = &requests;
+                        let replies =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                if let Some(action) = exaclim_runtime::faults::check("dispatch") {
+                                    use exaclim_runtime::FaultAction;
+                                    match action {
+                                        FaultAction::Delay(dur) | FaultAction::Stall(dur) => {
+                                            std::thread::sleep(dur)
+                                        }
+                                        FaultAction::Panic => panic!("injected dispatch fault"),
+                                        _ => {}
+                                    }
+                                }
+                                server.handle_batch_replies_from(reqs, received)
+                            }))
+                            .unwrap_or_else(|_| {
+                                requests
+                                    .iter()
+                                    .map(|_| {
+                                        crate::server::Reply::Full(Err(ServeError::Internal(
+                                            "request execution panicked".to_string(),
+                                        )))
+                                    })
+                                    .collect()
+                            });
                         let body = wire::encode_reply_batch(replies);
                         let Ok(mut out) = wire::FrameStream::response(
                             body,
@@ -1566,6 +1782,17 @@ fn handle_connection(
                         ) else {
                             break; // response over the payload cap
                         };
+                        // Fault site `net.write` (threaded realization).
+                        if let Some(action) = exaclim_runtime::faults::check("net.write") {
+                            use exaclim_runtime::FaultAction;
+                            match action {
+                                FaultAction::Delay(dur) | FaultAction::Stall(dur) => {
+                                    std::thread::sleep(dur)
+                                }
+                                FaultAction::Reset => break,
+                                _ => {}
+                            }
+                        }
                         let report = match wire::write_stream(&mut writer, &mut out) {
                             Ok(report) => report,
                             Err(_) => break,
@@ -1648,6 +1875,79 @@ fn write_reply(
     wire::write_frame_vectored_v(writer, version, kind, id, payload)
 }
 
+/// Capped exponential backoff with decorrelated jitter and a retry
+/// budget — the client half of the resilience layer (see
+/// [`ClientConfig::retry`]).
+///
+/// Each retry draws its delay uniformly from `base_delay ..
+/// min(max_delay, 3 × previous_delay)` — "decorrelated jitter", which
+/// spreads a thundering herd of retrying clients across time instead of
+/// synchronizing them into repeated stampedes. The jitter stream is
+/// seeded, so a given client's backoff schedule is reproducible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Most retries one operation (a [`Client::batch`] call, one
+    /// [`Client::recv`]) may spend before the error is surfaced.
+    pub max_retries: u32,
+    /// Lower bound of every backoff delay.
+    pub base_delay: Duration,
+    /// Upper bound of every backoff delay (and of honored
+    /// [`ServeError::Overloaded::retry_after_ms`] hints).
+    pub max_delay: Duration,
+    /// Seed of the jitter stream: same seed ⇒ same backoff schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 8 retries, 5 ms base, 1 s cap.
+    fn default() -> Self {
+        Self {
+            max_retries: 8,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_secs(1),
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Connection and resilience knobs of a [`Client`] (see
+/// [`Client::connect_with`]).
+#[derive(Debug, Clone, Default)]
+pub struct ClientConfig {
+    /// Wire version announced in request frames, within
+    /// [`crate::wire::MIN_VERSION`]`..=`[`crate::wire::VERSION`].
+    /// `0` (the `Default`) means the current [`crate::wire::VERSION`].
+    pub version: u8,
+    /// Bound on establishing the TCP connection, applied per resolved
+    /// address; `None` blocks on the OS default (which against a
+    /// dead-but-routable address can be minutes).
+    pub connect_timeout: Option<Duration>,
+    /// Socket read timeout: a server that stops talking mid-frame
+    /// surfaces as a retryable [`WireError::Io`] instead of a hang.
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout, same rationale as
+    /// [`ClientConfig::read_timeout`].
+    pub write_timeout: Option<Duration>,
+    /// Self-healing: `Some` arms transport-level reconnect-with-replay
+    /// (every serving op is read-only, so replaying in-flight pipelined
+    /// requests is safe) and batch-level retry of retryable per-request
+    /// errors ([`ServeError::retryable`]), honoring the server's
+    /// [`ServeError::Overloaded::retry_after_ms`] hint. `None` (the
+    /// default) surfaces every failure immediately — behaviorally
+    /// identical to the pre-resilience client.
+    pub retry: Option<RetryPolicy>,
+}
+
+/// Resilience counters of one [`Client`] (see [`Client::client_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClientStats {
+    /// Retries spent: transport-level (reconnect + replay) and
+    /// batch-level (retryable per-request errors) combined.
+    pub retries: u64,
+    /// Reconnect attempts made while self-healing.
+    pub reconnects: u64,
+}
+
 /// A blocking client over one reused connection.
 ///
 /// [`Client::batch`] is the wire twin of [`Server::handle_batch`]: same
@@ -1661,14 +1961,29 @@ fn write_reply(
 /// reassembles transparently — the result is bit-identical to the
 /// single-frame response a version-2 peer (see
 /// [`Client::connect_with_version`]) would get.
+///
+/// With a [`RetryPolicy`] armed ([`ClientConfig::retry`]) the client
+/// **self-heals**: retryable transport failures (resets, truncated
+/// streams, socket errors — [`WireError::retryable`]) trigger a
+/// reconnect that replays every in-flight batch under fresh frame ids,
+/// and retryable per-request errors ([`ServeError::Overloaded`],
+/// [`ServeError::Internal`]) make [`Client::batch`] back off and
+/// resubmit. Without a policy every failure surfaces immediately.
 pub struct Client {
+    addrs: Vec<SocketAddr>,
+    config: ClientConfig,
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     next_id: u64,
-    in_flight: VecDeque<u64>,
-    /// Wire version announced in request frames; the server streams
-    /// responses only to peers announcing ≥ 3.
-    version: u8,
+    /// Oldest-first in-flight batches: `(frame id, requests)`. The
+    /// requests are retained (when a retry policy is armed) so a
+    /// reconnect can replay them verbatim.
+    in_flight: VecDeque<(u64, Vec<Request>)>,
+    stats: ClientStats,
+    /// Jitter stream state (splitmix64 over [`RetryPolicy::seed`]).
+    rng: u64,
+    /// Previous backoff delay, feeding the decorrelated-jitter window.
+    last_delay: Duration,
 }
 
 impl std::fmt::Debug for Client {
@@ -1676,13 +1991,15 @@ impl std::fmt::Debug for Client {
         f.debug_struct("Client")
             .field("next_id", &self.next_id)
             .field("in_flight", &self.in_flight.len())
-            .field("version", &self.version)
+            .field("version", &self.config.version)
+            .field("retries", &self.stats.retries)
             .finish()
     }
 }
 
 impl Client {
-    /// Connect to a [`NetServer`], speaking the current wire version.
+    /// Connect to a [`NetServer`], speaking the current wire version,
+    /// with no timeouts and no retry policy.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
         Self::connect_with_version(addr, wire::VERSION)
     }
@@ -1693,40 +2010,193 @@ impl Client {
     /// response arrives as one monolithic frame, byte-identical to what
     /// a version-2 build of this client would receive.
     pub fn connect_with_version(addr: impl ToSocketAddrs, version: u8) -> Result<Self, WireError> {
-        if !(wire::MIN_VERSION..=wire::VERSION).contains(&version) {
+        Self::connect_with(
+            addr,
+            ClientConfig {
+                version,
+                ..ClientConfig::default()
+            },
+        )
+    }
+
+    /// Connect with explicit [`ClientConfig`] — timeouts and, when
+    /// [`ClientConfig::retry`] is `Some`, self-healing.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> Result<Self, WireError> {
+        let mut config = config;
+        if config.version == 0 {
+            config.version = wire::VERSION;
+        }
+        if !(wire::MIN_VERSION..=wire::VERSION).contains(&config.version) {
             return Err(WireError::Version {
-                got: version,
+                got: config.version,
                 want: wire::VERSION,
             });
         }
-        let stream = TcpStream::connect(addr).map_err(WireError::from)?;
-        let _ = stream.set_nodelay(true);
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs().map_err(WireError::from)?.collect();
+        if addrs.is_empty() {
+            return Err(WireError::Io("address resolved to nothing".to_string()));
+        }
+        let stream = Self::open_stream(&addrs, &config)?;
         let reader_stream = stream.try_clone().map_err(WireError::from)?;
+        let rng = config.retry.as_ref().map_or(1, |p| p.seed | 1);
         Ok(Self {
+            addrs,
+            config,
             reader: BufReader::new(reader_stream),
             writer: BufWriter::new(stream),
             next_id: 1,
             in_flight: VecDeque::new(),
-            version,
+            stats: ClientStats::default(),
+            rng,
+            last_delay: Duration::ZERO,
         })
     }
 
-    /// Send one request batch and return its frame id without waiting
-    /// for the response — the pipelining half of [`Client::batch`].
-    pub fn send(&mut self, requests: &[Request]) -> Result<u64, WireError> {
+    /// This client's resilience counters so far.
+    pub fn client_stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Open one TCP connection to the first answering resolved address,
+    /// honoring the configured timeouts.
+    fn open_stream(addrs: &[SocketAddr], config: &ClientConfig) -> Result<TcpStream, WireError> {
+        let mut last: Option<WireError> = None;
+        for addr in addrs {
+            let attempt = match config.connect_timeout {
+                Some(timeout) => TcpStream::connect_timeout(addr, timeout),
+                None => TcpStream::connect(addr),
+            };
+            match attempt {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_read_timeout(config.read_timeout);
+                    let _ = stream.set_write_timeout(config.write_timeout);
+                    return Ok(stream);
+                }
+                Err(e) => last = Some(WireError::from(e)),
+            }
+        }
+        Err(last.unwrap_or_else(|| WireError::Io("address resolved to nothing".to_string())))
+    }
+
+    /// Whether `e` is worth another attempt under the armed policy.
+    fn should_retry(&self, e: &WireError, attempt: u32) -> bool {
+        e.retryable()
+            && self
+                .config
+                .retry
+                .as_ref()
+                .is_some_and(|p| attempt < p.max_retries)
+    }
+
+    /// Sleep before a retry: the server's hint when it gave one,
+    /// decorrelated jitter otherwise, both capped at
+    /// [`RetryPolicy::max_delay`].
+    fn sleep_backoff(&mut self, hint: Option<Duration>) {
+        let Some(policy) = self.config.retry.clone() else {
+            return;
+        };
+        let delay = hint
+            .unwrap_or_else(|| self.next_backoff(&policy))
+            .min(policy.max_delay);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+    }
+
+    /// Next decorrelated-jitter delay: uniform in
+    /// `base .. min(cap, 3 × previous)`.
+    fn next_backoff(&mut self, policy: &RetryPolicy) -> Duration {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let base = policy.base_delay.max(Duration::from_micros(100));
+        let prev = self.last_delay.max(base);
+        let span = (prev * 3).min(policy.max_delay.max(base));
+        let spread = (span.as_nanos().saturating_sub(base.as_nanos()).max(1)) as u64;
+        let delay = base + Duration::from_nanos(z % spread);
+        self.last_delay = delay;
+        delay
+    }
+
+    /// Reconnect and replay every in-flight batch, oldest first, under
+    /// fresh frame ids. Sound because every serving operation is
+    /// read-only: replaying a request cannot double-apply anything, and
+    /// the responses are bit-identical to what the lost connection would
+    /// have carried.
+    fn reconnect_and_replay(&mut self) -> Result<(), WireError> {
+        self.stats.reconnects += 1;
+        let stream = Self::open_stream(&self.addrs, &self.config)?;
+        let reader_stream = stream.try_clone().map_err(WireError::from)?;
+        self.reader = BufReader::new(reader_stream);
+        self.writer = BufWriter::new(stream);
+        for entry in self.in_flight.iter_mut() {
+            let id = self.next_id;
+            self.next_id += 1;
+            let payload = wire::encode_request_batch(&entry.1);
+            wire::write_frame_vectored_v(
+                &mut self.writer,
+                self.config.version,
+                FrameKind::Request,
+                id,
+                &payload,
+            )?;
+            entry.0 = id;
+        }
+        self.writer.flush().map_err(WireError::from)?;
+        Ok(())
+    }
+
+    /// Write one request frame and flush it, consuming a frame id.
+    fn write_batch_frame(&mut self, requests: &[Request]) -> Result<u64, WireError> {
         let id = self.next_id;
         self.next_id += 1;
         let payload = wire::encode_request_batch(requests);
         wire::write_frame_vectored_v(
             &mut self.writer,
-            self.version,
+            self.config.version,
             FrameKind::Request,
             id,
             &payload,
         )?;
         self.writer.flush().map_err(WireError::from)?;
-        self.in_flight.push_back(id);
         Ok(id)
+    }
+
+    /// Send one request batch and return its frame id without waiting
+    /// for the response — the pipelining half of [`Client::batch`].
+    /// With a retry policy armed, a retryable transport failure here
+    /// reconnects (replaying older in-flight batches) and tries again.
+    pub fn send(&mut self, requests: &[Request]) -> Result<u64, WireError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.write_batch_frame(requests) {
+                Ok(id) => {
+                    // Retain the requests only when a policy might need
+                    // to replay them; the hot no-retry path keeps its
+                    // old zero-copy bookkeeping.
+                    let stored = if self.config.retry.is_some() {
+                        requests.to_vec()
+                    } else {
+                        Vec::new()
+                    };
+                    self.in_flight.push_back((id, stored));
+                    return Ok(id);
+                }
+                Err(e) if self.should_retry(&e, attempt) => {
+                    attempt += 1;
+                    self.stats.retries += 1;
+                    self.sleep_backoff(None);
+                    // A failed reconnect leaves the dead socket in
+                    // place; the next write fails and spends another
+                    // attempt until the budget runs out.
+                    let _ = self.reconnect_and_replay();
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Receive the response batch for the oldest in-flight
@@ -1736,12 +2206,42 @@ impl Client {
     /// the reassembled payload exactly as it would a single response
     /// frame. An error frame is honored even mid-stream; a connection
     /// close or stray response frame mid-stream is
-    /// [`WireError::StreamTruncated`].
+    /// [`WireError::StreamTruncated`]. With a retry policy armed, a
+    /// retryable transport failure reconnects, replays every in-flight
+    /// batch, and resumes waiting.
     pub fn recv(&mut self) -> Result<Vec<Result<Response, ServeError>>, WireError> {
-        let expected = self
-            .in_flight
-            .pop_front()
-            .ok_or_else(|| WireError::Malformed("recv with no request in flight".to_string()))?;
+        if self.in_flight.is_empty() {
+            return Err(WireError::Malformed(
+                "recv with no request in flight".to_string(),
+            ));
+        }
+        let mut attempt = 0u32;
+        loop {
+            let expected = self.in_flight.front().expect("checked above").0;
+            match self.recv_batch_frame(expected) {
+                Ok(responses) => {
+                    self.in_flight.pop_front();
+                    return Ok(responses);
+                }
+                Err(e) if self.should_retry(&e, attempt) => {
+                    attempt += 1;
+                    self.stats.retries += 1;
+                    self.sleep_backoff(None);
+                    let _ = self.reconnect_and_replay();
+                }
+                Err(e) => {
+                    self.in_flight.pop_front();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// One attempt at reading the response batch for frame `expected`.
+    fn recv_batch_frame(
+        &mut self,
+        expected: u64,
+    ) -> Result<Vec<Result<Response, ServeError>>, WireError> {
         let mut reasm = wire::StreamReassembler::new();
         loop {
             let (header, payload) = match wire::read_frame(&mut self.reader) {
@@ -1791,13 +2291,41 @@ impl Client {
     }
 
     /// Submit one batch and wait for its responses — the network twin of
-    /// [`Server::handle_batch`].
+    /// [`Server::handle_batch`]. With a retry policy armed, responses
+    /// carrying retryable errors ([`ServeError::retryable`] — shedding,
+    /// internal failures, transient archive I/O) make the whole batch
+    /// back off and resubmit, honoring the server's
+    /// [`ServeError::Overloaded::retry_after_ms`] hint when present;
+    /// read-only semantics make the resubmission safe and the eventual
+    /// responses bit-identical.
     pub fn batch(
         &mut self,
         requests: &[Request],
     ) -> Result<Vec<Result<Response, ServeError>>, WireError> {
-        self.send(requests)?;
-        self.recv()
+        let budget = self.config.retry.as_ref().map_or(0, |p| p.max_retries);
+        let mut attempt = 0u32;
+        loop {
+            self.send(requests)?;
+            let responses = self.recv()?;
+            let needs_retry = responses
+                .iter()
+                .any(|r| matches!(r, Err(e) if e.retryable()));
+            if !needs_retry || attempt >= budget {
+                return Ok(responses);
+            }
+            attempt += 1;
+            self.stats.retries += 1;
+            let hint = responses
+                .iter()
+                .filter_map(|r| match r {
+                    Err(ServeError::Overloaded { retry_after_ms }) => {
+                        Some(Duration::from_millis(u64::from(*retry_after_ms)))
+                    }
+                    _ => None,
+                })
+                .max();
+            self.sleep_backoff(hint);
+        }
     }
 
     /// Submit one request and wait for its response. The outer error is

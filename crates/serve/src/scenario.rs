@@ -362,6 +362,20 @@ impl Server {
         d: &ProductDescriptor,
         plan: &ProductPlan,
     ) -> Result<Arc<[f64]>, ServeError> {
+        // Fault site `product`: derived-product evaluation. Errors are
+        // retryable ([`ServeError::Internal`]) and never cached — the
+        // single-flight map publishes them to waiters only — so a retry
+        // recomputes cleanly.
+        if let Some(action) = exaclim_runtime::faults::check("product") {
+            use exaclim_runtime::FaultAction;
+            match action {
+                FaultAction::Delay(dur) | FaultAction::Stall(dur) => std::thread::sleep(dur),
+                FaultAction::Error | FaultAction::Corrupt => {
+                    return Err(ServeError::Internal("injected product fault".to_string()));
+                }
+                _ => {}
+            }
+        }
         let block = self.source_block(plan)?;
         let values = match &d.stat {
             ProductStat::Raw => block,

@@ -88,6 +88,22 @@ pub enum Request {
     /// a [`Request::Product`] with [`crate::product::ProductStat::Raw`]
     /// and no windows — both forms share one cache entry.
     Ensemble(ScenarioSpec),
+    /// Wire-v4 deadline wrapper: answer the inner request only if less
+    /// than `budget_ms` milliseconds have passed since the server
+    /// *received* it; otherwise skip the work entirely and answer
+    /// [`ServeError::DeadlineExpired`]. The budget covers queue time —
+    /// under backlog, requests whose caller has certainly given up are
+    /// dropped before they consume a worker. A zero budget is always
+    /// expired (a deterministic probe of the deadline path). One level
+    /// only: the wire decoder rejects a nested wrapper as malformed, and
+    /// the server answers an in-process nested wrapper with
+    /// [`ServeError::BadRequest`].
+    WithDeadline {
+        /// Milliseconds of budget from receipt to execution start.
+        budget_ms: u32,
+        /// The wrapped request (never itself a `WithDeadline`).
+        request: Box<Request>,
+    },
 }
 
 /// Metadata queries against the catalog.
@@ -233,6 +249,11 @@ pub struct ServeStats {
     pub product_computes: u64,
     /// Wall-clock nanoseconds spent inside `handle_batch`.
     pub busy_nanos: u64,
+    /// Requests skipped because their [`Request::WithDeadline`] budget
+    /// had already expired when the batch started executing. Each also
+    /// counts in [`ServeStats::errors`] (the request drew
+    /// [`ServeError::DeadlineExpired`]).
+    pub deadline_expired: u64,
 }
 
 /// One request's answer before materialization: either a finished
@@ -298,6 +319,7 @@ pub(crate) struct StatCells {
     products: AtomicU64,
     pub(crate) product_computes: AtomicU64,
     busy_nanos: AtomicU64,
+    deadline_expired: AtomicU64,
 }
 
 /// A serving instance: an immutable [`Catalog`] fronted by a
@@ -393,6 +415,7 @@ impl Server {
             products: self.stats.products.load(Ordering::Relaxed),
             product_computes: self.stats.product_computes.load(Ordering::Relaxed),
             busy_nanos: self.stats.busy_nanos.load(Ordering::Relaxed),
+            deadline_expired: self.stats.deadline_expired.load(Ordering::Relaxed),
         }
     }
 
@@ -419,14 +442,47 @@ impl Server {
     /// concatenated value vectors — the network front end encodes these
     /// straight out of the chunk cache.
     pub(crate) fn handle_batch_replies(&self, requests: &[Request]) -> Vec<Reply> {
+        self.handle_batch_replies_from(requests, std::time::Instant::now())
+    }
+
+    /// [`Server::handle_batch_replies`] with an explicit receipt time:
+    /// `received` is when the batch *arrived* (for the network front
+    /// ends, when its request frame was read off the socket), so
+    /// [`Request::WithDeadline`] budgets cover dispatch-queue time, not
+    /// just execution. Expired requests are answered
+    /// [`ServeError::DeadlineExpired`] without planning, fetching, or
+    /// computing anything on their behalf.
+    pub(crate) fn handle_batch_replies_from(
+        &self,
+        requests: &[Request],
+        received: std::time::Instant,
+    ) -> Vec<Reply> {
         let t0 = std::time::Instant::now();
         let pool = exaclim_runtime::pool::global();
 
+        // Strip deadline wrappers up front: an expired request becomes
+        // `None` (answered below without touching any archive), a live
+        // one contributes its inner request to planning and execution.
+        let waited = t0.saturating_duration_since(received);
+        let effective: Vec<Option<&Request>> = requests
+            .iter()
+            .map(|r| match r {
+                Request::WithDeadline { budget_ms, request } => {
+                    if waited >= std::time::Duration::from_millis(u64::from(*budget_ms)) {
+                        None
+                    } else {
+                        Some(request.as_ref())
+                    }
+                }
+                other => Some(other),
+            })
+            .collect();
+
         // Plan the batch's slice requests together.
-        let slice_reqs: Vec<SliceRequest> = requests
+        let slice_reqs: Vec<SliceRequest> = effective
             .iter()
             .filter_map(|r| match r {
-                Request::Slice(s) => Some(s.clone()),
+                Some(Request::Slice(s)) => Some(s.clone()),
                 _ => None,
             })
             .collect();
@@ -447,10 +503,10 @@ impl Server {
         let mut out: Vec<Option<Reply>> = (0..requests.len()).map(|_| None).collect();
         {
             let mut slice_no = 0usize;
-            let slice_order: Vec<usize> = requests
+            let slice_order: Vec<usize> = effective
                 .iter()
                 .map(|r| match r {
-                    Request::Slice(_) => {
+                    Some(Request::Slice(_)) => {
                         slice_no += 1;
                         slice_no - 1
                     }
@@ -458,19 +514,29 @@ impl Server {
                 })
                 .collect();
             pool.parallel_chunks_mut(&mut out, 1, |i, slot| {
-                slot[0] = Some(match &requests[i] {
-                    Request::Slice(req) => self.answer_slice(req, &plan, slice_order[i], &fetched),
-                    Request::Emulate {
+                slot[0] = Some(match effective[i] {
+                    None => Reply::Full(Err(ServeError::DeadlineExpired)),
+                    Some(Request::Slice(req)) => {
+                        self.answer_slice(req, &plan, slice_order[i], &fetched)
+                    }
+                    Some(Request::Emulate {
                         emulator,
                         t_max,
                         seed,
-                    } => Reply::Full(self.answer_emulate(emulator, *t_max, *seed)),
-                    Request::Catalog(query) => Reply::Full(self.answer_catalog(query)),
-                    Request::Stats => Reply::Full(Ok(Response::Stats(self.stats()))),
-                    Request::Product(descriptor) => Reply::Full(self.answer_product(descriptor)),
-                    Request::Ensemble(spec) => Reply::Full(
+                    }) => Reply::Full(self.answer_emulate(emulator, *t_max, *seed)),
+                    Some(Request::Catalog(query)) => Reply::Full(self.answer_catalog(query)),
+                    Some(Request::Stats) => Reply::Full(Ok(Response::Stats(self.stats()))),
+                    Some(Request::Product(descriptor)) => {
+                        Reply::Full(self.answer_product(descriptor))
+                    }
+                    Some(Request::Ensemble(spec)) => Reply::Full(
                         self.answer_product(&crate::scenario::ensemble_descriptor(spec)),
                     ),
+                    // The wire decoder rejects nesting; an in-process
+                    // caller that builds one gets a typed refusal.
+                    Some(Request::WithDeadline { .. }) => Reply::Full(Err(ServeError::BadRequest(
+                        "nested deadline wrapper".to_string(),
+                    ))),
                 });
             });
         }
@@ -491,6 +557,12 @@ impl Server {
                 Reply::Full(Err(_)) => &self.stats.errors,
             };
             cell.fetch_add(1, Ordering::Relaxed);
+        }
+        let expired = effective.iter().filter(|r| r.is_none()).count() as u64;
+        if expired > 0 {
+            self.stats
+                .deadline_expired
+                .fetch_add(expired, Ordering::Relaxed);
         }
         self.stats.batches.fetch_add(1, Ordering::Relaxed);
         self.stats
@@ -529,6 +601,28 @@ impl Server {
     fn decode_chunk(&self, key: ChunkKey) -> Result<Arc<[f64]>, ServeError> {
         let archive = &self.catalog.archives()[key.archive as usize];
         let m = &archive.members()[key.member as usize];
+        // Fault site `decode`: chunk fetch+decode. Corrupt surfaces as a
+        // checksum failure (retryable; the single-flight map never caches
+        // errors, so a retry re-decodes cleanly); other actions degrade
+        // to a delay or no-op.
+        if let Some(action) = exaclim_runtime::faults::check("decode") {
+            use exaclim_runtime::FaultAction;
+            match action {
+                FaultAction::Delay(d) | FaultAction::Stall(d) => std::thread::sleep(d),
+                FaultAction::Corrupt => {
+                    return Err(ServeError::Archive(
+                        exaclim_store::ArchiveError::ChecksumMismatch {
+                            member: m.name.clone(),
+                            chunk: key.chunk as usize,
+                        },
+                    ));
+                }
+                FaultAction::Error => {
+                    return Err(ServeError::Internal("injected decode fault".to_string()));
+                }
+                _ => {}
+            }
+        }
         let codec = Codec::from_id(m.codec)?;
         let entry = m.chunks[key.chunk as usize];
         let stored = archive.fetch_chunk_stored(key.member as usize, key.chunk as usize)?;
@@ -760,6 +854,38 @@ mod tests {
         assert!(responses[0].is_ok());
         assert!(matches!(responses[1], Err(ServeError::Archive(_))));
         assert!(responses[2].is_ok());
+    }
+
+    #[test]
+    fn expired_deadlines_are_skipped_and_counted() {
+        let (server, _) = server_with(Codec::Raw64, 1 << 20);
+        let batch = vec![
+            // Zero budget ⇒ always expired, even in-process.
+            Request::WithDeadline {
+                budget_ms: 0,
+                request: Box::new(slice(0..4)),
+            },
+            // A generous budget ⇒ answered normally.
+            Request::WithDeadline {
+                budget_ms: 60_000,
+                request: Box::new(slice(0..4)),
+            },
+            Request::WithDeadline {
+                budget_ms: 60_000,
+                request: Box::new(Request::WithDeadline {
+                    budget_ms: 60_000,
+                    request: Box::new(Request::Stats),
+                }),
+            },
+        ];
+        let responses = server.handle_batch(&batch);
+        assert_eq!(responses[0], Err(ServeError::DeadlineExpired));
+        assert!(matches!(responses[1], Ok(Response::Slice(_))));
+        assert!(matches!(responses[2], Err(ServeError::BadRequest(_))));
+        let stats = server.stats();
+        assert_eq!(stats.deadline_expired, 1);
+        assert_eq!(stats.errors, 2);
+        assert_eq!(stats.slices, 1);
     }
 
     #[test]

@@ -20,8 +20,8 @@
 use exaclim::{ClimateEmulator, EmulatorConfig};
 use exaclim_climate::{SyntheticEra5, SyntheticEra5Config};
 use exaclim_serve::{
-    CatalogQuery, Client, NetConfig, NetServer, ProductDescriptor, ProductSource, ProductStat,
-    Request, Response, ScenarioSpec, ServeConfig, Server, SliceRequest,
+    CatalogQuery, Client, ClientConfig, NetConfig, NetServer, ProductDescriptor, ProductSource,
+    ProductStat, Request, Response, RetryPolicy, ScenarioSpec, ServeConfig, Server, SliceRequest,
 };
 use exaclim_store::{ArchiveWriter, Codec, FieldMeta};
 use std::io::Cursor;
@@ -174,12 +174,26 @@ fn main() {
     println!("serving on {addr} — {threads} client threads × {batches} batches of {BATCH} slices");
 
     let start = Instant::now();
-    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+    let per_thread: Vec<(Vec<f64>, exaclim_serve::ClientStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads as u64)
             .map(|t| {
                 let server = &server;
                 scope.spawn(move || {
-                    let mut client = Client::connect(addr).unwrap();
+                    // Self-healing clients: with a clean server the
+                    // policy is pure insurance, but arm EXACLIM_FAULTS
+                    // and the retry/reconnect counters below move while
+                    // every answer stays bit-identical.
+                    let mut client = Client::connect_with(
+                        addr,
+                        ClientConfig {
+                            retry: Some(RetryPolicy {
+                                seed: t,
+                                ..RetryPolicy::default()
+                            }),
+                            ..ClientConfig::default()
+                        },
+                    )
+                    .unwrap();
                     let mut lat = Vec::with_capacity(batches);
                     for round in 0..batches as u64 {
                         let batch = batch_for(t, round);
@@ -202,16 +216,16 @@ fn main() {
                             }
                         }
                     }
-                    lat
+                    (lat, client.client_stats())
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().unwrap())
-            .collect()
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     let elapsed = start.elapsed().as_secs_f64();
+    let client_retries: u64 = per_thread.iter().map(|(_, s)| s.retries).sum();
+    let client_reconnects: u64 = per_thread.iter().map(|(_, s)| s.reconnects).sum();
+    let mut latencies: Vec<f64> = per_thread.into_iter().flat_map(|(l, _)| l).collect();
 
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
@@ -254,6 +268,15 @@ fn main() {
         server.stats().chunk_decodes,
         cache.hits,
         cache.misses
+    );
+    println!(
+        "resilience: {} faults injected, {} requests shed, {} deadline-expired, \
+         clients spent {} retries / {} reconnects",
+        net.faults_injected,
+        net.shed,
+        server.stats().deadline_expired,
+        client_retries,
+        client_reconnects
     );
 
     derived_products_demo(&server, addr);
