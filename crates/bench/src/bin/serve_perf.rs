@@ -12,14 +12,18 @@
 //! the current directory, so the serving layer's perf trajectory is
 //! recorded PR over PR. Knobs: `--threads N` (client threads, default 8),
 //! `--batches N` (batches per thread, default 24), `--idle N` (standing
-//! keep-alive connections in the `serve_net_idle` scenario, default 300).
+//! keep-alive connections in the `serve_net_idle` scenario, default 300),
+//! `--shards N` (backend shards behind the `serve_cluster` router
+//! scenario, default 4; 1/2/4-shard scaling is always recorded).
 
 use exaclim::{ClimateEmulator, EmulatorConfig};
 use exaclim_climate::{SyntheticEra5, SyntheticEra5Config};
+use exaclim_cluster::{Machine, MachineSpec};
 use exaclim_runtime::{faults, FaultAction, FaultPlan};
 use exaclim_serve::{
-    Catalog, Client, ClientConfig, NetConfig, NetServer, ProductDescriptor, ProductSource,
-    ProductStat, Request, Response, RetryPolicy, ScenarioSpec, ServeConfig, Server, SliceRequest,
+    Catalog, Client, ClientConfig, KeyWeight, NetConfig, NetServer, ProductDescriptor,
+    ProductSource, ProductStat, Request, Response, RetryPolicy, Router, RouterConfig, ScenarioSpec,
+    ServeConfig, Server, ShardSpec, SliceRequest,
 };
 use exaclim_store::{open_file_source, ArchiveWriter, Codec, FieldMeta};
 use std::io::Cursor;
@@ -376,6 +380,209 @@ fn run_chaos_scenario(
     )
 }
 
+/// Members in the sharded-cluster archive: enough distinct routing keys
+/// that a consistent-hash ring spreads the workload over every shard.
+const CLUSTER_MEMBERS: usize = 64;
+/// Grid points per step in the cluster archive (kept small: the cluster
+/// scenario measures routing and scatter-gather, not decode).
+const CLUSTER_VPS: usize = 64;
+
+/// Router/cluster counters and the placement simulation's verdict,
+/// recorded from the `serve_cluster` scenario.
+struct ClusterCounters {
+    shards: usize,
+    routed: u64,
+    fanout_batches: u64,
+    failovers: u64,
+    rebalance_events: u64,
+    sim_skew: f64,
+    sim_fanout: f64,
+    sim_speedup: f64,
+    sim_efficiency: f64,
+    /// Measured `(shards, mib_per_s)` at 1, 2, and 4 shards.
+    scaling: Vec<(usize, f64)>,
+}
+
+/// An 8-member archive for the cluster scenario, so slice requests hash
+/// to distinct `(archive, member)` ring keys.
+fn cluster_archive_bytes() -> Vec<u8> {
+    let meta = FieldMeta {
+        ntheta: 8,
+        nphi: 16,
+        start_year: 2000,
+        tau: 365,
+    };
+    let mut w = ArchiveWriter::new(Cursor::new(Vec::new())).unwrap();
+    for m in 0..CLUSTER_MEMBERS {
+        let phase = m as f64 * 0.7;
+        let data: Vec<f64> = (0..CLUSTER_VPS * T_MAX)
+            .map(|i| 260.0 + 25.0 * (i as f64 * 0.013 + phase).sin())
+            .collect();
+        w.add_field(
+            &format!("m{m}"),
+            Codec::F32Shuffle,
+            meta,
+            CLUSTER_VPS,
+            CHUNK_T,
+            &data,
+        )
+        .unwrap();
+    }
+    w.finish().unwrap().0.into_inner()
+}
+
+/// A batch of slices spread over the cluster archive's members, so the
+/// router scatter-gathers nearly every batch.
+fn cluster_slice_batch(thread: u64) -> Vec<Request> {
+    (0..BATCH as u64)
+        .map(|i| {
+            let t0 = (thread * 13 + i * 7) % (T_MAX as u64 - SLICE_T);
+            Request::Slice(SliceRequest {
+                archive: "a".to_string(),
+                member: format!("m{}", (thread + i * 3) % CLUSTER_MEMBERS as u64),
+                range: t0..t0 + SLICE_T,
+            })
+        })
+        .collect()
+}
+
+/// Drive the wire workload through a router-backed front end over
+/// `shards` backend `NetServer`s (every shard opens the same archive;
+/// layout chosen by the placement planner). Returns throughput plus the
+/// router's counters and the placement report.
+fn run_cluster_once(
+    archive: &[u8],
+    shards: usize,
+    threads: usize,
+    batches_per_thread: usize,
+) -> (
+    f64,
+    f64,
+    Vec<f64>,
+    exaclim_serve::RouterStats,
+    exaclim_cluster::PlacementReport,
+) {
+    let backends: Vec<_> = (0..shards)
+        .map(|_| {
+            let mut catalog = Catalog::new();
+            catalog.open_archive_bytes("a", archive.to_vec()).unwrap();
+            let server = Arc::new(Server::new(catalog, ServeConfig::default()));
+            NetServer::bind("127.0.0.1:0", server, NetConfig::default())
+                .unwrap()
+                .spawn()
+        })
+        .collect();
+    let specs: Vec<ShardSpec> = backends
+        .iter()
+        .enumerate()
+        .map(|(i, h)| ShardSpec::numbered(i, h.addr()))
+        .collect();
+    let keys: Vec<KeyWeight> = (0..CLUSTER_MEMBERS)
+        .map(|m| KeyWeight::unit("a", format!("m{m}")))
+        .collect();
+    let machine = MachineSpec::of(Machine::Frontier);
+    let (router, report) =
+        Router::connect_placed(specs, &keys, &machine, RouterConfig::default()).unwrap();
+    let router = Arc::new(router);
+    let front = NetServer::bind_router("127.0.0.1:0", Arc::clone(&router), NetConfig::default())
+        .unwrap()
+        .spawn();
+    let addr = front.addr();
+
+    let start = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads as u64)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let batch = cluster_slice_batch(t);
+                    let mut lat = Vec::with_capacity(batches_per_thread);
+                    for _ in 0..batches_per_thread {
+                        let t0 = Instant::now();
+                        let responses = client.batch(&batch).unwrap();
+                        lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                        for r in &responses {
+                            assert!(matches!(r, Ok(Response::Slice(_))));
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let stats = router.router_stats();
+    front.shutdown();
+    for h in backends {
+        h.shutdown();
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let requests = (threads * batches_per_thread * BATCH) as u64;
+    let served_mib = requests as f64 * SLICE_T as f64 * CLUSTER_VPS as f64 * 8.0 / (1 << 20) as f64;
+    (elapsed_s, served_mib, latencies, stats, report)
+}
+
+/// The `serve_cluster` scenario: throughput at `--shards`, plus a
+/// 1/2/4-shard scaling sweep. Measured numbers on a shared-loopback
+/// bench box are contention-bound; the placement simulation's
+/// machine-model prediction (`sim_speedup`) is the deterministic scaling
+/// claim CI pins.
+fn run_cluster_scenario(
+    shards: usize,
+    threads: usize,
+    batches_per_thread: usize,
+) -> (Scenario, ClusterCounters) {
+    let archive = cluster_archive_bytes();
+    let mut scaling = Vec::new();
+    let mut main_run = None;
+    let mut sweep: Vec<usize> = vec![1, 2, 4];
+    if !sweep.contains(&shards) {
+        sweep.push(shards);
+    }
+    for &s in &sweep {
+        let (elapsed_s, served_mib, latencies, stats, report) =
+            run_cluster_once(&archive, s, threads, batches_per_thread);
+        if s <= 4 {
+            scaling.push((s, served_mib / elapsed_s));
+        }
+        if s == shards {
+            main_run = Some((elapsed_s, served_mib, latencies, stats, report));
+        }
+    }
+    let (elapsed_s, served_mib, latencies, stats, report) = main_run.unwrap();
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+    let requests = (threads * batches_per_thread * BATCH) as u64;
+    (
+        Scenario {
+            name: "serve_cluster",
+            backend: "memory",
+            threads,
+            batches_per_thread,
+            elapsed_s,
+            served_mib,
+            requests,
+            p50_us: pct(0.50),
+            p95_us: pct(0.95),
+        },
+        ClusterCounters {
+            shards,
+            routed: stats.routed,
+            fanout_batches: stats.fanout_batches,
+            failovers: stats.failovers,
+            rebalance_events: stats.rebalance_events,
+            sim_skew: report.skew,
+            sim_fanout: report.fanout,
+            sim_speedup: report.speedup_vs_single,
+            sim_efficiency: report.efficiency,
+            scaling,
+        },
+    )
+}
+
 fn server_for(path: &std::path::Path, use_mmap: bool, cache_bytes: usize) -> Server {
     let mut catalog = Catalog::new();
     catalog
@@ -584,6 +791,7 @@ struct JsonBlocks<'a> {
     net: &'a NetCounters,
     streaming: &'a StreamCounters,
     chaos: &'a ChaosCounters,
+    cluster: &'a ClusterCounters,
 }
 
 fn write_json(path: &str, scenarios: &[Scenario], blocks: &JsonBlocks<'_>) {
@@ -594,6 +802,7 @@ fn write_json(path: &str, scenarios: &[Scenario], blocks: &JsonBlocks<'_>) {
         net,
         streaming,
         chaos,
+        cluster,
     } = blocks;
     // Schema version of this file; bump when fields change meaning. The
     // env block records the matrix leg the run came from, so CI artifacts
@@ -601,7 +810,7 @@ fn write_json(path: &str, scenarios: &[Scenario], blocks: &JsonBlocks<'_>) {
     let threads_env = std::env::var("EXACLIM_THREADS").unwrap_or_else(|_| "default".to_string());
     let mmap_env = std::env::var("EXACLIM_MMAP").unwrap_or_else(|_| "default".to_string());
     let mut out = format!(
-        "{{\n  \"bench\": \"serve\",\n  \"version\": 6,\n  \
+        "{{\n  \"bench\": \"serve\",\n  \"version\": 7,\n  \
          \"env\": {{\"EXACLIM_THREADS\": \"{threads_env}\", \"EXACLIM_MMAP\": \"{mmap_env}\"}},\n  \
          \"scenarios\": [\n"
     );
@@ -631,7 +840,11 @@ fn write_json(path: &str, scenarios: &[Scenario], blocks: &JsonBlocks<'_>) {
          \"net\": {{\"open_connections\": {}, \"peak_connections\": {}, \"reactor_wakeups\": {}, \"reaped_idle\": {}}},\n  \
          \"streaming\": {{\"streamed_responses\": {}, \"stream_frames_out\": {}, \"peak_conn_buffered_bytes\": {}, \
          \"frames_per_response\": [{}]}},\n  \
-         \"chaos\": {{\"faults_injected\": {}, \"shed\": {}, \"client_retries\": {}, \"client_reconnects\": {}}}\n}}\n",
+         \"chaos\": {{\"faults_injected\": {}, \"shed\": {}, \"client_retries\": {}, \"client_reconnects\": {}}},\n  \
+         \"cluster\": {{\"shards\": {}, \"routed\": {}, \"fanout_batches\": {}, \"failovers\": {}, \
+         \"rebalance_events\": {}, \
+         \"sim\": {{\"skew\": {:.4}, \"fanout\": {:.4}, \"speedup_vs_single\": {:.4}, \"efficiency\": {:.4}}}, \
+         \"scaling\": [{}]}}\n}}\n",
         product.hits, product.misses, product.flight_leads, product.flight_waits, product.computes,
         net.open_connections, net.peak_connections, net.reactor_wakeups, net.reaped_idle,
         streaming.streamed_responses, streaming.stream_frames_out, streaming.peak_conn_buffered_bytes,
@@ -641,7 +854,16 @@ fn write_json(path: &str, scenarios: &[Scenario], blocks: &JsonBlocks<'_>) {
             .map(|b| b.to_string())
             .collect::<Vec<_>>()
             .join(", "),
-        chaos.faults_injected, chaos.shed, chaos.client_retries, chaos.client_reconnects
+        chaos.faults_injected, chaos.shed, chaos.client_retries, chaos.client_reconnects,
+        cluster.shards, cluster.routed, cluster.fanout_batches, cluster.failovers,
+        cluster.rebalance_events,
+        cluster.sim_skew, cluster.sim_fanout, cluster.sim_speedup, cluster.sim_efficiency,
+        cluster
+            .scaling
+            .iter()
+            .map(|(s, mibs)| format!("{{\"shards\": {s}, \"mib_per_s\": {mibs:.3}}}"))
+            .collect::<Vec<_>>()
+            .join(", ")
     ));
     std::fs::write(path, out).unwrap();
     println!("wrote {path}");
@@ -660,6 +882,7 @@ fn main() {
     let threads = flag("--threads", 8);
     let batches = flag("--batches", 24);
     let idle_conns = flag("--idle", 300);
+    let shards = flag("--shards", 4).max(1);
 
     let path = std::env::temp_dir().join(format!("exaclim_serve_perf_{}.eca1", std::process::id()));
     let (total, npoints) = build_archive_file(&path);
@@ -737,6 +960,17 @@ fn main() {
         let (scenario, chaos) = run_chaos_scenario(server, threads, batches, npoints);
         scenarios.push(scenario);
         chaos
+    };
+
+    // Cluster: the wire workload through a consistent-hash router over N
+    // backend shards (placement chosen by the cost-model planner), plus a
+    // 1/2/4-shard scaling sweep. On a shared bench box the measured sweep
+    // is contention-bound; the deterministic scaling claim is the
+    // placement simulation's machine-model prediction.
+    let cluster = {
+        let (scenario, cluster) = run_cluster_scenario(shards, threads, batches);
+        scenarios.push(scenario);
+        cluster
     };
 
     // Scenario engine: mixed ensemble fan-out + derived statistics; the
@@ -824,6 +1058,23 @@ fn main() {
         "chaos: {} faults injected, {} requests shed, clients spent {} retries and {} reconnects",
         chaos.faults_injected, chaos.shed, chaos.client_retries, chaos.client_reconnects
     );
+    println!(
+        "cluster ({} shards): {} routed, {} fan-out batches, {} failovers; sim skew {:.3}, \
+         predicted {:.2}× single-shard ({:.0}% efficiency); measured scaling {}",
+        cluster.shards,
+        cluster.routed,
+        cluster.fanout_batches,
+        cluster.failovers,
+        cluster.sim_skew,
+        cluster.sim_speedup,
+        100.0 * cluster.sim_efficiency,
+        cluster
+            .scaling
+            .iter()
+            .map(|(s, m)| format!("{s}→{m:.0} MiB/s"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
 
     if json {
         write_json(
@@ -836,6 +1087,7 @@ fn main() {
                 net: &net,
                 streaming: &streaming,
                 chaos: &chaos,
+                cluster: &cluster,
             },
         );
     }

@@ -12,6 +12,10 @@
 //!   latency-first vs bandwidth-first ordering (§III.C), and sender- vs
 //!   receiver-side precision conversion on the wire (§V.A),
 //! * [`scaling`] — weak- and strong-scaling drivers (Figure 7),
+//! * [`sim::simulate_placement`] — shard-placement validation for the
+//!   serving cluster: the router front end (`exaclim-serve`) scores a
+//!   proposed key→shard layout (load skew, scatter-gather fan-out,
+//!   predicted scaling) against a [`machines`] spec before adopting it,
 //! * [`costmodel`] — the emulator-design cost model of Figure 1
 //!   (`O(L³T + L⁴)` axisymmetric vs `O(L⁴T + L⁶)` anisotropic).
 //!
@@ -28,4 +32,7 @@ pub mod sim;
 pub use costmodel::{CostModel, EmulatorClass};
 pub use energy::{simulate_energy, EnergyModel, EnergyReport};
 pub use machines::{Machine, MachineSpec};
-pub use sim::{simulate_cholesky, CollectiveOrder, SimConfig, SimResult, Variant, WireConversion};
+pub use sim::{
+    simulate_cholesky, simulate_placement, CollectiveOrder, PlacementConfig, PlacementReport,
+    SimConfig, SimResult, Variant, WireConversion,
+};

@@ -149,10 +149,18 @@ pub enum WireError {
         /// Frame id the peer sent.
         got: u64,
     },
-    /// Socket-level I/O failure (message of the `std::io::Error`).
+    /// Socket-level I/O failure (message of the `std::io::Error`,
+    /// prefixed with the peer's label once [`WireError::with_peer`] has
+    /// attributed it).
     Io(String),
     /// The peer closed the connection cleanly between frames.
-    ConnectionClosed,
+    ConnectionClosed {
+        /// Which peer hung up — `None` until [`WireError::with_peer`]
+        /// attributes the failure (a client labels it with the shard or
+        /// address it was talking to, so multi-backend failures are
+        /// tellable apart in logs and tests).
+        peer: Option<String>,
+    },
     /// A stream frame arrived out of order: duplicated, skipped, or not
     /// starting at sequence 0 (see [`crate::wire::StreamPos`]).
     StreamSequence {
@@ -187,11 +195,28 @@ impl WireError {
         matches!(
             self,
             WireError::Io(_)
-                | WireError::ConnectionClosed
+                | WireError::ConnectionClosed { .. }
                 | WireError::Truncated { .. }
                 | WireError::StreamTruncated
                 | WireError::ChecksumMismatch { .. }
         )
+    }
+
+    /// Attribute this error to a named peer: transport failures coming
+    /// out of a multi-backend client are useless in logs unless they say
+    /// *which* connection died. Labels [`WireError::Io`] (message
+    /// prefix) and [`WireError::ConnectionClosed`]; idempotent — an
+    /// already-attributed error keeps its first label. Protocol errors
+    /// pass through untouched (they name frame contents, not peers).
+    #[must_use]
+    pub fn with_peer(self, peer: &str) -> WireError {
+        match self {
+            WireError::Io(m) if !m.starts_with('[') => WireError::Io(format!("[{peer}] {m}")),
+            WireError::ConnectionClosed { peer: None } => WireError::ConnectionClosed {
+                peer: Some(peer.to_string()),
+            },
+            other => other,
+        }
     }
 }
 
@@ -223,7 +248,10 @@ impl std::fmt::Display for WireError {
                 )
             }
             WireError::Io(m) => write!(f, "wire I/O error: {m}"),
-            WireError::ConnectionClosed => write!(f, "connection closed by peer"),
+            WireError::ConnectionClosed { peer: None } => write!(f, "connection closed by peer"),
+            WireError::ConnectionClosed { peer: Some(p) } => {
+                write!(f, "connection closed by peer [{p}]")
+            }
             WireError::StreamSequence { expected, got } => {
                 write!(
                     f,

@@ -52,7 +52,18 @@
 //!   by about one stream fragment, idle reaping, graceful drain via the
 //!   wakeup fd — with a thread-per-connection fallback off unix or
 //!   under `EXACLIM_REACTOR=0`), and a blocking [`net::Client`] with
-//!   connection reuse, pipelining, and transparent stream reassembly.
+//!   connection reuse, pipelining, and transparent stream reassembly,
+//! * [`router`] — the scale-out front end: a [`router::Router`] speaks
+//!   ECN1 on both sides, placing `(archive, member)` keys on N backend
+//!   [`net::NetServer`] shards via a seeded consistent-hash ring with
+//!   configurable replication, scatter-gathering each batch over pooled
+//!   self-healing clients and reassembling responses bit-identical to a
+//!   single server — a dead shard fails over to its keys' replicas,
+//! * [`placement`] — the router's layout brains: candidate ring layouts
+//!   are scored against [`exaclim_cluster::MachineSpec`] machine models
+//!   (emulator keys weighted by the Figure-1 cost model) and validated
+//!   by [`exaclim_cluster::simulate_placement`] — load skew, fan-out,
+//!   predicted scaling — before the router adopts one.
 //!
 //! The serving stack is built to **survive chaos**: a seeded fault plan
 //! ([`exaclim_runtime::faults`], armed via `EXACLIM_FAULTS`) injects
@@ -109,7 +120,9 @@ pub mod cache;
 pub mod catalog;
 pub mod error;
 pub mod net;
+pub mod placement;
 pub mod product;
+pub mod router;
 pub mod scenario;
 pub mod server;
 pub mod wire;
@@ -123,9 +136,11 @@ pub use error::{ServeError, WireError};
 pub use net::{
     Client, ClientConfig, ClientStats, NetConfig, NetServer, NetServerHandle, NetStats, RetryPolicy,
 };
+pub use placement::{assign_primaries, emulator_weight, plan_layout, KeyWeight, PlacementPlan};
 pub use product::{
     ProductData, ProductDescriptor, ProductKey, ProductSource, ProductStat, ScenarioSpec,
 };
+pub use router::{Router, RouterConfig, RouterStats, ShardHealth, ShardSpec};
 pub use server::{
     ArchiveInfo, CatalogAnswer, CatalogQuery, EmulatorInfo, MemberInfo, Request, Response,
     ServeConfig, ServeStats, Server, SliceData,

@@ -105,7 +105,8 @@
 
 use crate::error::{ServeError, WireError};
 use crate::product::{ProductData, ProductDescriptor, ScenarioSpec};
-use crate::server::{Request, Response, ServeStats, Server};
+use crate::router::Router;
+use crate::server::{Request, Response, ServeBackend, ServeStats, Server};
 use crate::wire::{self, FrameKind, HEADER_LEN};
 use exaclim_runtime::sync::Semaphore;
 use parking_lot::Mutex;
@@ -327,7 +328,13 @@ impl NetStatCells {
 /// State shared between the serving threads (reactor + dispatch workers,
 /// or accept loop + connection handlers) and the [`NetServerHandle`].
 struct NetShared {
-    server: Arc<Server>,
+    /// What decoded batches execute on: an in-process [`Server`]
+    /// ([`NetServer::bind`]) or a [`Router`] scatter-gathering over
+    /// backend shards ([`NetServer::bind_router`]).
+    backend: Arc<dyn ServeBackend>,
+    /// The in-process server when this front end is server-backed
+    /// (`None` behind [`NetServer::bind_router`]).
+    server: Option<Arc<Server>>,
     stats: NetStatCells,
     /// Set when shutdown begins. The event-driven path observes it on
     /// the next wakeup; the threaded path sets and re-checks it under
@@ -376,12 +383,42 @@ impl NetServer {
         server: Arc<Server>,
         config: NetConfig,
     ) -> std::io::Result<Self> {
+        Self::bind_backend(
+            addr,
+            Arc::clone(&server) as Arc<dyn ServeBackend>,
+            Some(server),
+            config,
+        )
+    }
+
+    /// Bind a listener over a [`Router`]: the same ECN1 wire front end,
+    /// but every decoded batch scatter-gathers over the router's backend
+    /// shards instead of executing in-process. Clients cannot tell the
+    /// difference — responses are bit-identical to a single server over
+    /// the same catalog. [`NetServerHandle::server`] has no in-process
+    /// server to return for a router-backed front end and panics;
+    /// inspect the router you passed in instead.
+    pub fn bind_router(
+        addr: impl ToSocketAddrs,
+        router: Arc<Router>,
+        config: NetConfig,
+    ) -> std::io::Result<Self> {
+        Self::bind_backend(addr, router, None, config)
+    }
+
+    fn bind_backend(
+        addr: impl ToSocketAddrs,
+        backend: Arc<dyn ServeBackend>,
+        server: Option<Arc<Server>>,
+        config: NetConfig,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         Ok(Self {
             listener,
             addr,
             shared: Arc::new(NetShared {
+                backend,
                 server,
                 stats: NetStatCells::default(),
                 shutdown: AtomicBool::new(false),
@@ -467,8 +504,15 @@ impl NetServerHandle {
     }
 
     /// The in-process server behind the wire.
+    ///
+    /// # Panics
+    /// For a router-backed front end ([`NetServer::bind_router`]) there
+    /// is no in-process server; inspect the [`Router`] instead.
     pub fn server(&self) -> &Arc<Server> {
-        &self.shared.server
+        self.shared
+            .server
+            .as_ref()
+            .expect("router-backed NetServer has no in-process Server")
     }
 
     /// Current transport counters.
@@ -633,7 +677,7 @@ mod event {
             // survives to take the next job.
             let received = job.received;
             let requests = &job.requests;
-            let server = &d.shared.server;
+            let backend = &d.shared.backend;
             let replies = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 if let Some(action) = exaclim_runtime::faults::check("dispatch") {
                     use exaclim_runtime::FaultAction;
@@ -645,7 +689,7 @@ mod event {
                         _ => {}
                     }
                 }
-                server.handle_batch_replies_from(requests, received)
+                backend.batch_replies_from(requests, received)
             }))
             .unwrap_or_else(|_| {
                 job.requests
@@ -1747,7 +1791,7 @@ fn handle_connection(
                         // reactor's dispatch workers: a panic answers
                         // every request with a typed retryable
                         // `Internal` error and the connection survives.
-                        let server = &shared.server;
+                        let backend = &shared.backend;
                         let reqs = &requests;
                         let replies =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -1761,7 +1805,7 @@ fn handle_connection(
                                         _ => {}
                                     }
                                 }
-                                server.handle_batch_replies_from(reqs, received)
+                                backend.batch_replies_from(reqs, received)
                             }))
                             .unwrap_or_else(|_| {
                                 requests
@@ -1834,7 +1878,7 @@ fn handle_connection(
                 );
                 break;
             }
-            Err(WireError::ConnectionClosed) => break,
+            Err(WireError::ConnectionClosed { .. }) => break,
             Err(_) if reader.get_ref().timed_out => {
                 // The idle deadline fired mid-wait (or mid-dribble):
                 // reaped, not a wire error — the peer sent nothing wrong,
@@ -1928,6 +1972,12 @@ pub struct ClientConfig {
     /// Socket write timeout, same rationale as
     /// [`ClientConfig::read_timeout`].
     pub write_timeout: Option<Duration>,
+    /// Label this connection's peer in transport errors
+    /// ([`WireError::with_peer`]): a router pooling clients to N shards
+    /// names each one (`shard-2@127.0.0.1:4042`), so a dead backend is
+    /// attributable in logs and tests. `None` (the default) labels with
+    /// the first resolved address.
+    pub peer: Option<String>,
     /// Self-healing: `Some` arms transport-level reconnect-with-replay
     /// (every serving op is read-only, so replaying in-flight pipelined
     /// requests is safe) and batch-level retry of retryable per-request
@@ -1972,6 +2022,9 @@ pub struct ClientStats {
 pub struct Client {
     addrs: Vec<SocketAddr>,
     config: ClientConfig,
+    /// Label stamped onto transport errors ([`ClientConfig::peer`], or
+    /// the first resolved address).
+    peer: String,
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     next_id: u64,
@@ -1989,6 +2042,7 @@ pub struct Client {
 impl std::fmt::Debug for Client {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Client")
+            .field("peer", &self.peer)
             .field("next_id", &self.next_id)
             .field("in_flight", &self.in_flight.len())
             .field("version", &self.config.version)
@@ -2036,12 +2090,14 @@ impl Client {
         if addrs.is_empty() {
             return Err(WireError::Io("address resolved to nothing".to_string()));
         }
-        let stream = Self::open_stream(&addrs, &config)?;
+        let peer = config.peer.clone().unwrap_or_else(|| addrs[0].to_string());
+        let stream = Self::open_stream(&addrs, &config).map_err(|e| e.with_peer(&peer))?;
         let reader_stream = stream.try_clone().map_err(WireError::from)?;
         let rng = config.retry.as_ref().map_or(1, |p| p.seed | 1);
         Ok(Self {
             addrs,
             config,
+            peer,
             reader: BufReader::new(reader_stream),
             writer: BufWriter::new(stream),
             next_id: 1,
@@ -2055,6 +2111,12 @@ impl Client {
     /// This client's resilience counters so far.
     pub fn client_stats(&self) -> ClientStats {
         self.stats
+    }
+
+    /// The peer label stamped onto this client's transport errors
+    /// ([`ClientConfig::peer`], defaulting to the connected address).
+    pub fn peer(&self) -> &str {
+        &self.peer
     }
 
     /// Open one TCP connection to the first answering resolved address,
@@ -2194,7 +2256,7 @@ impl Client {
                     // attempt until the budget runs out.
                     let _ = self.reconnect_and_replay();
                 }
-                Err(e) => return Err(e),
+                Err(e) => return Err(e.with_peer(&self.peer)),
             }
         }
     }
@@ -2231,7 +2293,7 @@ impl Client {
                 }
                 Err(e) => {
                     self.in_flight.pop_front();
-                    return Err(e);
+                    return Err(e.with_peer(&self.peer));
                 }
             }
         }
@@ -2246,7 +2308,7 @@ impl Client {
         loop {
             let (header, payload) = match wire::read_frame(&mut self.reader) {
                 Ok(frame) => frame,
-                Err(WireError::ConnectionClosed | WireError::Truncated { .. })
+                Err(WireError::ConnectionClosed { .. } | WireError::Truncated { .. })
                     if reasm.in_progress() =>
                 {
                     return Err(WireError::StreamTruncated)

@@ -1,0 +1,246 @@
+//! Cost-model-driven shard placement: score candidate ring layouts
+//! before the [`crate::router::Router`] adopts one.
+//!
+//! Placement here is not ad hoc. A candidate layout — a virtual-node
+//! count and a replication factor for the consistent-hash ring — is
+//! evaluated the way the source paper evaluates machine configurations:
+//! in a model first. For each candidate this module
+//!
+//! 1. assigns every expected key ([`KeyWeight`]) to its primary shard
+//!    through the exact ring the router would build,
+//! 2. weights emulator-backed keys by the Figure-1 design cost model
+//!    ([`exaclim_cluster::CostModel`], via [`emulator_weight`]) — an
+//!    `O(L³T + L⁴)` emulation is a hotter key than a byte-bound slice —
+//! 3. hands the resulting per-shard load vector to
+//!    [`exaclim_cluster::simulate_placement`] with the target machine's
+//!    [`exaclim_cluster::MachineSpec`], which predicts load skew,
+//!    scatter-gather fan-out, and cluster scaling,
+//!
+//! and [`plan_layout`] returns the best candidate the simulation calls
+//! balanced. The skew guarantee the test suite pins — no shard owns
+//! more than 2× the mean key count at 128 virtual nodes — is checked
+//! against [`assign_primaries`], the same assignment the live ring
+//! uses.
+
+use crate::router::Ring;
+use exaclim_cluster::costmodel::{CostModel, EmulatorClass};
+use exaclim_cluster::{simulate_placement, MachineSpec, PlacementConfig, PlacementReport};
+
+/// Response payload bytes assumed per request when scoring layouts (a
+/// typical compressed-chunk slice window).
+const AVG_REQUEST_BYTES: f64 = 64.0 * 1024.0;
+/// Requests per incoming batch assumed when scoring scatter-gather
+/// fan-out.
+const REQUESTS_PER_BATCH: usize = 32;
+/// Virtual-node counts scored by [`plan_layout`].
+const VNODE_CANDIDATES: [usize; 3] = [64, 128, 256];
+
+/// One expected routing key and its relative demand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyWeight {
+    /// Archive part of the routing key (empty for emulator keys).
+    pub archive: String,
+    /// Member part (member name, or emulator name for emulator keys).
+    pub member: String,
+    /// Relative demand (any positive scale; [`KeyWeight::unit`] for
+    /// "every key equally hot").
+    pub weight: f64,
+}
+
+impl KeyWeight {
+    /// An archive-member key with unit weight.
+    pub fn unit(archive: impl Into<String>, member: impl Into<String>) -> Self {
+        Self {
+            archive: archive.into(),
+            member: member.into(),
+            weight: 1.0,
+        }
+    }
+
+    /// An emulator key (the routing key [`crate::server::Request::Emulate`]
+    /// and ensemble products hash to), weighted by the design cost model.
+    pub fn emulator(name: impl Into<String>, lmax: usize, t_max: usize) -> Self {
+        Self {
+            archive: String::new(),
+            member: name.into(),
+            weight: emulator_weight(lmax, t_max),
+        }
+    }
+}
+
+/// Relative demand weight of an emulator key: the Figure-1 axially-symmetric
+/// design cost `O(L³T + L⁴)` of an `lmax`-band-limit, `t_max`-step run,
+/// normalized so a small (L=32, T=64) emulation weighs 1.0 — emulator
+/// keys concentrate compute the way big matrices concentrate flops, so
+/// placement must see them as hotter than byte-bound slice keys.
+pub fn emulator_weight(lmax: usize, t_max: usize) -> f64 {
+    let cost = |l: f64, t: f64| CostModel::design_flops(EmulatorClass::AxiallySymmetric, l, t);
+    (cost(lmax as f64, t_max as f64) / cost(32.0, 64.0)).max(1.0)
+}
+
+/// A scored layout: what [`plan_layout`] chose and why.
+#[derive(Debug, Clone)]
+pub struct PlacementPlan {
+    /// Ring points per shard of the chosen layout.
+    pub virtual_nodes: usize,
+    /// Replication factor of the chosen layout.
+    pub replication: usize,
+    /// Weighted demand each shard's primaries carry under the chosen
+    /// layout (one entry per shard, label order).
+    pub shard_loads: Vec<f64>,
+    /// The simulation's verdict on the chosen layout.
+    pub report: PlacementReport,
+}
+
+/// Primary-shard index of every key under the exact ring the router
+/// builds for `labels` with `virtual_nodes` points per shard and the
+/// given `seed` — the placement-skew property test runs over this.
+pub fn assign_primaries(
+    labels: &[String],
+    virtual_nodes: usize,
+    seed: u64,
+    keys: &[KeyWeight],
+) -> Vec<usize> {
+    let ring = Ring::build(labels, virtual_nodes, 1, seed);
+    keys.iter()
+        .map(|k| {
+            let reps = ring.replicas(ring.key_hash(&k.archive, &k.member));
+            usize::from(*reps.first().expect("non-empty ring"))
+        })
+        .collect()
+}
+
+/// Weighted per-shard load vector of `keys` under one candidate ring.
+fn shard_loads(labels: &[String], virtual_nodes: usize, seed: u64, keys: &[KeyWeight]) -> Vec<f64> {
+    let mut loads = vec![0.0f64; labels.len()];
+    for (k, shard) in keys
+        .iter()
+        .zip(assign_primaries(labels, virtual_nodes, seed, keys))
+    {
+        loads[shard] += k.weight.max(0.0);
+    }
+    loads
+}
+
+/// Score candidate layouts for `keys` on `machine` and return the best
+/// one the simulation accepts: every virtual-node candidate crossed
+/// with replication factors `min_replication` and `min_replication + 1`
+/// (capped at the shard count), ranked by predicted cluster bandwidth
+/// among balanced candidates — or, when no candidate balances (e.g. one
+/// key carries all the weight), the least-skewed candidate, whose
+/// report says `balanced: false` so the caller knows the model objected.
+pub fn plan_layout(
+    labels: &[String],
+    keys: &[KeyWeight],
+    machine: &MachineSpec,
+    seed: u64,
+    min_replication: usize,
+) -> PlacementPlan {
+    let shards = labels.len().max(1);
+    let min_replication = min_replication.clamp(1, shards);
+    let replication_candidates = [min_replication, (min_replication + 1).min(shards)];
+
+    let mut best: Option<PlacementPlan> = None;
+    for &virtual_nodes in &VNODE_CANDIDATES {
+        let loads = shard_loads(labels, virtual_nodes, seed, keys);
+        for &replication in &replication_candidates {
+            let report = simulate_placement(
+                machine,
+                &PlacementConfig {
+                    shard_loads: loads.clone(),
+                    replication,
+                    avg_request_bytes: AVG_REQUEST_BYTES,
+                    requests_per_batch: REQUESTS_PER_BATCH,
+                },
+            );
+            let candidate = PlacementPlan {
+                virtual_nodes,
+                replication,
+                shard_loads: loads.clone(),
+                report,
+            };
+            best = Some(match best.take() {
+                None => candidate,
+                Some(cur) => {
+                    let cand_wins = match (candidate.report.balanced, cur.report.balanced) {
+                        (true, false) => true,
+                        (false, true) => false,
+                        (true, true) => candidate.report.cluster_gbs > cur.report.cluster_gbs,
+                        (false, false) => candidate.report.skew < cur.report.skew,
+                    };
+                    if cand_wins {
+                        candidate
+                    } else {
+                        cur
+                    }
+                }
+            });
+        }
+    }
+    best.expect("at least one candidate layout")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exaclim_cluster::Machine;
+
+    fn labels(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("shard-{i}")).collect()
+    }
+
+    fn synthetic_keys(n: usize) -> Vec<KeyWeight> {
+        (0..n)
+            .map(|i| KeyWeight::unit(format!("arc{}", i % 3), format!("member-{i}")))
+            .collect()
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_balanced_on_uniform_keys() {
+        let machine = MachineSpec::of(Machine::Frontier);
+        let keys = synthetic_keys(512);
+        let a = plan_layout(&labels(4), &keys, &machine, 0xECA1, 2);
+        let b = plan_layout(&labels(4), &keys, &machine, 0xECA1, 2);
+        assert_eq!(a.virtual_nodes, b.virtual_nodes);
+        assert_eq!(a.shard_loads, b.shard_loads);
+        assert!(a.report.balanced, "{:?}", a.report);
+        assert!(a.replication >= 2);
+        assert!(
+            a.report.speedup_vs_single >= 2.5,
+            "4 shards must predict ≥ 2.5×: {:?}",
+            a.report
+        );
+    }
+
+    #[test]
+    fn pathological_weights_are_flagged_not_hidden() {
+        let machine = MachineSpec::of(Machine::Frontier);
+        // One key carries 100× every other: no ring can balance that.
+        let mut keys = synthetic_keys(64);
+        keys[0].weight = 6400.0;
+        let plan = plan_layout(&labels(4), &keys, &machine, 1, 1);
+        assert!(!plan.report.balanced, "{:?}", plan.report);
+        assert!(plan.report.skew > 2.0);
+    }
+
+    #[test]
+    fn emulator_keys_outweigh_slice_keys() {
+        let small = emulator_weight(32, 64);
+        let big = emulator_weight(128, 256);
+        assert!((small - 1.0).abs() < 1e-12);
+        assert!(big > 20.0 * small, "L=128 T=256 weight {big}");
+    }
+
+    #[test]
+    fn primaries_match_the_live_ring() {
+        let keys = synthetic_keys(100);
+        let labels = labels(4);
+        let primaries = assign_primaries(&labels, 128, 9, &keys);
+        assert_eq!(primaries.len(), keys.len());
+        assert!(primaries.iter().all(|&p| p < 4));
+        // Every shard owns something at 128 vnodes over 100 keys.
+        for s in 0..4 {
+            assert!(primaries.contains(&s), "shard {s} owns nothing");
+        }
+    }
+}

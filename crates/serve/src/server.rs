@@ -306,6 +306,22 @@ impl Reply {
     }
 }
 
+/// What the network front end dispatches decoded batches to: an
+/// in-process [`Server`], or a [`crate::router::Router`] scatter-
+/// gathering over backend shards. Both answer in [`Reply`] form so the
+/// wire encoder keeps its zero-copy slice path regardless of backend.
+pub(crate) trait ServeBackend: Send + Sync {
+    /// Answer a batch with an explicit receipt time (deadline budgets
+    /// cover queue time — see [`Server::handle_batch_replies_from`]).
+    fn batch_replies_from(&self, requests: &[Request], received: std::time::Instant) -> Vec<Reply>;
+}
+
+impl ServeBackend for Server {
+    fn batch_replies_from(&self, requests: &[Request], received: std::time::Instant) -> Vec<Reply> {
+        self.handle_batch_replies_from(requests, received)
+    }
+}
+
 #[derive(Default)]
 pub(crate) struct StatCells {
     slices: AtomicU64,

@@ -497,7 +497,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<(FrameHeader, Vec<u8>), WireError
             .map_err(WireError::from)?;
         if n == 0 {
             return if filled == 0 {
-                Err(WireError::ConnectionClosed)
+                Err(WireError::ConnectionClosed { peer: None })
             } else {
                 Err(WireError::Truncated {
                     context: "frame header",

@@ -11,6 +11,7 @@ pub use exaclim_fft as fft;
 pub use exaclim_linalg as linalg;
 pub use exaclim_mathkit as mathkit;
 pub use exaclim_runtime as runtime;
+pub use exaclim_serve as serve;
 pub use exaclim_sht as sht;
 pub use exaclim_sphere as sphere;
 pub use exaclim_stats as stats;

@@ -539,7 +539,7 @@ fn graceful_shutdown_unblocks_clients() {
     assert!(
         matches!(
             err,
-            WireError::ConnectionClosed | WireError::Io(_) | WireError::Truncated { .. }
+            WireError::ConnectionClosed { .. } | WireError::Io(_) | WireError::Truncated { .. }
         ),
         "{err:?}"
     );
